@@ -1,0 +1,32 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table or figure of the paper through the
+experiment registry (``repro.analysis.registry``) and prints it, so
+``pytest benchmarks/ --benchmark-only`` doubles as the reproduction
+report.  Scale via ``REPRO_SCALE`` (smoke | default | paper) and
+parallelise replications via ``REPRO_WORKERS``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.registry import current_scale, run_experiment
+
+
+@pytest.fixture(scope="session")
+def scale():
+    s = current_scale()
+    print(f"\n[repro] benchmark scale: {s.name} "
+          f"(duration {s.duration:.0f}s, {s.n_replications} replications)")
+    return s
+
+
+def regenerate(benchmark, exp_id: str, scale):
+    """Time one full regeneration of an experiment and print its report."""
+    report = benchmark.pedantic(
+        run_experiment, args=(exp_id, scale), rounds=1, iterations=1
+    )
+    print()
+    print(report.render())
+    return report

@@ -1,0 +1,37 @@
+"""Figure 1: relative average stretch vs number of sites.
+
+Paper: N identical 128-node clusters under EASY; schemes R2/R3/R4/HALF/
+ALL relative to NONE over paired replications.  Expectation: redundancy
+beneficial for N > 5 (paper: 10-25 % better), weakest/absent benefit at
+N <= 5, and redundancy wins in the large majority of replications at
+N >= 10.
+"""
+
+import math
+
+from .conftest import regenerate
+
+
+def test_fig1_relative_stretch_vs_sites(benchmark, scale):
+    report = regenerate(benchmark, "fig1", scale)
+    rel = report.data["relative_avg_stretch"]
+
+    biggest_n = max(next(iter(rel.values())))
+    for scheme, series in rel.items():
+        assert all(math.isfinite(v) for v in series.values()), scheme
+        # Headline claim: at the largest platform, redundancy helps.
+        assert series[biggest_n] < 1.0, (
+            f"{scheme} at N={biggest_n}: relative stretch "
+            f"{series[biggest_n]:.2f} >= 1"
+        )
+
+    # Benefit grows with platform size (compare smallest vs largest N);
+    # needs a few replications to rise above pairing noise.
+    if scale.n_replications >= 3:
+        smallest_n = min(next(iter(rel.values())))
+        for scheme in ("R2", "HALF"):
+            assert rel[scheme][biggest_n] <= rel[scheme][smallest_n] + 0.15
+
+    # At the largest N redundancy wins most paired replications.
+    wins = report.data["best_win_fraction"]
+    assert wins[biggest_n] >= 0.5

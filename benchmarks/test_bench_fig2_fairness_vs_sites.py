@@ -1,0 +1,35 @@
+"""Figure 2: relative coefficient of variation of stretches (fairness).
+
+Paper expectation: redundancy improves fairness ~10-25 % at every N
+(relative CV 0.75-0.9); the relative maximum stretch improves even more
+(10-60 %).  Shares the sites sweep with the Figure 1 bench (cached), so
+this bench times only the aggregation.
+"""
+
+import math
+
+from .conftest import regenerate
+
+
+def test_fig2_relative_cv_vs_sites(benchmark, scale):
+    report = regenerate(benchmark, "fig2", scale)
+    rel_cv = report.data["relative_cv"]
+    rel_max = report.data["relative_max_stretch"]
+
+    biggest_n = max(next(iter(rel_cv.values())))
+    finite = [
+        v for series in rel_cv.values() for v in series.values()
+        if math.isfinite(v)
+    ]
+    assert finite, "no finite CV ratios measured"
+
+    # Fairness at the largest platform: CV not degraded (paper: improved).
+    for scheme in ("HALF", "ALL"):
+        assert rel_cv[scheme][biggest_n] < 1.25
+
+    # The paper's stronger fairness signal: max stretch improves.
+    for scheme in ("HALF", "ALL"):
+        assert rel_max[scheme][biggest_n] < 1.0, (
+            f"{scheme}: relative max stretch "
+            f"{rel_max[scheme][biggest_n]:.2f} >= 1"
+        )

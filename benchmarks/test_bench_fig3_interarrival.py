@@ -1,0 +1,24 @@
+"""Figure 3: sensitivity to the job inter-arrival time (a load sweep).
+
+Paper: N=10, Gamma shape α varied over [4, 20] (mean inter-arrival
+≈2-10 s).  Expectation: redundancy improves the average stretch at
+every load level (all relative values < 1).
+"""
+
+import math
+
+from .conftest import regenerate
+
+
+def test_fig3_interarrival_sweep(benchmark, scale):
+    report = regenerate(benchmark, "fig3", scale)
+    rel = report.data["relative_avg_stretch"]
+
+    for scheme, series in rel.items():
+        finite = {k: v for k, v in series.items() if math.isfinite(v)}
+        assert finite, f"{scheme}: no finite values"
+        beneficial = sum(v < 1.0 for v in finite.values())
+        # Redundancy helps across (nearly) the whole load range.
+        assert beneficial >= max(1, len(finite) - 1), (
+            f"{scheme}: beneficial at only {beneficial}/{len(finite)} loads"
+        )

@@ -1,0 +1,45 @@
+"""Figure 4: the penalty for not using redundant requests.
+
+Paper: N=10; a fraction p of jobs uses redundancy.  Expectations:
+redundant jobs always beat non-redundant ones at the same p; the
+non-adopters' penalty grows with p and with the scheme's redundancy;
+full adoption still beats no adoption.
+"""
+
+import math
+
+from .conftest import regenerate
+
+
+def test_fig4_partial_adoption(benchmark, scale):
+    report = regenerate(benchmark, "fig4", scale)
+
+    for scheme in ("R2", "HALF", "ALL"):
+        series = report.data[scheme]
+        # r jobs beat n-r jobs wherever both populations exist.
+        for p, r_val in series["r"].items():
+            nr_val = series["nr"].get(p, float("nan"))
+            if math.isfinite(r_val) and math.isfinite(nr_val):
+                assert r_val < nr_val, (
+                    f"{scheme} p={p}: r jobs {r_val:.1f} "
+                    f">= n-r jobs {nr_val:.1f}"
+                )
+
+    # Paired non-adopter penalty: above parity at high adoption for the
+    # heavy scheme (at p=1.0 no non-adopters exist, so use the largest
+    # adoption level that still has them).
+    penalty = report.data["penalty"]["ALL"]
+    finite_ps = [p for p in sorted(penalty) if penalty[p] == penalty[p]]
+    assert finite_ps, "no adoption level with a measurable n-r population"
+    top = finite_ps[-1]
+    assert penalty[top] > 0.95, (
+        f"ALL at p={top}: paired penalty {penalty[top]:.2f} — the paper "
+        "finds non-adopters penalized"
+    )
+
+    # Full adoption beats no adoption (overall average).
+    all_series = report.data["ALL"]
+    nr_p0 = all_series["nr"].get(0.0)
+    r_p1 = all_series["r"].get(1.0)
+    if nr_p0 is not None and r_p1 is not None:
+        assert r_p1 < nr_p0

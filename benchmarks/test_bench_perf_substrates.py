@@ -1,0 +1,105 @@
+"""Performance microbenchmarks of the simulation substrates.
+
+Not a paper artifact — these track the wall-clock cost of the hot paths
+(event loop, availability profile, scheduler passes, workload sampling,
+a full experiment) so performance regressions show up in the benchmark
+history.  The paper-scale runs depend on these staying fast: its
+workloads push queues into the thousands.
+"""
+
+import numpy as np
+
+from repro.cluster.cluster import Cluster
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import run_single
+from repro.sched import EASYScheduler
+from repro.sched.job import Request
+from repro.sched.profile import Profile
+from repro.sim.engine import Simulator
+from repro.sim.events import EventPriority
+from repro.sim.rng import RngFactory
+from repro.workload.lublin import LublinGenerator, LublinParams
+
+
+def test_perf_event_loop(benchmark, scale):
+    """Schedule and execute 20k interleaved events."""
+
+    def run():
+        sim = Simulator()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+
+        for i in range(20_000):
+            sim.at(float(i % 997), tick, EventPriority.CONTROL)
+        sim.run()
+        return count
+
+    assert benchmark(run) == 20_000
+
+
+def test_perf_profile_operations(benchmark, scale):
+    """Reserve/find/adjust churn on a long availability profile."""
+
+    def run():
+        prof = Profile(0.0, 128, 128)
+        rng = np.random.default_rng(0)
+        for _ in range(1500):
+            nodes = int(rng.integers(1, 64))
+            duration = float(rng.uniform(10, 500))
+            start = prof.find_start(nodes, duration, float(rng.uniform(0, 5000)))
+            prof.reserve(start, duration, nodes)
+        return len(prof)
+
+    assert benchmark(run) > 0
+
+
+def test_perf_easy_overloaded_queue(benchmark, scale):
+    """Submission churn against a blocked EASY queue (the O(1)-guard path)."""
+
+    def run():
+        sim = Simulator()
+        sched = EASYScheduler(sim, Cluster(0, 128))
+        sched.submit(Request(nodes=128, runtime=1e9, requested_time=1e9))
+        sim.run(until=0.0)
+        for i in range(4000):
+            sim.at(
+                float(i),
+                lambda: sched.submit(
+                    Request(nodes=8, runtime=100.0, requested_time=100.0)
+                ),
+                EventPriority.SUBMIT,
+            )
+        sim.run(until=4000.0)
+        return sched.queue_length
+
+    assert benchmark(run) == 4000
+
+
+def test_perf_lublin_sampling(benchmark, scale):
+    """Draw 10k jobs from the workload model."""
+
+    def run():
+        gen = LublinGenerator(LublinParams(), 128,
+                              np.random.default_rng(1))
+        total = 0.0
+        for _ in range(10_000):
+            total += gen.sample_runtime(gen.sample_nodes())
+        return total
+
+    assert benchmark(run) > 0
+
+
+def test_perf_full_experiment(benchmark, scale):
+    """One small end-to-end drained experiment (N=4, 10 min, R2)."""
+    cfg = ExperimentConfig(
+        n_clusters=4, nodes_per_cluster=32, duration=600.0,
+        offered_load=2.0, drain=True, scheme="R2", seed=9,
+    )
+
+    result = benchmark.pedantic(
+        run_single, args=(cfg, 0), rounds=3, iterations=1
+    )
+    assert result.n_jobs == result.n_submitted_jobs

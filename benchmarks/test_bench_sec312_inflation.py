@@ -1,0 +1,21 @@
+"""Section 3.1.2 robustness: requested-time inflation on remote copies.
+
+Paper: padding redundant requests' durations by 10 % or 50 % (to leave
+room for post-allocation input staging) "interestingly ... no
+difference in our results".
+"""
+
+from .conftest import regenerate
+
+
+def test_sec312_remote_inflation(benchmark, scale):
+    report = regenerate(benchmark, "sec312", scale)
+
+    base = report.data[0.0]
+    for inflation in (0.10, 0.50):
+        value = report.data[inflation]
+        assert value < 1.0, f"+{inflation:.0%}: relative stretch {value:.2f}"
+        assert abs(value - base) < 0.2, (
+            f"+{inflation:.0%} changed the relative stretch from "
+            f"{base:.2f} to {value:.2f} — the paper found no difference"
+        )

@@ -1,0 +1,26 @@
+"""Table 1: scheduling algorithms x runtime-estimate regimes.
+
+Paper: N=10, HALF; EASY, CBF and FCFS; exact vs real (φ-model)
+estimates.  Expectation: every relative metric below 1 (paper values
+0.83-0.93) — the benefit of redundancy is robust to the scheduling
+algorithm and to estimate quality.
+"""
+
+from .conftest import regenerate
+
+
+def test_table1_algorithms_and_estimates(benchmark, scale):
+    report = regenerate(benchmark, "tab1", scale)
+    cells = report.data["cells"]
+
+    assert set(cells) == {
+        f"{a}/{e}" for a in ("easy", "cbf", "fcfs") for e in ("exact", "phi")
+    }
+    # The paper's claim: beneficial in every cell.  Allow slight noise
+    # above parity at reduced scale for the weakest combination.
+    for key, metrics in cells.items():
+        assert metrics["avg_stretch"] < 1.1, (
+            f"{key}: relative stretch {metrics['avg_stretch']:.2f}"
+        )
+    beneficial = sum(m["avg_stretch"] < 1.0 for m in cells.values())
+    assert beneficial >= 5, f"only {beneficial}/6 cells beneficial"

@@ -1,0 +1,16 @@
+"""Table 2: non-uniformly distributed redundant requests.
+
+Paper: remote clusters picked with a heavy geometric bias (C1 twice as
+likely as C2, ...), N=10.  Expectation: redundancy remains beneficial
+and close to the uniform case (paper: stretch 0.88-0.95, CV 0.86-0.94).
+"""
+
+from .conftest import regenerate
+
+
+def test_table2_biased_target_distribution(benchmark, scale):
+    report = regenerate(benchmark, "tab2", scale)
+    rel = report.data["relative_avg_stretch"]
+    assert set(rel) == {"R2", "R3", "R4", "HALF"}
+    for scheme, value in rel.items():
+        assert value < 1.0, f"{scheme}: {value:.2f} >= 1 under bias"

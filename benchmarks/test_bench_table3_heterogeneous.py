@@ -1,0 +1,25 @@
+"""Table 3: heterogeneous platforms.
+
+Paper: N=10 clusters with node counts drawn from {16, 32, 64, 128, 256}
+and per-cluster mean inter-arrival times from [2 s, 20 s].  Expectation:
+redundancy even more beneficial than in the homogeneous case (paper:
+relative stretch 0.63-0.83, improving with the amount of redundancy;
+relative CV 0.79-0.90).
+"""
+
+from .conftest import regenerate
+
+
+def test_table3_heterogeneous(benchmark, scale):
+    report = regenerate(benchmark, "tab3", scale)
+
+    for scheme, metrics in report.data.items():
+        assert metrics["avg_stretch"] < 1.0, (
+            f"{scheme}: {metrics['avg_stretch']:.2f} >= 1 on heterogeneous "
+            "platform"
+        )
+    # More redundancy should help at least as much (paper's monotone
+    # trend, modulo replication noise).
+    assert report.data["ALL"]["avg_stretch"] <= (
+        report.data["R2"]["avg_stretch"] + 0.1
+    )

@@ -1,0 +1,25 @@
+"""Table 4: impact of redundancy on queue-wait predictability.
+
+Paper: N=10 CBF clusters, real (φ-model) estimates.  Baseline: waits
+over-predicted ≈9x on average (CV ≈205 %) because CBF plans with
+~2.16x-padded requested times.  With 40 % of jobs using ALL, the
+over-prediction grows for both populations (paper: ≈8x worse for
+non-redundant jobs, ≈4x for redundant jobs).
+"""
+
+from .conftest import regenerate
+
+
+def test_table4_prediction_degradation(benchmark, scale):
+    report = regenerate(benchmark, "tab4", scale)
+
+    # CBF + padded estimates over-predict even with no redundancy.
+    assert report.data["baseline"] > 1.5
+
+    # Redundancy-induced churn degrades predictions for both populations.
+    assert report.data["degradation_nr"] > 1.0
+    assert report.data["degradation_r"] > 1.0
+
+    # And predictions for redundant jobs (min over copies against tiny
+    # effective waits) are at least as inflated as the baseline's.
+    assert report.data["redundant"] > report.data["baseline"]

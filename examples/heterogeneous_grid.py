@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Redundancy on a heterogeneous grid (Table 3), plus the metascheduler.
+
+Simulates a federation of differently sized clusters (16-256 nodes)
+with different arrival rates, compares redundancy schemes against the
+local-only baseline, and adds the informed alternative the paper
+contrasts itself with: a metascheduler that places each job once, on
+the least-loaded eligible cluster.
+
+Run:  python examples/heterogeneous_grid.py
+"""
+
+import numpy as np
+
+from repro import ExperimentConfig, compare_schemes, run_replications
+from repro.analysis.tables import Table
+from repro.ext.metascheduler import run_metascheduler_experiment
+
+REPS = 3
+
+
+def main() -> None:
+    config = ExperimentConfig(
+        n_clusters=10,
+        heterogeneous=True,          # nodes from {16,32,64,128,256}
+        interarrival_range=(2.0, 20.0),
+        duration=1800.0,
+        offered_load=2.0,
+        drain=True,
+        seed=7,
+    )
+    print("running redundancy schemes on a heterogeneous platform...")
+    comparison = compare_schemes(config, ["R2", "HALF", "ALL"], REPS)
+
+    print("running the metascheduler baseline on the same streams...")
+    meta = [run_metascheduler_experiment(config, rep) for rep in range(REPS)]
+    meta_rel = float(np.mean([
+        m.avg_stretch / b.avg_stretch
+        for m, b in zip(meta, comparison.baseline)
+    ]))
+
+    table = Table(
+        "Heterogeneous platform — relative average stretch vs local-only",
+        columns=["rel. avg stretch", "rel. CV of stretches"],
+    )
+    for scheme in ("R2", "HALF", "ALL"):
+        rel = comparison.relative(scheme)
+        table.add_row(f"user redundancy {scheme}",
+                      [rel.avg_stretch, rel.cv_stretch])
+    table.add_row("metascheduler (1 placement)", [meta_rel, None])
+    print()
+    print(table.to_text())
+
+    remote = float(np.mean([
+        r.remote_fraction() for r in comparison.per_scheme["ALL"]
+    ]))
+    print(
+        f"\nUnder ALL, {remote:.0%} of redundant jobs ended up running "
+        "away from their home cluster — heterogeneity is exactly where "
+        "load balancing has the most to move, which is why the paper "
+        "finds redundancy *more* beneficial here (Table 3)."
+    )
+
+
+if __name__ == "__main__":
+    main()

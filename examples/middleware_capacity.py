@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""System-load view (Section 4): who breaks first as redundancy grows?
+
+Reproduces the paper's capacity analysis — the batch scheduler tolerates
+~30 redundant requests per job, the grid middleware only ~3 — and
+regenerates the Figure 5 churn-throughput curve from the calibrated
+OpenPBS/Maui daemon model, alongside a wall-clock measurement of this
+package's own schedulers under the same qsub/qdel churn protocol.
+
+Run:  python examples/middleware_capacity.py
+"""
+
+from repro.analysis.plots import AsciiPlot
+from repro.analysis.tables import Table
+from repro.middleware import (
+    average_curve,
+    capacity_report,
+    churn_curve,
+    gt4_wsgram_model,
+    measure_real_scheduler_throughput,
+    paper_calibrated_model,
+)
+
+
+def main() -> None:
+    report = capacity_report()
+    print("Section 4 capacity analysis (peak arrivals: one job / 5 s):\n")
+    for line in report.lines():
+        print("  " + line)
+
+    mw = gt4_wsgram_model()
+    print(
+        f"\n  sanity: {mw.name} sustains {mw.tx_per_sec:.2f} tx/s; at 3 "
+        "redundant requests per job the middleware sees "
+        f"{3 / 5.0:.2f} submissions/s -> utilisation "
+        f"{mw.utilization(3 / 5.0 + 2 / 5.0):.2f} (saturated)."
+    )
+
+    print("\nregenerating Figure 5 from the calibrated daemon model...")
+    model = paper_calibrated_model()
+    curves = churn_curve(
+        model, queue_sizes=(0, 2500, 5000, 10000, 15000, 20000),
+        duration_s=3600.0, n_repetitions=4,
+    )
+    avg = average_curve(curves)
+    plot = AsciiPlot(
+        "Figure 5 — sustained submissions/s under maximal churn",
+        xlabel="queue size (pending requests)", ylabel="submissions/s",
+    )
+    plot.add_series("PBS/Maui model",
+                    [(s.queue_size, s.submissions_per_sec) for s in avg])
+    print()
+    print(plot.render())
+
+    print("\nmeasuring this package's own schedulers under the same "
+          "protocol (wall clock)...")
+    table = Table(
+        "Measured: submit+cancel pairs per second, queue pre-filled to 2000",
+        columns=["ops pairs / second"], precision=0,
+    )
+    for algorithm in ("fcfs", "easy", "cbf"):
+        rate = measure_real_scheduler_throughput(
+            algorithm, queue_size=2000, n_ops=1000
+        )
+        table.add_row(algorithm.upper(), [rate])
+    print()
+    print(table.to_text())
+    print(
+        "\nReading: even at 10,000 queued requests the 2006 scheduler "
+        "handled ~6 submissions+cancellations/s — enough for ~30 redundant "
+        "requests per job — while the era's grid middleware saturated at "
+        "~3.  The middleware, not the scheduler, gates redundancy."
+    )
+
+
+if __name__ == "__main__":
+    main()

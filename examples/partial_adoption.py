@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The fairness story (Figure 4): what happens to users who don't adopt?
+
+Sweeps the fraction p of jobs using the ALL redundancy scheme and
+reports, for each p, the average stretch of adopters and non-adopters
+plus the *paired* non-adopter penalty — how much worse the identical
+set of non-adopting jobs fares compared to a world where nobody adopts.
+
+Run:  python examples/partial_adoption.py
+"""
+
+import numpy as np
+
+from repro import ExperimentConfig, run_replications
+from repro.analysis.plots import AsciiPlot
+from repro.analysis.tables import Table
+from repro.core.runner import paired_nonadopter_penalty
+
+FRACTIONS = (0.0, 0.25, 0.5, 0.75, 1.0)
+REPS = 3
+
+
+def mean_stretch(results, redundant):
+    vals = []
+    for r in results:
+        s = r.stretches(redundant=redundant)
+        if s.size:
+            vals.append(float(s.mean()))
+    return float(np.mean(vals)) if vals else float("nan")
+
+
+def main() -> None:
+    base = ExperimentConfig(
+        n_clusters=10, nodes_per_cluster=64, duration=1800.0,
+        offered_load=2.0, drain=True, scheme="ALL", seed=42,
+    )
+    table = Table(
+        "Average stretch vs adoption fraction p (scheme ALL, N=10)",
+        columns=["adopters (r jobs)", "non-adopters (n-r jobs)",
+                 "paired n-r penalty"],
+    )
+    plot = AsciiPlot(
+        "Figure-4-style view: stretch vs % of jobs using redundancy",
+        xlabel="% of jobs using redundant requests",
+        ylabel="average stretch",
+    )
+    r_pts, nr_pts = [], []
+    for p in FRACTIONS:
+        results = run_replications(
+            base.with_(adoption_probability=p), REPS
+        )
+        r_mean = mean_stretch(results, redundant=True)
+        nr_mean = mean_stretch(results, redundant=False)
+        penalty = (
+            paired_nonadopter_penalty(base, "ALL", p, REPS)
+            if 0.0 < p < 1.0 else float("nan")
+        )
+        table.add_row(f"p = {p:.0%}", [r_mean, nr_mean, penalty])
+        if r_mean == r_mean:
+            r_pts.append((100 * p, r_mean))
+        if nr_mean == nr_mean:
+            nr_pts.append((100 * p, nr_mean))
+        print(f"  p={p:.0%} done")
+    plot.add_series("adopters", r_pts)
+    plot.add_series("non-adopters", nr_pts)
+    print()
+    print(table.to_text())
+    print()
+    print(plot.render())
+    print(
+        "\nReading: adopters always come out ahead of non-adopters at the "
+        "same p, and the paired penalty column shows the *same* "
+        "non-adopting jobs doing worse purely because others adopted — "
+        "the paper's central fairness concern."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Trace workflow: export a synthetic SWF trace, replay it, compare.
+
+The paper cross-checked its model-based results against Parallel
+Workloads Archive traces.  This example shows the full trace pipeline
+on a synthetic stand-in (no network access needed): generate a Lublin
+stream, write it as SWF, read it back, and replay it through two
+redundancy schemes.  Point ``TRACE`` at a real ``.swf`` file from the
+archive to repeat the paper's cross-check verbatim.
+
+Run:  python examples/trace_replay.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.tables import Table
+from repro.cluster.platform import Platform
+from repro.core.coordinator import Coordinator
+from repro.core.schemes import TargetSelector, get_scheme
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngFactory
+from repro.workload.lublin import scaled_for_load
+from repro.workload.stream import StreamJob, generate_cluster_stream
+from repro.workload.swf import read_swf, records_to_stream, stream_to_records, write_swf
+
+N_CLUSTERS = 4
+NODES = 64
+TRACE: Path | None = None  # set to a real .swf path to replay it instead
+
+
+def replay(jobs_per_cluster: list[list[StreamJob]], scheme_name: str) -> float:
+    """Replay streams under one scheme; returns the average stretch."""
+    sim = Simulator()
+    platform = Platform(sim, [NODES] * N_CLUSTERS, algorithm="easy")
+    coordinator = Coordinator(sim, platform)
+    selector = TargetSelector(
+        get_scheme(scheme_name), [NODES] * N_CLUSTERS,
+        np.random.default_rng(0),
+    )
+    merged = sorted(
+        (j for stream in jobs_per_cluster for j in stream),
+        key=lambda j: (j.arrival, j.origin),
+    )
+    for spec in merged:
+        targets = selector.choose(spec.origin, spec.nodes,
+                                  spec.uses_redundancy)
+        coordinator.schedule_job(spec, targets)
+    sim.run()
+    stretches = [
+        (j.winner.end_time - j.spec.arrival) / j.spec.runtime
+        for j in coordinator.jobs if j.completed
+    ]
+    return float(np.mean(stretches))
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro_trace_"))
+    params = scaled_for_load(2.0, NODES)
+    streams = []
+    for cluster in range(N_CLUSTERS):
+        if TRACE is not None:
+            records = list(read_swf(TRACE))
+            stream = records_to_stream(records, origin=cluster,
+                                       max_nodes=NODES)[:400]
+        else:
+            generated = generate_cluster_stream(
+                RngFactory(5), 0, cluster, NODES, 1800.0, params=params
+            )
+            # Round-trip through SWF to exercise the trace pipeline.
+            path = workdir / f"cluster{cluster}.swf"
+            write_swf(path, stream_to_records(generated),
+                      header_comments=[f"synthetic Lublin trace, "
+                                       f"cluster {cluster}"])
+            stream = records_to_stream(read_swf(path), origin=cluster,
+                                       max_nodes=NODES)
+        streams.append(stream)
+    total = sum(len(s) for s in streams)
+    print(f"replaying {total} jobs over {N_CLUSTERS} clusters "
+          f"(traces in {workdir})\n")
+
+    table = Table("Trace replay — average stretch by redundancy scheme",
+                  columns=["avg stretch", "relative to NONE"])
+    baseline = replay(streams, "NONE")
+    table.add_row("NONE", [baseline, 1.0])
+    for scheme in ("R2", "ALL"):
+        value = replay(streams, scheme)
+        table.add_row(scheme, [value, value / baseline])
+    print(table.to_text())
+    print(
+        "\nThe paper: trace replay 'expectedly, did not observe "
+        "significantly different results' from the model — the same "
+        "pipeline works on real Parallel Workloads Archive files (set "
+        "TRACE at the top of this script)."
+    )
+
+
+if __name__ == "__main__":
+    main()

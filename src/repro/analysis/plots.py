@@ -1,0 +1,119 @@
+"""ASCII line plots for regenerating the paper's figures in a terminal.
+
+Deliberately dependency-free: each figure in the benchmark harness is
+printed as an aligned character grid, one marker per series, with axis
+ticks.  Good enough to see shapes, crossovers and orderings — the
+things the reproduction is accountable for.
+"""
+
+from __future__ import annotations
+
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+MARKERS = "ox+*#@%&"
+
+
+@dataclass
+class Series:
+    label: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((float(x), float(y)))
+
+
+@dataclass
+class AsciiPlot:
+    """Multi-series scatter/line plot rendered as text."""
+
+    title: str
+    xlabel: str = "x"
+    ylabel: str = "y"
+    width: int = 64
+    height: int = 18
+    series: list[Series] = field(default_factory=list)
+    #: draw a horizontal reference line at this y (e.g. 1.0 for ratios)
+    reference_y: Optional[float] = None
+
+    def add_series(self, label: str, points: Sequence[tuple[float, float]]) -> None:
+        self.series.append(Series(label, [(float(x), float(y)) for x, y in points]))
+
+    def _bounds(self) -> tuple[float, float, float, float]:
+        xs = [p[0] for s in self.series for p in s.points]
+        ys = [p[1] for s in self.series for p in s.points]
+        if self.reference_y is not None:
+            ys.append(self.reference_y)
+        if not xs:
+            raise ValueError("plot has no points")
+        x0, x1 = min(xs), max(xs)
+        y0, y1 = min(ys), max(ys)
+        if x0 == x1:
+            x0, x1 = x0 - 0.5, x1 + 0.5
+        if y0 == y1:
+            y0, y1 = y0 - 0.5, y1 + 0.5
+        # A little headroom.
+        pad = 0.05 * (y1 - y0)
+        return x0, x1, y0 - pad, y1 + pad
+
+    def render(self) -> str:
+        if not self.series:
+            return f"{self.title}\n(empty plot)"
+        x0, x1, y0, y1 = self._bounds()
+        grid = [[" "] * self.width for _ in range(self.height)]
+
+        def to_col(x: float) -> int:
+            return min(
+                self.width - 1,
+                max(0, int(round((x - x0) / (x1 - x0) * (self.width - 1)))),
+            )
+
+        def to_row(y: float) -> int:
+            frac = (y - y0) / (y1 - y0)
+            return min(
+                self.height - 1,
+                max(0, self.height - 1 - int(round(frac * (self.height - 1)))),
+            )
+
+        if self.reference_y is not None and y0 <= self.reference_y <= y1:
+            r = to_row(self.reference_y)
+            for c in range(self.width):
+                grid[r][c] = "."
+
+        for si, s in enumerate(self.series):
+            marker = MARKERS[si % len(MARKERS)]
+            pts = sorted(s.points)
+            # linear interpolation between consecutive points
+            for (xa, ya), (xb, yb) in zip(pts, pts[1:]):
+                ca, cb = to_col(xa), to_col(xb)
+                for c in range(ca, cb + 1):
+                    if cb == ca:
+                        y = ya
+                    else:
+                        t = (c - ca) / (cb - ca)
+                        y = ya + t * (yb - ya)
+                    rr = to_row(y)
+                    if grid[rr][c] == " " or grid[rr][c] == ".":
+                        grid[rr][c] = "-" if 0 < c - ca < cb - ca else marker
+            for x, y in pts:
+                grid[to_row(y)][to_col(x)] = marker
+
+        y_ticks = {0: y1, self.height // 2: (y0 + y1) / 2, self.height - 1: y0}
+        lines = [self.title]
+        for r, row in enumerate(grid):
+            tick = y_ticks.get(r)
+            label = f"{tick:>10.3g} |" if tick is not None else " " * 10 + " |"
+            lines.append(label + "".join(row))
+        lines.append(" " * 11 + "+" + "-" * self.width)
+        xt = f"{x0:<.3g}"
+        xe = f"{x1:>.3g}"
+        mid = f"{(x0 + x1) / 2:^.3g}"
+        axis = xt + mid.center(self.width - len(xt) - len(xe)) + xe
+        lines.append(" " * 12 + axis)
+        lines.append(" " * 12 + self.xlabel.center(self.width))
+        legend = "   ".join(
+            f"{MARKERS[i % len(MARKERS)]}={s.label}" for i, s in enumerate(self.series)
+        )
+        lines.append(f"  y: {self.ylabel}   series: {legend}")
+        return "\n".join(lines)

@@ -1,0 +1,136 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Usage::
+
+    repro list                      # what can be regenerated
+    repro run fig1                  # regenerate Figure 1 (default scale)
+    repro run tab4 --scale smoke    # quick noisy version
+    repro run all --scale default   # everything, in order
+
+Scales are defined in :mod:`repro.analysis.registry`; ``--workers``
+parallelises replications across processes.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+import os
+import sys
+import time
+from typing import Optional, Sequence
+
+from .analysis.registry import REGISTRY, SCALES, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'On the Harmfulness of Redundant Batch "
+            "Requests' (Casanova, HPDC 2006)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the reproducible tables and figures")
+
+    run = sub.add_parser("run", help="regenerate one experiment (or 'all')")
+    run.add_argument(
+        "experiment",
+        help=f"experiment id: one of {', '.join(sorted(REGISTRY))}, or 'all'",
+    )
+    run.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default=None,
+        help="experiment scale (overrides REPRO_SCALE; default: 'default')",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="processes for replication parallelism (overrides REPRO_WORKERS)",
+    )
+    run.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the report(s) as JSON (experiment id is appended "
+        "when running 'all')",
+    )
+    run.add_argument(
+        "--csv",
+        metavar="DIR",
+        default=None,
+        help="also write each report table as CSV into this directory",
+    )
+    return parser
+
+
+def cmd_list() -> int:
+    width = max(len(k) for k in REGISTRY)
+    for exp_id, (title, _) in REGISTRY.items():
+        print(f"  {exp_id:<{width}}  {title}")
+    return 0
+
+
+def cmd_run(
+    experiment: str,
+    scale: Optional[str],
+    workers: Optional[int],
+    json_path: Optional[str] = None,
+    csv_dir: Optional[str] = None,
+) -> int:
+    if scale is not None:
+        os.environ["REPRO_SCALE"] = scale
+    if workers is not None:
+        os.environ["REPRO_WORKERS"] = str(workers)
+    ids = sorted(REGISTRY) if experiment == "all" else [experiment]
+    many = len(ids) > 1
+    for exp_id in ids:
+        if exp_id not in REGISTRY:
+            print(
+                f"unknown experiment {exp_id!r}; run 'repro list'",
+                file=sys.stderr,
+            )
+            return 2
+        t0 = time.perf_counter()
+        report = run_experiment(exp_id)
+        elapsed = time.perf_counter() - t0
+        print(report.render())
+        print(f"[{exp_id} took {elapsed:.1f}s]\n")
+        if json_path is not None:
+            from .analysis.export import report_to_json
+
+            target = Path(json_path)
+            if many:
+                target = target.with_name(
+                    f"{target.stem}_{exp_id}{target.suffix or '.json'}"
+                )
+            report_to_json(report, target)
+            print(f"[wrote {target}]")
+        if csv_dir is not None:
+            from .analysis.export import table_to_csv
+
+            directory = Path(csv_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            for i, table in enumerate(report.tables):
+                path = directory / f"{exp_id}_table{i}.csv"
+                table_to_csv(table, path)
+                print(f"[wrote {path}]")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    if args.command == "run":
+        return cmd_run(args.experiment, args.scale, args.workers,
+                       args.json, args.csv)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

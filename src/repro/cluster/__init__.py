@@ -1,0 +1,18 @@
+"""Cluster and multi-site platform models."""
+
+from .cluster import AllocationError, Cluster
+from .platform import (
+    HETEROGENEOUS_NODE_CHOICES,
+    Platform,
+    heterogeneous_platform,
+    homogeneous_platform,
+)
+
+__all__ = [
+    "Cluster",
+    "AllocationError",
+    "Platform",
+    "homogeneous_platform",
+    "heterogeneous_platform",
+    "HETEROGENEOUS_NODE_CHOICES",
+]

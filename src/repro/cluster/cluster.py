@@ -1,0 +1,83 @@
+"""Compute-node accounting for one site.
+
+A cluster is a pool of identical, interchangeable nodes (the paper limits
+heterogeneity to *counts* of nodes across sites, Section 3.1.1), so the
+model is a counting semaphore with over/under-flow assertions that the
+scheduler invariant tests lean on.
+"""
+
+from __future__ import annotations
+
+
+class AllocationError(RuntimeError):
+    """Raised when allocation/release would violate node accounting."""
+
+
+class Cluster:
+    """A pool of ``total_nodes`` identical compute nodes.
+
+    Parameters
+    ----------
+    index:
+        Position of the cluster in the platform (0-based).
+    total_nodes:
+        Number of compute nodes; must be positive.
+    name:
+        Human-readable label; defaults to ``"C{index}"`` as in the paper.
+    """
+
+    def __init__(self, index: int, total_nodes: int, name: str | None = None) -> None:
+        if total_nodes < 1:
+            raise ValueError(f"cluster needs >=1 node, got {total_nodes}")
+        if index < 0:
+            raise ValueError(f"cluster index must be >=0, got {index}")
+        self.index = int(index)
+        self.total_nodes = int(total_nodes)
+        self.name = name if name is not None else f"C{index}"
+        self._free = int(total_nodes)
+
+    @property
+    def free_nodes(self) -> int:
+        """Nodes currently not allocated to any running request."""
+        return self._free
+
+    @property
+    def busy_nodes(self) -> int:
+        """Nodes currently held by running requests."""
+        return self.total_nodes - self._free
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of nodes busy, in [0, 1]."""
+        return self.busy_nodes / self.total_nodes
+
+    def can_fit(self, nodes: int) -> bool:
+        """Whether ``nodes`` nodes are free right now."""
+        return 0 < nodes <= self._free
+
+    def can_ever_fit(self, nodes: int) -> bool:
+        """Whether a request for ``nodes`` nodes is runnable here at all."""
+        return 0 < nodes <= self.total_nodes
+
+    def allocate(self, nodes: int) -> None:
+        """Take ``nodes`` nodes from the free pool."""
+        if nodes < 1:
+            raise AllocationError(f"cannot allocate {nodes} nodes")
+        if nodes > self._free:
+            raise AllocationError(
+                f"{self.name}: allocate({nodes}) with only {self._free} free"
+            )
+        self._free -= nodes
+
+    def release(self, nodes: int) -> None:
+        """Return ``nodes`` nodes to the free pool."""
+        if nodes < 1:
+            raise AllocationError(f"cannot release {nodes} nodes")
+        if self._free + nodes > self.total_nodes:
+            raise AllocationError(
+                f"{self.name}: release({nodes}) would exceed {self.total_nodes} total"
+            )
+        self._free += nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cluster({self.name}, {self.busy_nodes}/{self.total_nodes} busy)"

@@ -1,0 +1,83 @@
+"""The paper's contribution: user-driven redundant batch requests.
+
+High-level entry points:
+
+* :class:`ExperimentConfig` + :func:`run_single` — one simulated run;
+* :func:`run_replications` — a replication sweep;
+* :func:`compare_schemes` — paired relative metrics against NONE, the
+  form every figure and table in the paper uses.
+"""
+
+from .config import DEFAULT_DURATION, DEFAULT_NODES, ExperimentConfig
+from .coordinator import Coordinator, RedundantJob
+from .experiment import run_single
+from .metrics import (
+    BOUNDED_SLOWDOWN_TAU,
+    MetricSummary,
+    bounded_slowdown,
+    mean_of_ratios,
+    relative,
+    stretch,
+)
+from .results import ClusterOutcome, ExperimentResult, JobOutcome, merge_results
+from .tracing import (
+    growth_rate,
+    level_at,
+    peak,
+    queue_length_timeline,
+    system_request_timeline,
+    time_average,
+    utilization_timeline,
+)
+from .runner import (
+    RelativeMetrics,
+    paired_nonadopter_penalty,
+    SchemeComparison,
+    compare_schemes,
+    run_replications,
+)
+from .schemes import (
+    PAPER_SCHEME_ORDER,
+    SCHEMES,
+    RedundancyScheme,
+    TargetSelector,
+    geometric_bias_weights,
+    get_scheme,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "DEFAULT_NODES",
+    "DEFAULT_DURATION",
+    "run_single",
+    "run_replications",
+    "compare_schemes",
+    "SchemeComparison",
+    "RelativeMetrics",
+    "Coordinator",
+    "RedundantJob",
+    "ExperimentResult",
+    "JobOutcome",
+    "ClusterOutcome",
+    "merge_results",
+    "MetricSummary",
+    "stretch",
+    "bounded_slowdown",
+    "relative",
+    "mean_of_ratios",
+    "BOUNDED_SLOWDOWN_TAU",
+    "RedundancyScheme",
+    "TargetSelector",
+    "SCHEMES",
+    "PAPER_SCHEME_ORDER",
+    "get_scheme",
+    "geometric_bias_weights",
+    "paired_nonadopter_penalty",
+    "system_request_timeline",
+    "queue_length_timeline",
+    "utilization_timeline",
+    "growth_rate",
+    "time_average",
+    "peak",
+    "level_at",
+]

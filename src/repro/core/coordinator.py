@@ -1,0 +1,210 @@
+"""The redundant-request protocol: fan out, first-start wins, cancel the rest.
+
+This is the user-side mechanism the paper studies (Section 2): a job's
+request is submitted to several batch queues simultaneously; the
+application sends a callback when it starts executing, at which point
+the user (here, the coordinator) cancels the sibling requests.
+
+The coordinator is scheduler-agnostic — it only uses the public
+``submit``/``cancel`` API plus the start-notification callback, exactly
+the interface a real user script has via ``qsub``/``qdel`` and a
+placeholder callback.  Cancellation is instantaneous by default (the
+paper's Section 3 assumption of zero network/middleware overhead); a
+``cancellation_latency`` can be injected for the ablation study of that
+assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..cluster.platform import Platform
+from ..sched.job import Request, RequestState
+from ..sim.engine import Simulator
+from ..sim.events import EventPriority
+from ..workload.stream import StreamJob
+
+
+@dataclass
+class RedundantJob:
+    """One user job together with all of its requests.
+
+    The *winner* is the first request to start; its timings define the
+    job's wait, turnaround and stretch.
+    """
+
+    job_id: int
+    spec: StreamJob
+    requests: list[Request] = field(default_factory=list)
+    target_clusters: list[int] = field(default_factory=list)
+    winner: Optional[Request] = None
+
+    @property
+    def started(self) -> bool:
+        return self.winner is not None
+
+    @property
+    def completed(self) -> bool:
+        return self.winner is not None and self.winner.state is RequestState.COMPLETED
+
+    @property
+    def n_copies(self) -> int:
+        return len(self.requests)
+
+    @property
+    def uses_redundancy(self) -> bool:
+        return self.spec.uses_redundancy and self.n_copies > 1
+
+
+class Coordinator:
+    """Submits redundant requests and cancels losers on first start.
+
+    Parameters
+    ----------
+    sim, platform:
+        The shared simulator and the multi-cluster platform.
+    cancellation_latency:
+        Delay between a copy starting and the sibling cancellations
+        taking effect (default 0, the paper's assumption).  During the
+        latency window a sibling may start too; the late copy is then
+        detected and killed immediately at start (its node-seconds are
+        wasted — the cost the ablation measures).
+    remote_inflation:
+        Extra requested time on remote copies, as a fraction.  Models
+        the Section 3.1.2 late-data-binding padding (users request 10 %
+        or 50 % more time on remote clusters to upload input data after
+        the allocation is granted).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        platform: Platform,
+        cancellation_latency: float = 0.0,
+        remote_inflation: float = 0.0,
+    ) -> None:
+        if cancellation_latency < 0:
+            raise ValueError(
+                f"cancellation latency must be >= 0, got {cancellation_latency}"
+            )
+        if remote_inflation < 0:
+            raise ValueError(
+                f"remote inflation must be >= 0, got {remote_inflation}"
+            )
+        self.sim = sim
+        self.platform = platform
+        self.cancellation_latency = cancellation_latency
+        self.remote_inflation = remote_inflation
+        self.jobs: list[RedundantJob] = []
+        #: requests that started after their sibling (only possible with
+        #: a positive cancellation latency); their work is wasted
+        self.duplicate_starts: list[Request] = []
+        self._total_requests = 0
+        self._total_cancellations = 0
+        for sched in platform.schedulers:
+            sched.add_start_callback(self._on_request_start)
+
+    # -- submission ------------------------------------------------------
+
+    def submit_job(self, spec: StreamJob, targets: Sequence[int]) -> RedundantJob:
+        """Create one request per target cluster, all at ``spec.arrival``.
+
+        Must be called at simulation time ``spec.arrival`` (use
+        :meth:`schedule_job` to arrange that from time 0).
+        """
+        if not targets:
+            raise ValueError("job needs at least one target cluster")
+        if targets[0] != spec.origin:
+            raise ValueError(
+                f"first target must be the origin cluster {spec.origin}, "
+                f"got {targets[0]}"
+            )
+        job = RedundantJob(
+            job_id=len(self.jobs), spec=spec, target_clusters=list(targets)
+        )
+        self.jobs.append(job)
+        for target in targets:
+            requested = spec.requested_time
+            if target != spec.origin and self.remote_inflation > 0:
+                requested *= 1.0 + self.remote_inflation
+            req = Request(
+                nodes=spec.nodes,
+                runtime=spec.runtime,
+                requested_time=requested,
+                submit_time=spec.arrival,
+                group=job,
+                name=f"job{job.job_id}@{target}",
+            )
+            job.requests.append(req)
+            self._total_requests += 1
+            self.platform.scheduler_at(target).submit(req)
+        return job
+
+    def schedule_job(self, spec: StreamJob, targets: Sequence[int]) -> None:
+        """Arrange for :meth:`submit_job` to run at the job's arrival time."""
+        self.sim.at(
+            spec.arrival,
+            lambda: self.submit_job(spec, targets),
+            EventPriority.SUBMIT,
+        )
+
+    # -- the first-start-wins protocol ------------------------------------
+
+    def _on_request_start(self, request: Request, now: float) -> None:
+        job = request.group
+        if not isinstance(job, RedundantJob):
+            return  # request not managed by this coordinator
+        if job.winner is not None:
+            # Only reachable with a positive cancellation latency: a
+            # sibling started during the window.  Count the waste; the
+            # duplicate run completes (we cannot cancel running jobs),
+            # but it contributes nothing to the job's metrics.
+            self.duplicate_starts.append(request)
+            return
+        job.winner = request
+        if self.cancellation_latency == 0.0:
+            self._cancel_losers(job)
+        else:
+            self.sim.after(
+                self.cancellation_latency,
+                lambda j=job: self._cancel_losers(j),
+                EventPriority.CANCEL,
+            )
+
+    def _cancel_losers(self, job: RedundantJob) -> None:
+        for req in job.requests:
+            if req is job.winner:
+                continue
+            if req.state is RequestState.PENDING:
+                req.cluster.cancel(req)
+                self._total_cancellations += 1
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def total_requests(self) -> int:
+        """Requests submitted across all queues."""
+        return self._total_requests
+
+    @property
+    def total_cancellations(self) -> int:
+        """Sibling cancellations issued (the churn the paper studies)."""
+        return self._total_cancellations
+
+    def unfinished_jobs(self) -> list[RedundantJob]:
+        """Jobs that have not completed (diagnostics; empty after a full run)."""
+        return [j for j in self.jobs if not j.completed]
+
+    def check_invariants(self) -> None:
+        """Every job has exactly one winner once started; losers ended pending."""
+        for job in self.jobs:
+            if job.winner is None:
+                continue
+            for req in job.requests:
+                if req is job.winner:
+                    assert req.state in (RequestState.RUNNING, RequestState.COMPLETED)
+                elif req in self.duplicate_starts:
+                    assert req.state in (RequestState.RUNNING, RequestState.COMPLETED)
+                else:
+                    assert req.state in (RequestState.PENDING, RequestState.CANCELLED)

@@ -1,0 +1,199 @@
+"""Single-experiment driver: build the platform, run one replication.
+
+The protocol follows Section 3.3 of the paper exactly:
+
+1. generate one Lublin job stream per cluster (common random numbers:
+   the stream depends only on the replication and cluster indices);
+2. each job submits one request to its local cluster and, if its user
+   employs redundancy, copies to scheme-chosen remote clusters;
+3. the first copy to start wins, the rest are cancelled;
+4. the simulation runs until every job completes (the 6-hour window
+   bounds *submissions*, not executions);
+5. per-job outcomes and per-queue statistics are extracted.
+"""
+
+from __future__ import annotations
+
+import time
+import numpy as np
+
+from ..cluster.platform import HETEROGENEOUS_NODE_CHOICES, Platform
+from ..sim.engine import Simulator
+from ..sim.rng import RngFactory
+from functools import lru_cache
+
+from ..workload.estimates import make_estimate_model
+from ..workload.lublin import LublinParams, scaled_for_load
+
+
+@lru_cache(maxsize=128)
+def _calibrated_params(
+    base: LublinParams, reference_nodes: int, rho: float
+) -> LublinParams:
+    """Memoised load calibration (the Monte-Carlo fit is deterministic)."""
+    return scaled_for_load(rho, reference_nodes, base)
+from ..workload.stream import generate_platform_streams, merge_streams
+from .config import ExperimentConfig
+from .coordinator import Coordinator, RedundantJob
+from .results import ClusterOutcome, ExperimentResult, JobOutcome
+from .schemes import TargetSelector, geometric_bias_weights, get_scheme
+
+
+def _resolve_node_counts(
+    config: ExperimentConfig, factory: RngFactory, replication: int
+) -> list[int]:
+    if config.heterogeneous:
+        rng = factory.generator("rep", replication, "platform")
+        return [
+            int(rng.choice(HETEROGENEOUS_NODE_CHOICES))
+            for _ in range(config.n_clusters)
+        ]
+    if isinstance(config.nodes_per_cluster, int):
+        return [config.nodes_per_cluster] * config.n_clusters
+    return list(config.nodes_per_cluster)
+
+
+def _resolve_workload_params(
+    config: ExperimentConfig,
+    factory: RngFactory,
+    replication: int,
+    node_counts: list[int],
+) -> list[LublinParams]:
+    base = LublinParams()
+    if config.mean_interarrival is not None:
+        base = base.with_mean_interarrival(config.mean_interarrival)
+    if config.offered_load is not None:
+        reference_nodes = int(round(np.mean(node_counts)))
+        base = _calibrated_params(base, reference_nodes, config.offered_load)
+    if not config.heterogeneous:
+        return [base] * config.n_clusters
+    rng = factory.generator("rep", replication, "iat")
+    lo, hi = config.interarrival_range
+    return [
+        base.with_mean_interarrival(float(rng.uniform(lo, hi)))
+        for _ in range(config.n_clusters)
+    ]
+
+
+def _job_outcome(job: RedundantJob) -> JobOutcome:
+    winner = job.winner
+    assert winner is not None and winner.end_time is not None, (
+        f"job {job.job_id} did not complete"
+    )
+    local = job.requests[0]
+    predicted_local = None
+    if local.predicted_start_at_submit is not None:
+        predicted_local = local.predicted_start_at_submit - job.spec.arrival
+    predictions = [
+        r.predicted_start_at_submit - job.spec.arrival
+        for r in job.requests
+        if r.predicted_start_at_submit is not None
+    ]
+    predicted_min = min(predictions) if predictions else None
+    return JobOutcome(
+        job_id=job.job_id,
+        origin=job.spec.origin,
+        winner_cluster=winner.cluster.cluster.index,
+        nodes=job.spec.nodes,
+        runtime=job.spec.runtime,
+        requested_time=job.spec.requested_time,
+        submit_time=job.spec.arrival,
+        start_time=winner.start_time,
+        end_time=winner.end_time,
+        uses_redundancy=job.uses_redundancy,
+        n_copies=job.n_copies,
+        predicted_wait_local=predicted_local,
+        predicted_wait_min=predicted_min,
+    )
+
+
+def run_single(
+    config: ExperimentConfig,
+    replication: int = 0,
+    check_invariants: bool = False,
+) -> ExperimentResult:
+    """Run one replication of ``config`` and return its outcomes.
+
+    ``check_invariants`` additionally audits node accounting and the
+    first-start-wins protocol after the run (used by tests).
+    """
+    t0 = time.perf_counter()
+    factory = RngFactory(config.seed)
+    sim = Simulator()
+    node_counts = _resolve_node_counts(config, factory, replication)
+    platform = Platform(
+        sim, node_counts, config.algorithm, config.scheduler_kwargs
+    )
+    params = _resolve_workload_params(config, factory, replication, node_counts)
+    estimate_model = make_estimate_model(config.estimates)
+    streams = generate_platform_streams(
+        factory,
+        replication,
+        node_counts,
+        config.duration,
+        params_per_cluster=params,
+        estimate_model=estimate_model,
+        adoption_probability=config.adoption_probability,
+    )
+    scheme = get_scheme(config.scheme)
+    weights = (
+        geometric_bias_weights(config.n_clusters, config.target_bias_ratio)
+        if config.target_bias_ratio is not None
+        else None
+    )
+    selector = TargetSelector(
+        scheme,
+        node_counts,
+        rng=factory.generator("rep", replication, "targets"),
+        cluster_weights=weights,
+    )
+    coordinator = Coordinator(
+        sim,
+        platform,
+        cancellation_latency=config.cancellation_latency,
+        remote_inflation=config.remote_inflation,
+    )
+    for spec in merge_streams(streams):
+        targets = selector.choose(spec.origin, spec.nodes, spec.uses_redundancy)
+        coordinator.schedule_job(spec, targets)
+    if config.drain:
+        sim.run()
+    else:
+        sim.run(until=config.duration)
+
+    if check_invariants:
+        platform.check_invariants()
+        coordinator.check_invariants()
+    if config.drain:
+        unfinished = coordinator.unfinished_jobs()
+        if unfinished:
+            raise RuntimeError(
+                f"{len(unfinished)} jobs never completed — simulation deadlock "
+                f"(first: job {unfinished[0].job_id})"
+            )
+
+    completed = [j for j in coordinator.jobs if j.completed]
+    result = ExperimentResult(
+        scheme=config.scheme,
+        algorithm=config.algorithm,
+        n_clusters=config.n_clusters,
+        replication=replication,
+        jobs=[_job_outcome(j) for j in completed],
+        n_submitted_jobs=len(coordinator.jobs),
+        clusters=[
+            ClusterOutcome(
+                cluster=c.index,
+                total_nodes=c.total_nodes,
+                submitted=s.stats.submitted,
+                cancelled=s.stats.cancelled,
+                started=s.stats.started,
+                completed=s.stats.completed,
+                max_queue_length=s.stats.max_queue_length,
+            )
+            for c, s in zip(platform.clusters, platform.schedulers)
+        ],
+        total_requests=coordinator.total_requests,
+        total_cancellations=coordinator.total_cancellations,
+        wall_time_s=time.perf_counter() - t0,
+    )
+    return result

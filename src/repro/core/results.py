@@ -1,0 +1,189 @@
+"""Result containers: per-job outcomes and per-experiment summaries.
+
+The simulator's live objects (requests, schedulers) are reduced to
+plain records as soon as a run finishes, so results are cheap to hold
+across 50-replication sweeps and trivially serialisable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+from .metrics import MetricSummary, bounded_slowdown, stretch
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """Final timings of one job (defined by its winning request)."""
+
+    job_id: int
+    origin: int
+    winner_cluster: int
+    nodes: int
+    runtime: float
+    requested_time: float
+    submit_time: float
+    start_time: float
+    end_time: float
+    uses_redundancy: bool
+    n_copies: int
+    #: CBF's waiting-time prediction at the local cluster (None for
+    #: EASY/FCFS runs)
+    predicted_wait_local: Optional[float] = None
+    #: min over all copies' predictions — what a redundant user would
+    #: quote as their expected wait (Section 5)
+    predicted_wait_min: Optional[float] = None
+
+    @property
+    def wait_time(self) -> float:
+        return self.start_time - self.submit_time
+
+    @property
+    def turnaround(self) -> float:
+        return self.end_time - self.submit_time
+
+    @property
+    def stretch(self) -> float:
+        return stretch(self.turnaround, self.runtime)
+
+    @property
+    def bounded_slowdown(self) -> float:
+        return bounded_slowdown(self.turnaround, self.runtime)
+
+    @property
+    def ran_remotely(self) -> bool:
+        """Whether the winning copy ran away from the user's local cluster."""
+        return self.winner_cluster != self.origin
+
+
+@dataclass(frozen=True)
+class ClusterOutcome:
+    """Per-queue accounting for one cluster over one run."""
+
+    cluster: int
+    total_nodes: int
+    submitted: int
+    cancelled: int
+    started: int
+    completed: int
+    max_queue_length: int
+
+
+@dataclass
+class ExperimentResult:
+    """All outcomes of one simulated experiment (one replication)."""
+
+    scheme: str
+    algorithm: str
+    n_clusters: int
+    replication: int
+    #: outcomes of *completed* jobs (the metric population; jobs still
+    #: queued or running when the simulation window closes are excluded,
+    #: matching the paper's steady-state metrics under overload)
+    jobs: list[JobOutcome] = field(default_factory=list)
+    #: all jobs submitted, completed or not
+    n_submitted_jobs: int = 0
+    clusters: list[ClusterOutcome] = field(default_factory=list)
+    #: total requests submitted / cancelled across all queues
+    total_requests: int = 0
+    total_cancellations: int = 0
+    wall_time_s: float = 0.0
+
+    # -- selections -------------------------------------------------------
+
+    def select(self, redundant: Optional[bool] = None) -> list[JobOutcome]:
+        """Jobs filtered by redundancy use (None = all jobs)."""
+        if redundant is None:
+            return self.jobs
+        return [j for j in self.jobs if j.uses_redundancy == redundant]
+
+    def stretches(self, redundant: Optional[bool] = None) -> np.ndarray:
+        return np.array([j.stretch for j in self.select(redundant)], dtype=float)
+
+    def turnarounds(self, redundant: Optional[bool] = None) -> np.ndarray:
+        return np.array([j.turnaround for j in self.select(redundant)], dtype=float)
+
+    def waits(self, redundant: Optional[bool] = None) -> np.ndarray:
+        return np.array([j.wait_time for j in self.select(redundant)], dtype=float)
+
+    # -- headline metrics (Section 3.2) -------------------------------------
+
+    def stretch_summary(self, redundant: Optional[bool] = None) -> MetricSummary:
+        return MetricSummary.of(self.stretches(redundant))
+
+    @property
+    def avg_stretch(self) -> float:
+        return self.stretch_summary().mean
+
+    @property
+    def cv_stretch(self) -> float:
+        """Coefficient of variation of stretches, in percent."""
+        return self.stretch_summary().cv_percent
+
+    @property
+    def max_stretch(self) -> float:
+        return self.stretch_summary().maximum
+
+    @property
+    def avg_turnaround(self) -> float:
+        t = self.turnarounds()
+        return float(t.mean()) if t.size else float("nan")
+
+    @property
+    def n_jobs(self) -> int:
+        """Number of completed jobs (the metric population)."""
+        return len(self.jobs)
+
+    @property
+    def completion_fraction(self) -> float:
+        """Completed / submitted — well below 1 under peak-hour overload."""
+        if self.n_submitted_jobs == 0:
+            return float("nan")
+        return len(self.jobs) / self.n_submitted_jobs
+
+    @property
+    def max_queue_length(self) -> int:
+        """Largest queue length observed on any cluster."""
+        if not self.clusters:
+            return 0
+        return max(c.max_queue_length for c in self.clusters)
+
+    @property
+    def avg_max_queue_length(self) -> float:
+        """Average over clusters of each queue's maximum length.
+
+        The paper's Section 4.1 queue-size comparison ("the average
+        maximum queue size across all clusters for the ALL scheme is
+        larger ... by less than 2%") uses exactly this statistic.
+        """
+        if not self.clusters:
+            return float("nan")
+        return float(np.mean([c.max_queue_length for c in self.clusters]))
+
+    def remote_fraction(self) -> float:
+        """Fraction of redundant jobs whose winner ran remotely."""
+        red = self.select(redundant=True)
+        if not red:
+            return float("nan")
+        return sum(1 for j in red if j.ran_remotely) / len(red)
+
+
+def merge_results(results: Iterable[ExperimentResult]) -> list[ExperimentResult]:
+    """Materialise and sanity-check a replication collection."""
+    out = list(results)
+    if not out:
+        raise ValueError("no results to merge")
+    first = out[0]
+    for r in out[1:]:
+        if (r.scheme, r.algorithm, r.n_clusters) != (
+            first.scheme, first.algorithm, first.n_clusters
+        ):
+            raise ValueError(
+                "mixing results from different configurations: "
+                f"{(r.scheme, r.algorithm, r.n_clusters)} vs "
+                f"{(first.scheme, first.algorithm, first.n_clusters)}"
+            )
+    return out

@@ -1,0 +1,175 @@
+"""Replication sweeps and paired scheme comparisons.
+
+The paper's figures report, for each redundancy scheme, the metric
+*relative to the NONE baseline*, averaged over 50 experiments — i.e. a
+mean of per-replication paired ratios.  The pairing works because the
+job streams of replication r are identical across schemes (common
+random numbers, see :mod:`repro.workload.stream`).
+
+Replications are embarrassingly parallel; ``n_workers > 1`` fans them
+out over processes (each replication is a self-contained simulation, so
+there is no shared state to coordinate).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from .config import ExperimentConfig
+from .experiment import run_single
+from .metrics import mean_of_ratios
+from .results import ExperimentResult
+
+
+def run_replications(
+    config: ExperimentConfig,
+    n_replications: int,
+    n_workers: int = 1,
+    first_replication: int = 0,
+) -> list[ExperimentResult]:
+    """Run ``n_replications`` independent replications of ``config``."""
+    if n_replications < 1:
+        raise ValueError(f"need >= 1 replication, got {n_replications}")
+    reps = range(first_replication, first_replication + n_replications)
+    if n_workers <= 1:
+        return [run_single(config, r) for r in reps]
+    with ProcessPoolExecutor(max_workers=n_workers) as pool:
+        return list(pool.map(run_single, [config] * n_replications, reps))
+
+
+@dataclass(frozen=True)
+class RelativeMetrics:
+    """One scheme's metrics relative to the paired NONE baseline.
+
+    All values are means of per-replication ratios; below 1.0 means the
+    scheme improves on no-redundancy.
+    """
+
+    scheme: str
+    n_replications: int
+    avg_stretch: float
+    cv_stretch: float
+    max_stretch: float
+    avg_turnaround: float
+    #: fraction of replications in which the scheme's average stretch
+    #: beat the baseline's (the paper: ">95% of the experiments for N=20")
+    win_fraction: float
+    #: worst observed relative average stretch (the paper: "worse by at
+    #: most 0.4%" → 1.004)
+    worst_avg_stretch: float
+    #: standard deviation of the per-replication stretch ratios
+    avg_stretch_ratio_std: float
+
+
+@dataclass
+class SchemeComparison:
+    """Paired comparison of several schemes against NONE."""
+
+    base_config: ExperimentConfig
+    n_replications: int
+    baseline: list[ExperimentResult]
+    per_scheme: dict[str, list[ExperimentResult]] = field(default_factory=dict)
+
+    def relative(self, scheme: str) -> RelativeMetrics:
+        results = self.per_scheme[scheme]
+        base = self.baseline
+        assert len(results) == len(base)
+        ratios = [
+            r.avg_stretch / b.avg_stretch for r, b in zip(results, base)
+        ]
+        return RelativeMetrics(
+            scheme=scheme,
+            n_replications=len(results),
+            avg_stretch=mean_of_ratios(
+                [(r.avg_stretch, b.avg_stretch) for r, b in zip(results, base)]
+            ),
+            cv_stretch=mean_of_ratios(
+                [(r.cv_stretch, b.cv_stretch) for r, b in zip(results, base)]
+            ),
+            max_stretch=mean_of_ratios(
+                [(r.max_stretch, b.max_stretch) for r, b in zip(results, base)]
+            ),
+            avg_turnaround=mean_of_ratios(
+                [(r.avg_turnaround, b.avg_turnaround) for r, b in zip(results, base)]
+            ),
+            win_fraction=float(np.mean([r < 1.0 for r in ratios])),
+            worst_avg_stretch=float(np.max(ratios)),
+            avg_stretch_ratio_std=float(np.std(ratios)),
+        )
+
+    def all_relative(self) -> dict[str, RelativeMetrics]:
+        return {s: self.relative(s) for s in self.per_scheme}
+
+
+def paired_nonadopter_penalty(
+    base_config: ExperimentConfig,
+    scheme: str,
+    adoption: float,
+    n_replications: int,
+    n_workers: int = 1,
+) -> float:
+    """Figure 4's fairness effect, isolated by pairing.
+
+    Returns the mean over replications of ``stretch(non-adopters at
+    adoption p) / stretch(same jobs at p = 0)``: how much worse the
+    *identical* set of non-adopting jobs fares because other users
+    adopted redundancy.  Values above 1 quantify the paper's
+    "jobs using redundant requests negatively impact the performance
+    perceived by jobs not using redundant requests".
+
+    Pairing works because job streams and adoption draws are common
+    random numbers: the non-adopter set at adoption ``p`` exists
+    unchanged in the ``p = 0`` run.
+    """
+    if not 0.0 < adoption <= 1.0:
+        raise ValueError(f"adoption must be in (0, 1], got {adoption}")
+    cfg_p = base_config.with_(scheme=scheme, adoption_probability=adoption)
+    cfg_0 = base_config.with_(scheme=scheme, adoption_probability=0.0)
+    with_adoption = run_replications(cfg_p, n_replications, n_workers)
+    without = run_replications(cfg_0, n_replications, n_workers)
+    ratios = []
+    for rp, r0 in zip(with_adoption, without):
+        nr_ids = {j.job_id for j in rp.jobs if not j.uses_redundancy}
+        s_p = [j.stretch for j in rp.jobs if j.job_id in nr_ids]
+        s_0 = [j.stretch for j in r0.jobs if j.job_id in nr_ids]
+        if s_p and s_0:
+            ratios.append(float(np.mean(s_p)) / float(np.mean(s_0)))
+    return float(np.mean(ratios)) if ratios else float("nan")
+
+
+def compare_schemes(
+    base_config: ExperimentConfig,
+    schemes: Sequence[str],
+    n_replications: int,
+    n_workers: int = 1,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SchemeComparison:
+    """Run NONE plus every scheme in ``schemes`` on paired job streams.
+
+    ``base_config.scheme`` is ignored; each run derives its scheme from
+    the sweep.  ``progress`` receives a short message per completed
+    scheme (hook for CLI/bench reporting).
+    """
+    def note(msg: str) -> None:
+        if progress is not None:
+            progress(msg)
+
+    baseline_cfg = base_config.with_(scheme="NONE")
+    note(f"running baseline: {baseline_cfg.describe()}")
+    baseline = run_replications(baseline_cfg, n_replications, n_workers)
+    comparison = SchemeComparison(
+        base_config=base_config,
+        n_replications=n_replications,
+        baseline=baseline,
+    )
+    for scheme in schemes:
+        cfg = base_config.with_(scheme=scheme)
+        note(f"running scheme:   {cfg.describe()}")
+        comparison.per_scheme[scheme] = run_replications(
+            cfg, n_replications, n_workers
+        )
+    return comparison

@@ -1,0 +1,198 @@
+"""Redundant-request schemes and target-cluster selection.
+
+The paper evaluates five schemes (Section 3.3): **R2**, **R3**, **R4**
+(a fixed number of copies), **HALF** and **ALL** (a fraction of the
+platform), plus the implicit **NONE** baseline.  One request always
+goes to the user's local cluster; the remaining targets are remote
+clusters drawn randomly — uniformly by default ("users blindly send
+requests to all clusters on which they have accounts"), or with a
+geometric bias for the Table 2 non-uniform-accounts experiment
+(cluster C1 twice as likely as C2, which is twice as likely as C3, …).
+
+In heterogeneous platforms only clusters large enough for the job are
+eligible (Section 3.3: "Jobs arriving at a cluster do not request more
+compute nodes than available at that cluster", and redundant copies
+follow the same rule).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RedundancyScheme:
+    """How many queues a job's requests are spread over.
+
+    Attributes
+    ----------
+    name:
+        Scheme label as used in the paper ("NONE", "R2", …, "ALL").
+    fixed_copies:
+        Total number of requests (including the local one) for Rk
+        schemes; ``None`` for fraction-based schemes.
+    fraction:
+        Fraction of the platform targeted, for HALF (0.5) and ALL (1.0).
+    """
+
+    name: str
+    fixed_copies: Optional[int] = None
+    fraction: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if (self.fixed_copies is None) == (self.fraction is None):
+            raise ValueError("exactly one of fixed_copies/fraction must be set")
+        if self.fixed_copies is not None and self.fixed_copies < 1:
+            raise ValueError(f"fixed_copies must be >= 1, got {self.fixed_copies}")
+        if self.fraction is not None and not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {self.fraction}")
+
+    def copies(self, n_clusters: int) -> int:
+        """Total requests per job on an ``n_clusters`` platform.
+
+        Fraction-based schemes round to the nearest cluster count
+        (HALF of 5 clusters → 3 including the local one); the result is
+        clamped to ``[1, n_clusters]``.
+        """
+        if n_clusters < 1:
+            raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+        if self.fixed_copies is not None:
+            k = self.fixed_copies
+        else:
+            # Round half-up (not banker's): HALF of 5 clusters is 3.
+            k = int(math.floor(self.fraction * n_clusters + 0.5))
+        return max(1, min(k, n_clusters))
+
+    @property
+    def is_redundant(self) -> bool:
+        return self.name != "NONE"
+
+
+#: the paper's scheme set, by name
+SCHEMES: dict[str, RedundancyScheme] = {
+    "NONE": RedundancyScheme("NONE", fixed_copies=1),
+    "R2": RedundancyScheme("R2", fixed_copies=2),
+    "R3": RedundancyScheme("R3", fixed_copies=3),
+    "R4": RedundancyScheme("R4", fixed_copies=4),
+    "HALF": RedundancyScheme("HALF", fraction=0.5),
+    "ALL": RedundancyScheme("ALL", fraction=1.0),
+}
+
+#: schemes plotted in Figures 1-4, in the paper's legend order
+PAPER_SCHEME_ORDER = ("R2", "R3", "R4", "HALF", "ALL")
+
+
+def get_scheme(name: str) -> RedundancyScheme:
+    """Look up a scheme by its paper name (case-insensitive)."""
+    try:
+        return SCHEMES[name.upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheme {name!r}; choose from {sorted(SCHEMES)}"
+        ) from None
+
+
+def geometric_bias_weights(n_clusters: int, ratio: float = 0.5) -> np.ndarray:
+    """Table 2's biased account distribution over clusters.
+
+    ``P(C_i) ∝ ratio**i``: with the default ratio 0.5, cluster C1 is
+    picked with twice the probability of C2, and so on — "heavily
+    biased (half of the clusters are each picked with only probability
+    6.25 %)" for N = 10.
+    """
+    if n_clusters < 1:
+        raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
+    if not 0.0 < ratio <= 1.0:
+        raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+    w = ratio ** np.arange(n_clusters, dtype=float)
+    return w / w.sum()
+
+
+class TargetSelector:
+    """Chooses which clusters receive a job's redundant copies.
+
+    Parameters
+    ----------
+    scheme:
+        The redundancy scheme in force for redundant jobs.
+    node_counts:
+        Platform cluster sizes, for eligibility filtering.
+    rng:
+        Private stream for target sampling.
+    cluster_weights:
+        Optional non-uniform account distribution (Table 2); defaults
+        to uniform.  Weights are renormalised over the eligible remote
+        clusters for each job.
+    """
+
+    def __init__(
+        self,
+        scheme: RedundancyScheme,
+        node_counts: Sequence[int],
+        rng: np.random.Generator,
+        cluster_weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.scheme = scheme
+        self.node_counts = list(node_counts)
+        self.rng = rng
+        if cluster_weights is not None:
+            w = np.asarray(cluster_weights, dtype=float)
+            if len(w) != len(self.node_counts):
+                raise ValueError(
+                    f"{len(w)} weights for {len(self.node_counts)} clusters"
+                )
+            if (w < 0).any() or not math.isfinite(w.sum()) or w.sum() <= 0:
+                raise ValueError("weights must be non-negative and sum > 0")
+            self.cluster_weights = w / w.sum()
+        else:
+            self.cluster_weights = None
+
+    def eligible_remotes(self, origin: int, nodes: int) -> list[int]:
+        """Remote clusters large enough to run a ``nodes``-node job."""
+        return [
+            i
+            for i, cap in enumerate(self.node_counts)
+            if i != origin and cap >= nodes
+        ]
+
+    def choose(self, origin: int, nodes: int, uses_redundancy: bool) -> list[int]:
+        """Target clusters for one job; the origin is always first.
+
+        Non-redundant jobs — and redundant jobs with no eligible remote
+        cluster — go to the local cluster only.
+        """
+        if not 0 <= origin < len(self.node_counts):
+            raise ValueError(f"origin {origin} out of range")
+        if nodes > self.node_counts[origin]:
+            raise ValueError(
+                f"job of {nodes} nodes cannot originate at cluster {origin} "
+                f"({self.node_counts[origin]} nodes)"
+            )
+        if not uses_redundancy or not self.scheme.is_redundant:
+            return [origin]
+        k = self.scheme.copies(len(self.node_counts))
+        if k <= 1:
+            return [origin]
+        remotes = self.eligible_remotes(origin, nodes)
+        if not remotes:
+            return [origin]
+        take = min(k - 1, len(remotes))
+        if self.cluster_weights is None:
+            chosen = self.rng.choice(len(remotes), size=take, replace=False)
+            picked = [remotes[int(i)] for i in chosen]
+        else:
+            w = self.cluster_weights[remotes]
+            total = w.sum()
+            if total <= 0:
+                # All eligible remotes carry zero weight: fall back to
+                # uniform rather than silently dropping redundancy.
+                w = np.ones(len(remotes))
+                total = float(len(remotes))
+            probs = w / total
+            chosen = self.rng.choice(len(remotes), size=take, replace=False, p=probs)
+            picked = [remotes[int(i)] for i in chosen]
+        return [origin] + picked

@@ -1,0 +1,53 @@
+"""Extensions the paper names but leaves to future work.
+
+* :mod:`repro.ext.metascheduler` — informed single placement
+  (Subramani-style), the Section 2 contrast to user-driven redundancy;
+* :mod:`repro.ext.moldable` — option (iv): redundant requests with
+  different node counts in a single queue.
+"""
+
+from .metascheduler import (
+    MetaComparison,
+    MetaScheduler,
+    committed_work,
+    compare_with_metascheduler,
+    run_metascheduler_experiment,
+)
+from .multiqueue import (
+    DEFAULT_QUEUES,
+    BilledJob,
+    MultiQueueCoordinator,
+    MultiQueueScheduler,
+    QueueSpec,
+    QueueStrategyOutcome,
+    run_option_iii_study,
+)
+from .moldable import (
+    MoldableCoordinator,
+    MoldableJob,
+    MoldableStudyResult,
+    candidate_sizes,
+    moldable_runtime,
+    run_moldable_study,
+)
+
+__all__ = [
+    "MetaScheduler",
+    "MetaComparison",
+    "committed_work",
+    "run_metascheduler_experiment",
+    "compare_with_metascheduler",
+    "MoldableCoordinator",
+    "MoldableJob",
+    "MoldableStudyResult",
+    "moldable_runtime",
+    "candidate_sizes",
+    "run_moldable_study",
+    "QueueSpec",
+    "DEFAULT_QUEUES",
+    "MultiQueueScheduler",
+    "MultiQueueCoordinator",
+    "BilledJob",
+    "QueueStrategyOutcome",
+    "run_option_iii_study",
+]

@@ -1,0 +1,176 @@
+"""Moldable redundant requests — the paper's option (iv), left as future work.
+
+Section 2: for *moldable* jobs, one can submit redundant requests for
+different node counts to the same queue — a large request starts late
+but runs fast; a small one starts early but runs long.  First to start
+wins, the others are cancelled.
+
+Speedup model: a job with work ``W`` (node·seconds at its natural size)
+run on ``n`` nodes takes ``runtime(n) = W / n**alpha`` scaled so the
+natural size reproduces the natural runtime; ``alpha`` in (0, 1] is the
+parallel efficiency exponent (1 = perfect scaling, the paper's
+"difficult" selection problem is most interesting below 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..sched import make_scheduler
+from ..sched.job import Request, RequestState
+from ..sim.engine import Simulator
+from ..sim.events import EventPriority
+from ..workload.stream import StreamJob
+
+
+def moldable_runtime(
+    natural_nodes: int, natural_runtime: float, nodes: int, alpha: float = 0.9
+) -> float:
+    """Runtime of the job when run on ``nodes`` instead of its natural size.
+
+    Power-law scaling: time ∝ n^(−alpha), anchored at the natural point.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    if nodes < 1 or natural_nodes < 1:
+        raise ValueError("node counts must be >= 1")
+    if natural_runtime <= 0:
+        raise ValueError(f"runtime must be positive, got {natural_runtime}")
+    return natural_runtime * (natural_nodes / nodes) ** alpha
+
+
+def candidate_sizes(natural_nodes: int, max_nodes: int,
+                    factors: Sequence[float] = (0.5, 1.0, 2.0)) -> list[int]:
+    """Distinct candidate node counts around the natural size."""
+    sizes = sorted(
+        {
+            max(1, min(max_nodes, int(round(natural_nodes * f))))
+            for f in factors
+        }
+    )
+    return sizes
+
+
+@dataclass
+class MoldableJob:
+    """One moldable job with one request per candidate size."""
+
+    spec: StreamJob
+    requests: list[Request]
+    winner: Request | None = None
+
+    @property
+    def completed(self) -> bool:
+        return self.winner is not None and self.winner.state is RequestState.COMPLETED
+
+
+class MoldableCoordinator:
+    """First-start-wins over size variants in a single batch queue."""
+
+    def __init__(self, sim: Simulator, scheduler) -> None:
+        self.sim = sim
+        self.scheduler = scheduler
+        self.jobs: list[MoldableJob] = []
+        scheduler.add_start_callback(self._on_start)
+
+    def submit_moldable(
+        self,
+        spec: StreamJob,
+        alpha: float = 0.9,
+        factors: Sequence[float] = (0.5, 1.0, 2.0),
+    ) -> MoldableJob:
+        sizes = candidate_sizes(
+            spec.nodes, self.scheduler.cluster.total_nodes, factors
+        )
+        if not spec.uses_redundancy:
+            sizes = [min(spec.nodes, self.scheduler.cluster.total_nodes)]
+        requests = []
+        overestimate = spec.requested_time / spec.runtime
+        job = MoldableJob(spec=spec, requests=requests)
+        for n in sizes:
+            rt = moldable_runtime(spec.nodes, spec.runtime, n, alpha)
+            requests.append(
+                Request(
+                    nodes=n,
+                    runtime=rt,
+                    requested_time=rt * overestimate,
+                    submit_time=spec.arrival,
+                    group=job,
+                )
+            )
+        self.jobs.append(job)
+
+        def submit_all() -> None:
+            for req in requests:
+                self.scheduler.submit(req)
+
+        self.sim.at(spec.arrival, submit_all, EventPriority.SUBMIT)
+        return job
+
+    def _on_start(self, request: Request, now: float) -> None:
+        job = request.group
+        if not isinstance(job, MoldableJob) or job.winner is not None:
+            return
+        job.winner = request
+        for sibling in job.requests:
+            if sibling is not request and sibling.state is RequestState.PENDING:
+                self.scheduler.cancel(sibling)
+
+
+@dataclass(frozen=True)
+class MoldableStudyResult:
+    """Fixed-size vs moldable-redundant submission on one cluster."""
+
+    fixed_avg_stretch: float
+    moldable_avg_stretch: float
+    fixed_completed: int
+    moldable_completed: int
+
+    @property
+    def relative_stretch(self) -> float:
+        return self.moldable_avg_stretch / self.fixed_avg_stretch
+
+
+def run_moldable_study(
+    jobs: Sequence[StreamJob],
+    nodes: int = 128,
+    algorithm: str = "easy",
+    alpha: float = 0.9,
+    horizon: float | None = None,
+) -> MoldableStudyResult:
+    """Run the same stream with fixed sizes and with moldable redundancy."""
+    def run(moldable: bool) -> tuple[float, int]:
+        sim = Simulator()
+        sched = make_scheduler(algorithm, sim, Cluster(0, nodes))
+        coord = MoldableCoordinator(sim, sched)
+        for spec in jobs:
+            if moldable:
+                coord.submit_moldable(spec, alpha=alpha)
+            else:
+                coord.submit_moldable(spec, alpha=alpha, factors=(1.0,))
+        if horizon is None:
+            sim.run()
+        else:
+            sim.run(until=horizon)
+        done = [j for j in coord.jobs if j.completed]
+        if not done:
+            return float("nan"), 0
+        stretches = [
+            (j.winner.end_time - j.spec.arrival)
+            / max(j.winner.runtime, 1e-12)
+            for j in done
+        ]
+        return float(np.mean(stretches)), len(done)
+
+    fixed_stretch, fixed_n = run(moldable=False)
+    mold_stretch, mold_n = run(moldable=True)
+    return MoldableStudyResult(
+        fixed_avg_stretch=fixed_stretch,
+        moldable_avg_stretch=mold_stretch,
+        fixed_completed=fixed_n,
+        moldable_completed=mold_n,
+    )

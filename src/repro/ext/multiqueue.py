@@ -1,0 +1,233 @@
+"""Redundant requests across multiple queues — options (ii)/(iii) of §2.
+
+The paper's taxonomy: redundant requests can go to (iii) multiple batch
+queues of a *single* resource, or (ii) multiple queues of *multiple*
+resources, where "different queues typically correspond to higher
+service unit costs.  The question is then whether one should wait
+possibly a long time for a cheaper resource allocation."  Both options
+are left to future work; this module implements them.
+
+Model: one cluster exposes several queues sharing its nodes.  Queues
+have a strict priority order (a premium queue's requests are considered
+before standard ones at every scheduling decision) and a service-unit
+cost factor (premium cycles cost more).  The scheduler is EASY over the
+priority-then-submission order.  An option-(iii) user submits one copy
+per queue; the first to start wins and is billed at that queue's rate —
+trading money for waiting time exactly as the paper frames it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..sched.easy import EASYScheduler
+from ..sched.job import Request, RequestState
+from ..sim.engine import Simulator
+from ..sim.events import EventPriority
+from ..workload.stream import StreamJob
+
+
+@dataclass(frozen=True)
+class QueueSpec:
+    """One queue of a multi-queue resource."""
+
+    name: str
+    priority: int          # lower = served first
+    cost_factor: float     # service-unit multiplier (premium > standard)
+
+    def __post_init__(self) -> None:
+        if self.cost_factor <= 0:
+            raise ValueError(f"cost factor must be positive, got "
+                             f"{self.cost_factor}")
+
+
+#: a typical two-tier setup: premium jumps the line at 2.5x the price
+DEFAULT_QUEUES = (
+    QueueSpec("premium", priority=0, cost_factor=2.5),
+    QueueSpec("standard", priority=1, cost_factor=1.0),
+)
+
+
+class MultiQueueScheduler(EASYScheduler):
+    """EASY backfilling over several priority-ordered queues.
+
+    All queues share the cluster's nodes; at every pass the pending list
+    is considered in (priority, submission) order, so premium requests
+    both start and backfill ahead of standard ones.
+    """
+
+    algorithm = "multiqueue-easy"
+
+    def __init__(self, sim: Simulator, cluster: Cluster,
+                 queues: Sequence[QueueSpec] = DEFAULT_QUEUES) -> None:
+        super().__init__(sim, cluster)
+        if not queues:
+            raise ValueError("need at least one queue")
+        names = [q.name for q in queues]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate queue names in {names}")
+        self.queues = {q.name: q for q in queues}
+
+    def submit_to(self, request: Request, queue_name: str) -> None:
+        """Submit ``request`` into the named queue."""
+        try:
+            spec = self.queues[queue_name]
+        except KeyError:
+            raise ValueError(
+                f"unknown queue {queue_name!r}; have {sorted(self.queues)}"
+            ) from None
+        request.priority = spec.priority
+        request.name = request.name or queue_name
+        self.submit(request)
+
+    def _schedule_pass(self) -> None:
+        # Re-establish priority-then-submission order before the EASY
+        # pass; the sort is stable and submission order is already the
+        # list order within each priority class.
+        self.queue.sort(
+            key=lambda r: (r.priority, r.submitted_at, r.request_id)
+        )
+        super()._schedule_pass()
+
+
+@dataclass
+class BilledJob:
+    """A job with its queue copies and the bill for the winning one."""
+
+    spec: StreamJob
+    requests: dict[str, Request]
+    winner_queue: Optional[str] = None
+
+    @property
+    def winner(self) -> Optional[Request]:
+        if self.winner_queue is None:
+            return None
+        return self.requests[self.winner_queue]
+
+    @property
+    def completed(self) -> bool:
+        w = self.winner
+        return w is not None and w.state is RequestState.COMPLETED
+
+    def cost(self, scheduler: MultiQueueScheduler) -> float:
+        """Service units consumed: nodes x runtime x queue cost factor."""
+        if self.winner_queue is None:
+            raise ValueError("job has not started")
+        factor = scheduler.queues[self.winner_queue].cost_factor
+        return self.spec.nodes * self.spec.runtime * factor
+
+
+class MultiQueueCoordinator:
+    """Option (iii): first-start-wins across the queues of one resource."""
+
+    def __init__(self, sim: Simulator, scheduler: MultiQueueScheduler) -> None:
+        self.sim = sim
+        self.scheduler = scheduler
+        self.jobs: list[BilledJob] = []
+        scheduler.add_start_callback(self._on_start)
+
+    def submit(self, spec: StreamJob, queue_names: Sequence[str]) -> BilledJob:
+        if not queue_names:
+            raise ValueError("need at least one target queue")
+        job = BilledJob(spec=spec, requests={})
+        self.jobs.append(job)
+
+        def fire() -> None:
+            for qname in queue_names:
+                req = Request(
+                    nodes=spec.nodes,
+                    runtime=spec.runtime,
+                    requested_time=spec.requested_time,
+                    submit_time=spec.arrival,
+                    group=job,
+                    name=qname,
+                )
+                job.requests[qname] = req
+                self.scheduler.submit_to(req, qname)
+
+        self.sim.at(spec.arrival, fire, EventPriority.SUBMIT)
+        return job
+
+    def _on_start(self, request: Request, now: float) -> None:
+        job = request.group
+        if not isinstance(job, BilledJob) or job.winner_queue is not None:
+            return
+        job.winner_queue = request.name
+        for qname, sibling in job.requests.items():
+            if sibling is not request and sibling.state is RequestState.PENDING:
+                self.scheduler.cancel(sibling)
+
+
+@dataclass(frozen=True)
+class QueueStrategyOutcome:
+    """Average turnaround and bill for one submission strategy."""
+
+    strategy: str
+    mean_turnaround: float
+    mean_cost: float
+    completed: int
+
+
+def run_option_iii_study(
+    jobs: Sequence[StreamJob],
+    nodes: int = 64,
+    queues: Sequence[QueueSpec] = DEFAULT_QUEUES,
+    premium_fraction: float = 0.3,
+    horizon: Optional[float] = None,
+    seed: int = 0,
+) -> list[QueueStrategyOutcome]:
+    """Compare three strategies on the same stream.
+
+    * ``standard``  — everyone queues in the cheap queue;
+    * ``premium``   — everyone pays for the fast queue;
+    * ``redundant`` — option (iii): a copy in each, first start wins.
+
+    ``premium_fraction`` of unrelated background jobs always use the
+    premium queue, so the fast lane has genuine competition.
+    """
+    if not 0.0 <= premium_fraction <= 1.0:
+        raise ValueError(f"premium_fraction must be in [0,1], got "
+                         f"{premium_fraction}")
+    queue_names = [q.name for q in sorted(queues, key=lambda q: q.priority)]
+    premium, standard = queue_names[0], queue_names[-1]
+    outcomes = []
+    for strategy in ("standard", "premium", "redundant"):
+        sim = Simulator()
+        sched = MultiQueueScheduler(sim, Cluster(0, nodes), queues)
+        coord = MultiQueueCoordinator(sim, sched)
+        rng = np.random.default_rng(seed)
+        tracked: list[BilledJob] = []
+        for spec in jobs:
+            background = rng.random() < premium_fraction
+            if background:
+                coord.submit(spec, [premium])
+                continue
+            if strategy == "standard":
+                tracked.append(coord.submit(spec, [standard]))
+            elif strategy == "premium":
+                tracked.append(coord.submit(spec, [premium]))
+            else:
+                tracked.append(coord.submit(spec, queue_names))
+        if horizon is None:
+            sim.run()
+        else:
+            sim.run(until=horizon)
+        done = [j for j in tracked if j.completed]
+        if done:
+            mean_ta = float(np.mean(
+                [j.winner.end_time - j.spec.arrival for j in done]
+            ))
+            mean_cost = float(np.mean([j.cost(sched) for j in done]))
+        else:
+            mean_ta = mean_cost = float("nan")
+        outcomes.append(QueueStrategyOutcome(
+            strategy=strategy,
+            mean_turnaround=mean_ta,
+            mean_cost=mean_cost,
+            completed=len(done),
+        ))
+    return outcomes

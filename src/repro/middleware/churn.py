@@ -1,0 +1,190 @@
+"""The Figure 5 churn experiment: saturate a scheduler with submits+cancels.
+
+Protocol (paper Section 4.1):
+
+1. a long job monopolises all compute nodes so pending jobs never run;
+2. the queue is pre-filled to a target size;
+3. client processes then continuously submit new jobs and delete the job
+   at the *head* of the queue ("the maximum amount of churn");
+4. the measured quantity is sustained submissions (= cancellations) per
+   second versus queue size.
+
+Here the daemon is a :class:`~repro.middleware.pbs.PBSDaemonModel`
+served by a single-server queue in simulated time, so the experiment
+regenerates the paper's curve from its calibrated cost model — and the
+same driver can saturate our *actual* scheduler implementations in wall
+time (see :func:`measure_real_scheduler_throughput`) as a genuine
+measured analogue.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..sched import make_scheduler
+from ..sched.job import Request
+from ..sim.engine import Simulator
+from .pbs import PBSDaemonModel
+
+
+@dataclass(frozen=True)
+class ChurnSample:
+    """One measurement: sustained churn rate at a given queue size."""
+
+    queue_size: int
+    submissions_per_sec: float
+    cancellations_per_sec: float
+    duration_s: float
+    truncated_by_oom: bool = False
+
+    @property
+    def ops_per_sec(self) -> float:
+        return self.submissions_per_sec + self.cancellations_per_sec
+
+
+def run_churn_experiment(
+    model: PBSDaemonModel,
+    queue_size: int,
+    duration_s: float = 12 * 3600.0,
+    rng: Optional[np.random.Generator] = None,
+    sample_noise: bool = True,
+) -> ChurnSample:
+    """Simulate the saturation protocol against the daemon cost model.
+
+    The daemon serves operations back-to-back (the clients keep it
+    saturated, as in the paper), alternating one submission and one
+    cancellation so the queue size stays at ``queue_size``.  Returns the
+    sustained rates over ``duration_s`` of simulated time; the run may
+    be cut short by the modelled memory leak.
+    """
+    if queue_size < 0:
+        raise ValueError(f"queue size must be >= 0, got {queue_size}")
+    if duration_s <= 0:
+        raise ValueError(f"duration must be positive, got {duration_s}")
+    rng = rng or np.random.default_rng(0)
+    truncated = False
+    effective_duration = duration_s
+    oom_p = model.oom_probability(queue_size, duration_s / 3600.0)
+    if oom_p > 0 and rng.random() < oom_p:
+        truncated = True
+        effective_duration = duration_s * float(rng.uniform(0.3, 0.9))
+
+    # Saturated single server: ops completed = time / mean service time.
+    # Draw in batches for speed rather than event-by-event.
+    t = 0.0
+    ops = 0
+    batch = 4096
+    while t < effective_duration:
+        if sample_noise:
+            svc = np.array(
+                [model.noisy_op_service_time(queue_size, rng) for _ in range(batch)]
+            )
+        else:
+            svc = np.full(batch, model.op_service_time(queue_size))
+        csum = np.cumsum(svc) + t
+        done = int(np.searchsorted(csum, effective_duration, side="right"))
+        if done < batch:
+            ops += done
+            t = effective_duration
+        else:
+            ops += batch
+            t = float(csum[-1])
+    per_sec = ops / effective_duration / 2.0  # half are submissions
+    return ChurnSample(
+        queue_size=queue_size,
+        submissions_per_sec=per_sec,
+        cancellations_per_sec=per_sec,
+        duration_s=effective_duration,
+        truncated_by_oom=truncated,
+    )
+
+
+def churn_curve(
+    model: PBSDaemonModel,
+    queue_sizes: Sequence[int] = (0, 1000, 2500, 5000, 7500, 10000, 12500,
+                                  15000, 17500, 20000),
+    duration_s: float = 12 * 3600.0,
+    n_repetitions: int = 4,
+    seed: int = 0,
+) -> list[list[ChurnSample]]:
+    """Figure 5: one churn experiment per (queue size, repetition).
+
+    Returns ``curves[rep][i]`` matching the paper's four 12-hour
+    experiment curves plus their average (compute the average from the
+    returned samples).
+    """
+    curves = []
+    for rep in range(n_repetitions):
+        rng = np.random.default_rng(seed + rep)
+        curves.append(
+            [run_churn_experiment(model, q, duration_s, rng) for q in queue_sizes]
+        )
+    return curves
+
+
+def average_curve(curves: list[list[ChurnSample]]) -> list[ChurnSample]:
+    """Average the non-truncated samples per queue size (the thick line)."""
+    if not curves:
+        raise ValueError("no curves to average")
+    n_points = len(curves[0])
+    out = []
+    for i in range(n_points):
+        samples = [c[i] for c in curves if not c[i].truncated_by_oom]
+        if not samples:
+            samples = [c[i] for c in curves]
+        out.append(
+            ChurnSample(
+                queue_size=samples[0].queue_size,
+                submissions_per_sec=float(
+                    np.mean([s.submissions_per_sec for s in samples])
+                ),
+                cancellations_per_sec=float(
+                    np.mean([s.cancellations_per_sec for s in samples])
+                ),
+                duration_s=float(np.mean([s.duration_s for s in samples])),
+            )
+        )
+    return out
+
+
+def measure_real_scheduler_throughput(
+    algorithm: str = "easy",
+    queue_size: int = 1000,
+    n_ops: int = 2000,
+    nodes: int = 128,
+) -> float:
+    """Wall-clock submit+cancel throughput of *our* scheduler implementations.
+
+    The measured analogue of Figure 5 for this codebase: a blocked
+    cluster (one request holds all nodes), a pre-filled queue, then
+    ``n_ops`` alternating submissions and head-of-queue cancellations.
+    Returns operation pairs per wall-clock second.
+    """
+    sim = Simulator()
+    cluster = Cluster(0, nodes)
+    sched = make_scheduler(algorithm, sim, cluster)
+    blocker = Request(nodes=nodes, runtime=1e12, requested_time=1e12)
+    sched.submit(blocker)
+    sim.run(until=0.0)
+    assert cluster.free_nodes == 0, "blocker must monopolise the cluster"
+
+    def make_request() -> Request:
+        return Request(nodes=1, runtime=100.0, requested_time=100.0)
+
+    for _ in range(queue_size):
+        sched.submit(make_request())
+    sim.run(until=0.0)
+
+    t0 = time.perf_counter()
+    for _ in range(n_ops):
+        sched.submit(make_request())
+        head = next(r for r in sched.queue if r.is_pending)
+        sched.cancel(head)
+        sim.run(until=0.0)
+    elapsed = time.perf_counter() - t0
+    return n_ops / elapsed

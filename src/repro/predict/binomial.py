@@ -1,0 +1,137 @@
+"""Binomial-method quantile predictor (Brevik, Nurmi & Wolski, PPoPP'06).
+
+The paper's Section 5/6 points to statistical wait-time forecasting as
+the promising alternative to state-based CBF predictions and asks — as
+future work — how redundancy-induced churn affects it.  This module
+implements the binomial method and the evaluation answering that
+question (see ``repro.ext`` benches).
+
+Method: to bound the q-quantile of queue waiting time with confidence
+c from the last n observed waits, find the smallest order statistic
+index k such that ``P[Binomial(n, q) < k] >= c``; the k-th smallest
+observed wait is then an upper bound on the q-quantile with confidence
+at least c.  No distributional assumptions are needed beyond
+exchangeability of the recent history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+from scipy import stats as sps
+
+
+def binomial_bound_index(n: int, quantile: float, confidence: float) -> Optional[int]:
+    """Smallest k (1-based) with ``P[Binomial(n, q) < k] >= c``.
+
+    Returns ``None`` when even the largest order statistic gives
+    insufficient confidence (history too short).
+    """
+    if n < 1:
+        return None
+    if not 0.0 < quantile < 1.0:
+        raise ValueError(f"quantile must be in (0,1), got {quantile}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0,1), got {confidence}")
+    # P[Binomial(n, q) < k] = cdf(k - 1); find smallest such k <= n.
+    ks = np.arange(1, n + 1)
+    cdf = sps.binom.cdf(ks - 1, n, quantile)
+    feasible = np.nonzero(cdf >= confidence)[0]
+    if feasible.size == 0:
+        return None
+    return int(ks[feasible[0]])
+
+
+@dataclass
+class BinomialQuantilePredictor:
+    """Rolling-history upper-bound predictor for queue waiting times.
+
+    Parameters
+    ----------
+    quantile:
+        The wait-time quantile to bound (e.g. 0.95).
+    confidence:
+        Desired confidence that the bound covers the true quantile.
+    window:
+        Number of most recent completed-job waits retained.
+    """
+
+    quantile: float = 0.95
+    confidence: float = 0.95
+    window: int = 200
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        self._history: list[float] = []
+
+    def observe(self, wait: float) -> None:
+        """Record a completed job's wait time."""
+        if wait < 0:
+            raise ValueError(f"wait must be >= 0, got {wait}")
+        self._history.append(wait)
+        if len(self._history) > self.window:
+            del self._history[: len(self._history) - self.window]
+
+    def predict(self) -> Optional[float]:
+        """Upper bound on the wait-time quantile, or None if not enough data."""
+        n = len(self._history)
+        k = binomial_bound_index(n, self.quantile, self.confidence)
+        if k is None:
+            return None
+        return float(np.partition(np.asarray(self._history), k - 1)[k - 1])
+
+    @property
+    def history_length(self) -> int:
+        return len(self._history)
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """How well the bound covered subsequent waits."""
+
+    n_predictions: int
+    coverage: float            # fraction of waits <= predicted bound
+    mean_bound: float
+    mean_wait: float
+
+    @property
+    def overestimation(self) -> float:
+        """Mean bound / mean wait (how loose the bound is)."""
+        if self.mean_wait == 0:
+            return float("nan")
+        return self.mean_bound / self.mean_wait
+
+
+def evaluate_predictor(
+    waits_in_completion_order: Sequence[float],
+    quantile: float = 0.95,
+    confidence: float = 0.95,
+    window: int = 200,
+) -> CoverageReport:
+    """Feed waits through the predictor, predicting before each observation.
+
+    For a well-calibrated predictor, ``coverage`` should be close to (or
+    above) ``quantile``; redundancy-induced churn would show up as a
+    coverage drop.
+    """
+    predictor = BinomialQuantilePredictor(quantile, confidence, window)
+    bounds, outcomes = [], []
+    for wait in waits_in_completion_order:
+        bound = predictor.predict()
+        if bound is not None:
+            bounds.append(bound)
+            outcomes.append(wait)
+        predictor.observe(wait)
+    if not bounds:
+        return CoverageReport(0, float("nan"), float("nan"), float("nan"))
+    bounds_arr = np.asarray(bounds)
+    waits_arr = np.asarray(outcomes)
+    return CoverageReport(
+        n_predictions=len(bounds),
+        coverage=float((waits_arr <= bounds_arr).mean()),
+        mean_bound=float(bounds_arr.mean()),
+        mean_wait=float(waits_arr.mean()),
+    )

@@ -1,0 +1,100 @@
+"""The Table 4 experiment: how redundancy degrades wait-time predictions.
+
+Protocol (paper Section 5): N = 10 clusters, all running CBF, real
+(φ-model) runtime estimates.  Left column: no redundant requests at
+all.  Right columns: 40 % of jobs use the ALL scheme; jobs not using
+redundancy and jobs using it are reported separately, the latter with
+the min-over-copies prediction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import ExperimentConfig
+from ..core.experiment import run_single
+from .stats import OverestimationStats, prediction_ratios
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    """One measured condition of Table 4."""
+
+    label: str
+    stats: OverestimationStats
+
+
+@dataclass(frozen=True)
+class Table4Result:
+    """The three populations the paper's Table 4 reports."""
+
+    baseline: Table4Row          # 0 % redundancy, all jobs (local prediction)
+    non_redundant: Table4Row     # 40 % ALL, jobs not using redundancy
+    redundant: Table4Row         # 40 % ALL, jobs using redundancy (min pred.)
+    n_replications: int
+
+    def rows(self) -> list[Table4Row]:
+        return [self.baseline, self.non_redundant, self.redundant]
+
+    @property
+    def degradation_non_redundant(self) -> float:
+        """How much worse over-prediction got for non-redundant users
+        (paper: ≈8×)."""
+        return self.non_redundant.stats.mean_ratio / self.baseline.stats.mean_ratio
+
+    @property
+    def degradation_redundant(self) -> float:
+        """Same for redundant users (paper: ≈4×)."""
+        return self.redundant.stats.mean_ratio / self.baseline.stats.mean_ratio
+
+
+def run_table4_study(
+    n_clusters: int = 10,
+    duration: float = 3600.0,
+    offered_load: float = 2.0,
+    adoption: float = 0.4,
+    scheme: str = "ALL",
+    estimates: str = "phi",
+    n_replications: int = 5,
+    seed: int = 0,
+    min_wait: float = 1.0,
+) -> Table4Result:
+    """Run the two conditions on paired streams and pool ratios over
+    replications."""
+    base = ExperimentConfig(
+        n_clusters=n_clusters,
+        duration=duration,
+        offered_load=offered_load,
+        drain=True,
+        algorithm="cbf",
+        estimates=estimates,
+        seed=seed,
+    )
+    ratios_baseline, ratios_nr, ratios_r = [], [], []
+    for rep in range(n_replications):
+        r0 = run_single(base.with_(scheme="NONE"), rep)
+        ratios_baseline.append(prediction_ratios(r0.jobs, "local", min_wait))
+        r40 = run_single(
+            base.with_(scheme=scheme, adoption_probability=adoption), rep
+        )
+        nr_jobs = [j for j in r40.jobs if not j.uses_redundancy]
+        r_jobs = [j for j in r40.jobs if j.uses_redundancy]
+        ratios_nr.append(prediction_ratios(nr_jobs, "local", min_wait))
+        ratios_r.append(prediction_ratios(r_jobs, "min", min_wait))
+    return Table4Result(
+        baseline=Table4Row(
+            "0% jobs using redundant requests",
+            OverestimationStats.of(np.concatenate(ratios_baseline)),
+        ),
+        non_redundant=Table4Row(
+            f"{adoption:.0%} using ({scheme}): jobs not using",
+            OverestimationStats.of(np.concatenate(ratios_nr)),
+        ),
+        redundant=Table4Row(
+            f"{adoption:.0%} using ({scheme}): jobs using",
+            OverestimationStats.of(np.concatenate(ratios_r)),
+        ),
+        n_replications=n_replications,
+    )

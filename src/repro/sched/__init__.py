@@ -1,0 +1,47 @@
+"""Batch schedulers: FCFS, EASY backfilling, Conservative Backfilling.
+
+Each scheduler manages a single queue with no priorities, exactly the
+configuration the paper simulates (Section 3.1.1).
+"""
+
+from .base import Scheduler, SchedulerError, QueueStats, expected_releases
+from .cbf import CBFScheduler
+from .easy import EASYScheduler
+from .fcfs import FCFSScheduler
+from .job import Request, RequestState, reset_request_ids
+from .profile import Profile, ProfileError
+
+ALGORITHMS = {
+    "fcfs": FCFSScheduler,
+    "easy": EASYScheduler,
+    "cbf": CBFScheduler,
+}
+
+
+def make_scheduler(algorithm: str, sim, cluster, **kwargs) -> Scheduler:
+    """Instantiate a scheduler by its short name (``fcfs``/``easy``/``cbf``)."""
+    try:
+        cls = ALGORITHMS[algorithm.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose from {sorted(ALGORITHMS)}"
+        ) from None
+    return cls(sim, cluster, **kwargs)
+
+
+__all__ = [
+    "Scheduler",
+    "SchedulerError",
+    "QueueStats",
+    "FCFSScheduler",
+    "EASYScheduler",
+    "CBFScheduler",
+    "Request",
+    "RequestState",
+    "Profile",
+    "ProfileError",
+    "ALGORITHMS",
+    "make_scheduler",
+    "reset_request_ids",
+    "expected_releases",
+]

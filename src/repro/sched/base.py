@@ -1,0 +1,290 @@
+"""Common machinery for batch schedulers.
+
+Each scheduler manages a single queue with no request priorities
+(Section 3.1.1).  The base class owns:
+
+* queue and running-set bookkeeping;
+* the submit / cancel / finish event plumbing (finish events fire at
+  ``start + actual runtime``, which is <= the requested time — this is
+  what creates backfilling opportunities on early completion);
+* coalesced scheduling passes: every state change requests a pass, and
+  all changes at one simulated instant are served by a single pass that
+  runs at :data:`~repro.sim.events.EventPriority.SCHEDULE` priority,
+  i.e. after all cancellations/finishes/submissions at that instant;
+* start notification callbacks (used by the redundancy coordinator to
+  cancel sibling requests) and per-queue statistics.
+
+Performance note: the paper's workload is an *overloaded* peak-hour
+stream (queues grow by ~700 requests/hour, Section 4.1), so queues reach
+thousands of entries and anything O(queue) per event dominates.  The
+base class therefore tracks the pending count incrementally, compacts
+cancelled entries lazily, and offers subclasses an O(1)
+"could anything start?" guard (:meth:`_start_possible`) based on a
+conservative lower bound of the smallest pending request.
+
+Subclasses implement :meth:`_schedule_pass` only.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterable
+
+from ..cluster.cluster import Cluster
+from ..sim.engine import Simulator
+from ..sim.events import EventPriority
+from .job import Request, RequestState
+
+StartCallback = Callable[[Request, float], None]
+
+#: compact the queue list once this many cancelled entries accumulate
+_COMPACT_SLACK = 64
+
+
+class SchedulerError(RuntimeError):
+    """Raised on invalid scheduler API usage."""
+
+
+class QueueStats:
+    """Running statistics about one batch queue."""
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.cancelled = 0
+        self.started = 0
+        self.completed = 0
+        self.max_queue_length = 0
+        #: (time, queue_length) samples, recorded when ``trace_enabled``
+        self.length_trace: list[tuple[float, int]] = []
+        self.trace_enabled = False
+
+    def observe_queue(self, now: float, length: int) -> None:
+        if length > self.max_queue_length:
+            self.max_queue_length = length
+        if self.trace_enabled:
+            self.length_trace.append((now, length))
+
+
+class Scheduler(abc.ABC):
+    """Abstract batch scheduler bound to one cluster.
+
+    Parameters
+    ----------
+    sim:
+        The shared simulator.
+    cluster:
+        The cluster whose nodes this scheduler allocates.
+    """
+
+    #: short algorithm name, e.g. ``"easy"``; set by subclasses
+    algorithm: str = "abstract"
+
+    def __init__(self, sim: Simulator, cluster: Cluster) -> None:
+        self.sim = sim
+        self.cluster = cluster
+        self.queue: list[Request] = []   # pending requests, submit order
+        self.running: list[Request] = []
+        self.stats = QueueStats()
+        self._start_callbacks: list[StartCallback] = []
+        self._pass_pending = False
+        self._pending_count = 0
+        # Conservative lower bound on the smallest pending node count.
+        # Starts/cancels can only raise the true minimum, so the cached
+        # bound stays valid (it may trigger a useless pass, never skip a
+        # useful one).  Tightened whenever a full pass finds nothing.
+        self._min_nodes_lb = 1
+
+    # -- callbacks -------------------------------------------------------
+
+    def add_start_callback(self, cb: StartCallback) -> None:
+        """Register ``cb(request, time)`` invoked whenever a request starts."""
+        self._start_callbacks.append(cb)
+
+    # -- public API ------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return f"{self.algorithm}@{self.cluster.name}"
+
+    @property
+    def queue_length(self) -> int:
+        """Number of pending requests."""
+        return self._pending_count
+
+    def pending_requests(self) -> list[Request]:
+        """Pending requests in submission order."""
+        return [r for r in self.queue if r.is_pending]
+
+    def submit(self, request: Request) -> None:
+        """Enqueue ``request`` at the current simulated time."""
+        if request.state is not RequestState.CREATED:
+            raise SchedulerError(
+                f"request {request.request_id} resubmitted (state={request.state})"
+            )
+        if not self.cluster.can_ever_fit(request.nodes):
+            raise SchedulerError(
+                f"{self.name}: request for {request.nodes} nodes can never run "
+                f"on {self.cluster.total_nodes} nodes"
+            )
+        request.state = RequestState.PENDING
+        request.cluster = self
+        request.submitted_at = self.sim.now
+        self.queue.append(request)
+        self._pending_count += 1
+        self._min_nodes_lb = min(self._min_nodes_lb, request.nodes)
+        self.stats.submitted += 1
+        self.stats.observe_queue(self.sim.now, self._pending_count)
+        self._on_submit(request)
+        self._request_pass()
+
+    def cancel(self, request: Request) -> None:
+        """Remove a pending request from the queue.
+
+        Only pending requests may be cancelled: the redundancy protocol
+        cancels siblings the instant one copy starts, so a running copy
+        is never a cancellation target.
+        """
+        if request.cluster is not self:
+            raise SchedulerError(
+                f"request {request.request_id} does not belong to {self.name}"
+            )
+        if request.state is not RequestState.PENDING:
+            raise SchedulerError(
+                f"cannot cancel request {request.request_id} in state "
+                f"{request.state.value}"
+            )
+        request.state = RequestState.CANCELLED
+        request.cancelled_at = self.sim.now
+        self._pending_count -= 1
+        self.stats.cancelled += 1
+        self._maybe_compact()
+        self.stats.observe_queue(self.sim.now, self._pending_count)
+        self._on_cancel(request)
+        self._request_pass()
+
+    # -- subclass hooks ----------------------------------------------------
+
+    def _on_submit(self, request: Request) -> None:
+        """Called after a request joins the queue (before the pass)."""
+
+    def _on_cancel(self, request: Request) -> None:
+        """Called after a request leaves the queue (before the pass)."""
+
+    def _on_finish(self, request: Request) -> None:
+        """Called after a request completes (before the pass)."""
+
+    @abc.abstractmethod
+    def _schedule_pass(self) -> None:
+        """Start requests according to the algorithm."""
+
+    # -- internal machinery ------------------------------------------------
+
+    def _maybe_compact(self) -> None:
+        if len(self.queue) - self._pending_count > _COMPACT_SLACK:
+            self._compact_queue()
+
+    def _compact_queue(self) -> None:
+        self.queue = [r for r in self.queue if r.is_pending]
+
+    def _start_possible(self) -> bool:
+        """O(1) guard: could the algorithm possibly start anything now?
+
+        All three algorithms only start requests that fit in the free
+        nodes right now, so ``free < min pending nodes`` rules a start
+        out.  Uses the conservative cached bound (see class docstring).
+        """
+        if self._pending_count == 0:
+            return False
+        return self.cluster.free_nodes >= self._min_nodes_lb
+
+    def _tighten_min_nodes(self) -> None:
+        """Recompute the exact smallest pending node count (O(queue))."""
+        pending = [r.nodes for r in self.queue if r.is_pending]
+        self._min_nodes_lb = min(pending) if pending else self.cluster.total_nodes + 1
+
+    def _request_pass(self) -> None:
+        """Coalesce all same-instant state changes into one pass."""
+        if not self._pass_pending:
+            self._pass_pending = True
+            self.sim.at(self.sim.now, self._run_pass, EventPriority.SCHEDULE)
+
+    def _run_pass(self) -> None:
+        self._pass_pending = False
+        if not self._start_possible():
+            return
+        before = self.stats.started
+        self._schedule_pass()
+        if self.stats.started == before:
+            # Nothing started: tighten the guard so the next no-op
+            # instants are skipped in O(1).
+            self._tighten_min_nodes()
+        self.stats.observe_queue(self.sim.now, self._pending_count)
+
+    def _start(self, request: Request) -> None:
+        """Allocate nodes and begin executing ``request`` now.
+
+        The caller must already have removed ``request`` from
+        ``self.queue`` (or be iterating with state checks).
+        """
+        if request.state is not RequestState.PENDING:
+            raise SchedulerError(
+                f"starting request {request.request_id} in state {request.state}"
+            )
+        self.cluster.allocate(request.nodes)
+        request.state = RequestState.RUNNING
+        request.start_time = self.sim.now
+        self._pending_count -= 1
+        self.running.append(request)
+        self.stats.started += 1
+        self.sim.at(
+            self.sim.now + request.runtime,
+            lambda r=request: self._finish(r),
+            EventPriority.FINISH,
+        )
+        # Notify listeners last: the coordinator's sibling-cancellation
+        # may reentrantly mutate *other* schedulers and mark requests in
+        # our own queue cancelled (handled by state checks in passes).
+        for cb in self._start_callbacks:
+            cb(request, self.sim.now)
+
+    def _finish(self, request: Request) -> None:
+        if request.state is not RequestState.RUNNING:  # pragma: no cover
+            raise SchedulerError(
+                f"finishing request {request.request_id} in state {request.state}"
+            )
+        request.state = RequestState.COMPLETED
+        request.end_time = self.sim.now
+        self.running.remove(request)
+        self.cluster.release(request.nodes)
+        self.stats.completed += 1
+        self._on_finish(request)
+        self._request_pass()
+
+    # -- invariants (exercised heavily by tests) -----------------------------
+
+    def check_invariants(self) -> None:
+        """Assert node accounting and state consistency."""
+        busy = sum(r.nodes for r in self.running)
+        assert busy == self.cluster.busy_nodes, (
+            f"{self.name}: running jobs hold {busy} nodes but cluster says "
+            f"{self.cluster.busy_nodes}"
+        )
+        assert all(r.state is RequestState.RUNNING for r in self.running)
+        # The queue list may hold stale (started/cancelled) entries
+        # awaiting lazy compaction, but never CREATED ones.
+        assert all(r.state is not RequestState.CREATED for r in self.queue)
+        assert self._pending_count == sum(1 for r in self.queue if r.is_pending)
+        pending_nodes = [r.nodes for r in self.queue if r.is_pending]
+        if pending_nodes:
+            assert self._min_nodes_lb <= min(pending_nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}({self.cluster.name}, "
+            f"queue={self.queue_length}, running={len(self.running)})"
+        )
+
+
+def expected_releases(running: Iterable[Request]) -> list[tuple[float, int]]:
+    """``(expected_end, nodes)`` pairs for profile construction."""
+    return [(r.expected_end, r.nodes) for r in running]

@@ -1,0 +1,262 @@
+"""Conservative Backfilling (CBF, Mu'alem & Feitelson).
+
+Every request receives a *reservation* — a guaranteed latest start time —
+the moment it is submitted, and backfilling is allowed only when it
+delays no existing reservation.  The reservation made at submission is
+also the scheduler's queue-waiting-time prediction, which Section 5 of
+the paper evaluates (Table 4).
+
+Implementation: a persistent availability :class:`~repro.sched.profile.Profile`
+tracks ``capacity − running holds − reservations`` over time.  All
+bookkeeping is incremental and local:
+
+* **submit** — earliest feasible slot in the profile becomes the
+  reservation (and the at-submit prediction);
+* **reservation due** — a timer fires at the earliest reservation; due
+  requests start (their start is guaranteed: actual holds never exceed
+  the planned holds because real runtimes never exceed requests);
+* **cancel** — the reservation window is returned to the profile;
+* **early finish** — the unused tail of the running hold is returned;
+* **backfill** — after capacity returns (cancel/early finish), pending
+  requests are scanned in submit order and started immediately when the
+  profile proves no reservation would be delayed.
+
+Unlike textbook CBF, existing reservations are *not* recomputed
+("compressed") when capacity frees up early — freed capacity is instead
+consumed by the submit-order backfill scan and by new arrivals, which
+may legally reserve ahead of older, later reservations.  This matches
+deployed conservative schedulers, keeps every operation O(local profile
+scan) in the paper's heavily overloaded regime, and can only make
+requests start *earlier* than their guaranteed reservation.  An optional
+``compress_interval`` restores periodic full recomputation for
+ablations (exact textbook CBF at ``compress_interval=0``).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from typing import Optional
+
+from ..cluster.cluster import Cluster
+from ..sim.engine import Simulator
+from ..sim.events import Event, EventPriority
+from .base import Scheduler, SchedulerError
+from .job import Request
+from .profile import Profile
+
+#: trim past profile segments every this many scheduling passes
+_TRIM_EVERY = 256
+
+
+class CBFScheduler(Scheduler):
+    """Conservative backfilling with per-request reservations.
+
+    Parameters
+    ----------
+    sim, cluster:
+        As for :class:`~repro.sched.base.Scheduler`.
+    compress_interval:
+        ``None`` (default): never recompute reservations — freed
+        capacity is used by backfill and new arrivals only.
+        ``0``: recompute after every cancellation/early finish
+        (textbook CBF with eager compression; O(queue) per event, only
+        viable for small workloads).
+        ``t > 0``: recompute at most every ``t`` simulated seconds.
+    """
+
+    algorithm = "cbf"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cluster: Cluster,
+        compress_interval: Optional[float] = None,
+    ) -> None:
+        super().__init__(sim, cluster)
+        self._profile = Profile(sim.now, cluster.total_nodes, cluster.total_nodes)
+        # Min-heap of (reserved_start, request_id, request); entries go
+        # stale when the request starts early or is cancelled and are
+        # discarded lazily on pop.
+        self._due: list[tuple[float, int, Request]] = []
+        self._timer: Optional[Event] = None
+        self._pass_count = 0
+        self.compress_interval = compress_interval
+        self._dirty = False
+        self._last_compress = sim.now
+        self.compressions = 0
+
+    # -- event hooks -----------------------------------------------------
+
+    def _on_submit(self, request: Request) -> None:
+        start = self._profile.find_start(
+            request.nodes, request.requested_time, self.sim.now
+        )
+        self._profile.reserve(start, request.requested_time, request.nodes)
+        request.reserved_start = start
+        if request.predicted_start_at_submit is None:
+            request.predicted_start_at_submit = start
+        heapq.heappush(self._due, (start, request.request_id, request))
+        self._arm_timer()
+
+    def _on_cancel(self, request: Request) -> None:
+        start = request.reserved_start
+        assert start is not None, "pending CBF request must hold a reservation"
+        self._profile.adjust(
+            start, start + request.requested_time, +request.nodes
+        )
+        request.reserved_start = None
+        self._dirty = True
+
+    def _on_finish(self, request: Request) -> None:
+        expected_end = request.start_time + request.requested_time
+        if self.sim.now < expected_end:
+            # Early completion: return the unused tail of the hold.
+            self._profile.adjust(self.sim.now, expected_end, +request.nodes)
+            self._dirty = True
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule_pass(self) -> None:
+        now = self.sim.now
+        self._pass_count += 1
+        if self._pass_count % _TRIM_EVERY == 0:
+            self._profile.trim(now)
+        self._maybe_compact()
+        if self._should_compress(now):
+            self.compress()
+
+        # 1. Start requests whose reservation is due.
+        while self._due:
+            start, _, req = self._due[0]
+            if not req.is_pending or req.reserved_start != start:
+                heapq.heappop(self._due)  # stale entry
+                continue
+            if start > now:
+                break
+            heapq.heappop(self._due)
+            self._start_at_reservation(req)
+
+        # 2. Backfill: submit-order scan over pending requests, starting
+        #    any that provably delay no reservation.
+        free_now = self._profile.free_at(now)
+        if free_now > 0 and self._pending_count > 0:
+            for req in self.queue:
+                if free_now <= 0:
+                    break
+                if not req.is_pending or req.nodes > free_now:
+                    continue
+                rs = req.reserved_start
+                assert rs is not None
+                bonus = (rs, rs + req.requested_time, req.nodes)
+                if self._profile.can_place(
+                    now, req.requested_time, req.nodes, bonus=bonus
+                ):
+                    self._start_early(req)
+                    free_now = self._profile.free_at(now)
+
+        self._arm_timer()
+
+    def _start_at_reservation(self, request: Request) -> None:
+        """Start a request exactly at its reserved time (hold == reservation)."""
+        if not self.cluster.can_fit(request.nodes):  # pragma: no cover
+            raise SchedulerError(
+                f"{self.name}: reservation for request {request.request_id} due "
+                f"but only {self.cluster.free_nodes} nodes free — profile leak"
+            )
+        # The reservation window becomes the running hold verbatim; the
+        # profile does not change.
+        self._start(request)
+
+    def _start_early(self, request: Request) -> None:
+        """Start a request before its reservation (backfill)."""
+        now = self.sim.now
+        rs = request.reserved_start
+        d = request.requested_time
+        # Swap the reservation window for the hold window.
+        self._profile.adjust(rs, rs + d, +request.nodes)
+        self._profile.adjust(now, now + d, -request.nodes)
+        request.reserved_start = now
+        self._start(request)
+
+    # -- reservation timer -------------------------------------------------
+
+    def _arm_timer(self) -> None:
+        """Keep a wake-up pending at the earliest live reservation.
+
+        Needed because a reservation time may not coincide with any
+        finish/submit/cancel event once early completions have shifted
+        the actual schedule ahead of the planned one.
+        """
+        while self._due:
+            start, _, req = self._due[0]
+            if req.is_pending and req.reserved_start == start:
+                break
+            heapq.heappop(self._due)
+        if not self._due:
+            return
+        t = self._due[0][0]
+        if t <= self.sim.now:
+            self._request_pass()
+            return
+        if self._timer is not None and not self._timer.cancelled:
+            if self._timer.time <= t:
+                return
+            self._timer.cancel()
+        self._timer = self.sim.at(t, self._request_pass, EventPriority.CONTROL)
+
+    # -- base-class guard ----------------------------------------------------
+
+    def _start_possible(self) -> bool:
+        # In addition to the free-nodes guard, a pass is useful whenever a
+        # reservation is due or compression is pending.
+        if self._due and self._due[0][0] <= self.sim.now:
+            return True
+        if self._should_compress(self.sim.now):
+            return True
+        return super()._start_possible()
+
+    # -- compression (optional; ablation/textbook mode) ------------------------
+
+    def _should_compress(self, now: float) -> bool:
+        return (
+            self.compress_interval is not None
+            and self._dirty
+            and now - self._last_compress >= self.compress_interval
+        )
+
+    def compress(self) -> None:
+        """Recompute all reservations from scratch in submission order.
+
+        Order-preserving re-insertion can only move reservations earlier,
+        so no request is ever delayed relative to its guarantee.
+        """
+        now = self.sim.now
+        total = self.cluster.total_nodes
+        prof = Profile(now, total, total)
+        for run in self.running:
+            end = run.expected_end
+            if end > now:
+                prof.adjust(now, end, -run.nodes)
+        self._due = []
+        for req in self.queue:
+            if not req.is_pending:
+                continue
+            start = prof.find_start(req.nodes, req.requested_time, now)
+            prof.reserve(start, req.requested_time, req.nodes)
+            req.reserved_start = start
+            heapq.heappush(self._due, (start, req.request_id, req))
+        self._profile = prof
+        self._dirty = False
+        self._last_compress = now
+        self.compressions += 1
+
+    # -- invariants ------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        super().check_invariants()
+        self._profile.check_invariants()
+        for req in self.queue:
+            if req.is_pending:
+                assert req.reserved_start is not None
+                assert req.predicted_start_at_submit is not None

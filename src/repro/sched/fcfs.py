@@ -1,0 +1,29 @@
+"""First-Come First-Serve scheduler (no backfilling).
+
+The paper's baseline comparator: requests start strictly in submission
+order; if the head of the queue does not fit, nothing behind it may
+start, so large head requests blockade the queue.
+"""
+
+from __future__ import annotations
+
+from .base import Scheduler
+
+
+class FCFSScheduler(Scheduler):
+    """Start the head of the queue whenever it fits; never skip it."""
+
+    algorithm = "fcfs"
+
+    def _schedule_pass(self) -> None:
+        while self.queue:
+            head = self.queue[0]
+            if not head.is_pending:
+                # Started earlier, or cancelled reentrantly (a sibling
+                # started elsewhere at this same instant); drop it.
+                self.queue.pop(0)
+                continue
+            if not self.cluster.can_fit(head.nodes):
+                break
+            self.queue.pop(0)
+            self._start(head)

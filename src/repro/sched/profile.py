@@ -1,0 +1,246 @@
+"""Node-availability profile: free nodes as a step function of time.
+
+Backfilling schedulers plan against the *future* availability implied by
+the requested (not actual) runtimes of running and reserved requests.
+This module provides that plan as an explicit step function supporting
+the operations conservative backfilling needs:
+
+* :meth:`Profile.reserve` / :meth:`Profile.adjust` — commit or undo a
+  reservation or a running hold over a finite window;
+* :meth:`Profile.find_start` — earliest instant at which ``nodes`` nodes
+  are continuously free for ``duration`` seconds;
+* :meth:`Profile.can_place` — feasibility check for a specific start,
+  optionally ignoring the request's own stale reservation;
+* :meth:`Profile.trim` — garbage-collect segments that fell into the
+  past (the profile is long-lived in the incremental CBF).
+
+The representation is two parallel arrays ``times``/``free`` where
+``free[i]`` holds over ``[times[i], times[i+1])`` and the last value
+extends to infinity.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Iterable, Optional, Tuple
+
+
+class ProfileError(RuntimeError):
+    """Raised when an adjustment would violate 0 <= free <= capacity."""
+
+
+class Profile:
+    """Step function of free nodes over ``[origin, inf)``.
+
+    Parameters
+    ----------
+    origin:
+        Left edge of the horizon (usually the current simulated time).
+    free_now:
+        Free nodes at the origin.
+    total_nodes:
+        Capacity bound; availability must stay within ``[0, total]``.
+    """
+
+    __slots__ = ("times", "free", "total_nodes")
+
+    def __init__(self, origin: float, free_now: int, total_nodes: int) -> None:
+        if not 0 <= free_now <= total_nodes:
+            raise ValueError(f"free_now={free_now} outside [0, {total_nodes}]")
+        self.times: list[float] = [float(origin)]
+        self.free: list[int] = [int(free_now)]
+        self.total_nodes = int(total_nodes)
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_running(
+        cls,
+        now: float,
+        total_nodes: int,
+        running: Iterable[Tuple[float, int]],
+    ) -> "Profile":
+        """Build the profile implied by running requests.
+
+        ``running`` yields ``(expected_end, nodes)`` pairs; each pair
+        returns ``nodes`` nodes to the pool at ``expected_end``.
+        """
+        busy = 0
+        releases = []
+        for end, nodes in running:
+            busy += nodes
+            releases.append((end, nodes))
+        if busy > total_nodes:
+            raise ProfileError(f"running jobs hold {busy} > {total_nodes} nodes")
+        prof = cls(now, total_nodes - busy, total_nodes)
+        for end, nodes in releases:
+            prof.adjust(max(end, now), math.inf, nodes)
+        return prof
+
+    # -- mutation --------------------------------------------------------
+
+    def _split_at(self, t: float) -> int:
+        """Ensure a breakpoint exists at ``t``; return its index."""
+        i = bisect.bisect_right(self.times, t) - 1
+        if i < 0:
+            raise ProfileError(f"time {t} precedes profile origin {self.times[0]}")
+        if self.times[i] != t:
+            self.times.insert(i + 1, t)
+            self.free.insert(i + 1, self.free[i])
+            return i + 1
+        return i
+
+    def adjust(self, start: float, end: float, delta: int) -> None:
+        """Add ``delta`` free nodes over ``[start, end)`` (``end`` may be inf).
+
+        Raises :exc:`ProfileError` (leaving the profile unchanged) if the
+        result would leave ``[0, total_nodes]`` anywhere in the window.
+        """
+        if end <= start:
+            raise ValueError(f"empty window [{start}, {end})")
+        if delta == 0:
+            return
+        i = self._split_at(start)
+        j = self._split_at(end) if math.isfinite(end) else len(self.times)
+        for k in range(i, j):
+            nf = self.free[k] + delta
+            if not 0 <= nf <= self.total_nodes:
+                # Roll back the prefix already adjusted.
+                for kk in range(i, k):
+                    self.free[kk] -= delta
+                raise ProfileError(
+                    f"adjust({start}, {end}, {delta:+d}) drives availability "
+                    f"to {nf} at t={self.times[k]} (capacity {self.total_nodes})"
+                )
+            self.free[k] = nf
+
+    def reserve(self, start: float, duration: float, nodes: int) -> None:
+        """Subtract ``nodes`` over ``[start, start + duration)``."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        if nodes <= 0:
+            raise ValueError(f"nodes must be positive, got {nodes}")
+        self.adjust(start, start + duration, -nodes)
+
+    def release_window(self, start: float, end: float, nodes: int) -> None:
+        """Give back ``nodes`` over ``[start, end)`` (undo part of a hold)."""
+        if nodes <= 0:
+            raise ValueError(f"nodes must be positive, got {nodes}")
+        self.adjust(start, end, nodes)
+
+    def trim(self, t: float) -> None:
+        """Drop breakpoints strictly before ``t``; new origin becomes ``t``.
+
+        Availability in the discarded past is forgotten — only call with
+        ``t <= now`` once no queries before ``t`` will ever be issued.
+        """
+        i = bisect.bisect_right(self.times, t) - 1
+        if i <= 0:
+            return
+        self.times = [t] + self.times[i + 1:]
+        self.free = self.free[i:]
+
+    # -- queries ---------------------------------------------------------
+
+    def free_at(self, t: float) -> int:
+        """Free nodes at time ``t`` (t >= origin)."""
+        i = bisect.bisect_right(self.times, t) - 1
+        if i < 0:
+            raise ProfileError(f"time {t} precedes profile origin {self.times[0]}")
+        return self.free[i]
+
+    def can_place(
+        self,
+        start: float,
+        duration: float,
+        nodes: int,
+        bonus: Optional[Tuple[float, float, int]] = None,
+    ) -> bool:
+        """Whether ``nodes`` nodes are free throughout ``[start, start+duration)``.
+
+        ``bonus`` is an optional ``(b_start, b_end, b_nodes)`` window of
+        *extra* availability, used to ignore the candidate's own stale
+        reservation without mutating the profile.
+        """
+        end = start + duration
+        i = bisect.bisect_right(self.times, start) - 1
+        if i < 0:
+            raise ProfileError(f"time {start} precedes profile origin")
+        n = len(self.times)
+        j = i
+        while j < n and (j == i or self.times[j] < end):
+            seg_start = start if j == i else self.times[j]
+            avail = self.free[j]
+            if bonus is not None:
+                b_start, b_end, b_nodes = bonus
+                seg_end = self.times[j + 1] if j + 1 < n else math.inf
+                # The bonus applies where the segment overlaps the window.
+                if b_start < min(seg_end, end) and b_end > seg_start:
+                    if b_start <= seg_start and b_end >= min(seg_end, end):
+                        avail += b_nodes
+                    else:
+                        # Partial overlap: be conservative, no bonus.
+                        pass
+            if avail < nodes:
+                return False
+            j += 1
+        return True
+
+    def find_start(self, nodes: int, duration: float, earliest: float) -> float:
+        """Earliest ``t >= earliest`` with ``nodes`` free throughout
+        ``[t, t + duration)``.
+
+        Always succeeds for ``nodes <= total_nodes`` because reservations
+        and holds are finite, so the final step has full availability.
+        """
+        if nodes > self.total_nodes:
+            raise ProfileError(
+                f"request for {nodes} nodes can never fit in {self.total_nodes}"
+            )
+        if nodes <= 0:
+            raise ValueError(f"nodes must be positive, got {nodes}")
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        earliest = max(earliest, self.times[0])
+        n = len(self.times)
+        start_idx = bisect.bisect_right(self.times, earliest) - 1
+        i = start_idx
+        while i < n:
+            t = earliest if i == start_idx else self.times[i]
+            if self.free[i] >= nodes:
+                end = t + duration
+                ok = True
+                j = i + 1
+                while j < n and self.times[j] < end:
+                    if self.free[j] < nodes:
+                        ok = False
+                        break
+                    j += 1
+                if ok:
+                    return t
+                # Restart the search after the blocking segment.
+                i = j
+            else:
+                i += 1
+        raise ProfileError(
+            f"no feasible start for {nodes} nodes x {duration}s; the profile "
+            "tail should always be feasible (capacity leak?)"
+        )
+
+    def segments(self) -> list[Tuple[float, int]]:
+        """Return ``(time, free)`` breakpoints (copy, for inspection)."""
+        return list(zip(self.times, self.free))
+
+    def check_invariants(self) -> None:
+        """Assert representation invariants (used by tests)."""
+        assert len(self.times) == len(self.free)
+        assert all(a < b for a, b in zip(self.times, self.times[1:])), "times sorted"
+        assert all(0 <= f <= self.total_nodes for f in self.free), "bounds"
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        segs = ", ".join(f"{t:.1f}:{f}" for t, f in self.segments()[:8])
+        return f"Profile[{segs}{'...' if len(self.times) > 8 else ''}]"

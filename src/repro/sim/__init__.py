@@ -1,0 +1,11 @@
+"""Discrete-event simulation kernel (SimGrid substitute).
+
+Public API: :class:`Simulator`, :class:`Event`, :class:`EventPriority`,
+:class:`RngFactory`, :exc:`SimulationError`.
+"""
+
+from .engine import SimulationError, Simulator
+from .events import Event, EventPriority
+from .rng import RngFactory
+
+__all__ = ["Simulator", "Event", "EventPriority", "RngFactory", "SimulationError"]

@@ -1,0 +1,163 @@
+"""Heap-based discrete-event simulation engine.
+
+The paper used SimGrid purely as a discrete-event substrate with zero
+network overhead (Section 3.1.2), so any deterministic event loop is an
+equivalent foundation.  This one is deliberately minimal: a binary heap of
+:class:`~repro.sim.events.Event` objects ordered by
+``(time, priority, seq)`` and executed one at a time.
+
+Typical usage::
+
+    sim = Simulator()
+    sim.at(10.0, lambda: print("fires at t=10"), EventPriority.CONTROL)
+    sim.run()
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Any, Callable, Iterable, Optional
+
+from .events import Event, EventPriority
+
+
+class SimulationError(RuntimeError):
+    """Raised on misuse of the simulator (e.g. scheduling in the past)."""
+
+
+class Simulator:
+    """Single-threaded discrete-event simulator.
+
+    The simulator owns the clock.  Components schedule callbacks with
+    :meth:`at` (absolute time) or :meth:`after` (relative delay) and the
+    loop in :meth:`run` advances the clock to each event's timestamp
+    before invoking its callback.  Callbacks may schedule further events,
+    including at the current instant (they run after all previously
+    scheduled events at that instant with the same priority).
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: list[Event] = []
+        self._seq: int = 0
+        self._running: bool = False
+        self._executed: int = 0
+
+    # -- clock ----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the heap (including cancelled)."""
+        return len(self._heap)
+
+    # -- scheduling -----------------------------------------------------
+
+    def at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = EventPriority.CONTROL,
+        tag: Any = None,
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``.
+
+        Returns the :class:`Event`, which may be cancelled with
+        :meth:`Event.cancel` as long as it has not fired.
+        """
+        if math.isnan(time):
+            raise SimulationError("event time is NaN")
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self._now}"
+            )
+        ev = Event(time=float(time), priority=int(priority), seq=self._seq,
+                   callback=callback, tag=tag)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def after(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = EventPriority.CONTROL,
+        tag: Any = None,
+    ) -> Event:
+        """Schedule ``callback`` after ``delay`` seconds (must be >= 0)."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.at(self._now + delay, callback, priority, tag)
+
+    # -- execution ------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next non-cancelled event.
+
+        Returns ``True`` if an event was executed, ``False`` if the heap
+        is exhausted.
+        """
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self._now = ev.time
+            self._executed += 1
+            ev.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run until the heap drains, ``until`` is reached, or ``max_events``.
+
+        When ``until`` is given, all events with ``time <= until`` are
+        executed and the clock is left at ``min(until, last event time)``;
+        later events stay queued for a subsequent :meth:`run` call.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        try:
+            executed = 0
+            while self._heap:
+                if max_events is not None and executed >= max_events:
+                    return
+                nxt = self._heap[0]
+                if nxt.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and nxt.time > until:
+                    self._now = max(self._now, until)
+                    return
+                if self.step():
+                    executed += 1
+            if until is not None:
+                self._now = max(self._now, until)
+        finally:
+            self._running = False
+
+    def drain(self) -> None:
+        """Discard all pending events without executing them."""
+        self._heap.clear()
+
+    # -- introspection ---------------------------------------------------
+
+    def peek_time(self) -> float:
+        """Time of the next pending event, or ``inf`` when empty."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else math.inf
+
+    def iter_pending(self) -> Iterable[Event]:
+        """Iterate over live (non-cancelled) pending events, unordered."""
+        return (ev for ev in self._heap if not ev.cancelled)

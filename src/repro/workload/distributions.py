@@ -1,0 +1,118 @@
+"""Distribution primitives used by the Lublin–Feitelson workload model.
+
+The paper (Section 3.1.1) models:
+
+* request inter-arrival times with a Gamma distribution ("peak hour"
+  model: α = 10.23, β = 0.49, mean α·β ≈ 5.01 s);
+* requested node counts with a two-stage log-uniform distribution
+  biased towards powers of two;
+* requested compute times with a hyper-Gamma distribution whose mixture
+  weight ``p`` depends linearly on the node count.
+
+These helpers are deliberately thin wrappers over
+``numpy.random.Generator`` so that every component draws from an
+explicitly passed, reproducible stream.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def gamma_interarrival(rng: np.random.Generator, alpha: float, beta: float) -> float:
+    """One inter-arrival sample from Gamma(shape=α, scale=β), in seconds.
+
+    The paper gives the peak-hour parameters α = 10.23, β = 0.49 and
+    varies α in [4, 20] to explore different load levels (Figure 3).
+    """
+    if alpha <= 0 or beta <= 0:
+        raise ValueError(f"gamma parameters must be positive: α={alpha}, β={beta}")
+    return float(rng.gamma(alpha, beta))
+
+
+def two_stage_uniform(
+    rng: np.random.Generator, low: float, med: float, high: float, prob: float
+) -> float:
+    """Sample from the two-stage uniform distribution of Lublin–Feitelson.
+
+    With probability ``prob`` the value is uniform on ``[low, med]``,
+    otherwise uniform on ``[med, high]``.  Used in log₂ space for node
+    counts, where it captures the prevalence of small-to-medium jobs.
+    """
+    if not low <= med <= high:
+        raise ValueError(f"need low <= med <= high, got {low}, {med}, {high}")
+    if not 0.0 <= prob <= 1.0:
+        raise ValueError(f"prob must be in [0, 1], got {prob}")
+    if rng.random() < prob:
+        return float(rng.uniform(low, med))
+    return float(rng.uniform(med, high))
+
+
+@dataclass(frozen=True)
+class HyperGamma:
+    """Two-component Gamma mixture: Gamma(a1, b1) w.p. ``p``, else Gamma(a2, b2).
+
+    In the Lublin–Feitelson runtime model the first component captures
+    short jobs and the second long jobs; ``p`` is supplied per sample
+    because it depends on the job's node count.
+    """
+
+    a1: float
+    b1: float
+    a2: float
+    b2: float
+
+    def __post_init__(self) -> None:
+        for name in ("a1", "b1", "a2", "b2"):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be positive")
+
+    def sample(self, rng: np.random.Generator, p: float) -> float:
+        """Draw one sample with first-component probability ``p``."""
+        p = min(1.0, max(0.0, p))
+        if rng.random() < p:
+            return float(rng.gamma(self.a1, self.b1))
+        return float(rng.gamma(self.a2, self.b2))
+
+    def mean(self, p: float) -> float:
+        """Mixture mean for a given ``p`` (Gamma mean = shape·scale)."""
+        p = min(1.0, max(0.0, p))
+        return p * self.a1 * self.b1 + (1.0 - p) * self.a2 * self.b2
+
+
+def log_uniform_nodes(
+    rng: np.random.Generator,
+    max_nodes: int,
+    serial_prob: float,
+    pow2_prob: float,
+    ulow: float,
+    umed: float,
+    uprob: float,
+) -> int:
+    """Sample a node count from the two-stage log-uniform model.
+
+    With probability ``serial_prob`` the job is serial (1 node).
+    Otherwise ``log₂(nodes)`` is drawn from the two-stage uniform on
+    ``[ulow, umed, uhi]`` with ``uhi = log₂(max_nodes)``; with
+    probability ``pow2_prob`` the exponent is rounded to the nearest
+    integer (a power-of-two job).  The result is clamped to
+    ``[1, max_nodes]``.
+    """
+    if max_nodes < 1:
+        raise ValueError(f"max_nodes must be >= 1, got {max_nodes}")
+    if max_nodes == 1:
+        return 1
+    if rng.random() < serial_prob:
+        return 1
+    uhi = math.log2(max_nodes)
+    med = min(umed, uhi - 0.5) if uhi > ulow else ulow
+    med = max(med, ulow)
+    exponent = two_stage_uniform(rng, ulow, med, max(uhi, med), uprob)
+    if rng.random() < pow2_prob:
+        nodes = 2 ** round(exponent)
+    else:
+        nodes = math.ceil(2 ** exponent)
+    return int(min(max(nodes, 1), max_nodes))

@@ -1,0 +1,123 @@
+"""User runtime-estimate models.
+
+Batch schedulers plan with the *requested* time, which users
+notoriously over-estimate.  The paper runs each experiment under two
+regimes (Table 1):
+
+* **exact estimates** — ``requested = runtime``;
+* **real estimates** — the "φ model" of Zhang et al. with φ = 0.10,
+  "which leads to a uniformly distributed overestimation factor with
+  mean 2.16" (paper, Section 3.3).
+
+We implement exactly that published characterisation: the
+over-estimation factor is drawn uniformly from ``[1, 2·mean − 1]`` so
+that requested times are never below the actual runtime and the mean
+factor is the paper's 2.16.  The φ parameter is kept as the
+conventional label/knob: the mean factor is ``(1 + 1/φ·φ̄)``-style in
+the original formulation; here it is supplied directly.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+#: mean over-estimation factor quoted by the paper for φ = 0.10
+PHI_MODEL_MEAN_FACTOR = 2.16
+
+
+class EstimateModel(abc.ABC):
+    """Maps an actual runtime to a requested (estimated) runtime."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def requested_time(self, runtime: float, rng: np.random.Generator) -> float:
+        """Return the user's estimate for a job with ``runtime`` seconds.
+
+        Implementations must guarantee ``requested >= runtime`` — the
+        schedulers rely on jobs never overrunning their request.
+        """
+
+
+@dataclass(frozen=True)
+class ExactEstimates(EstimateModel):
+    """Users request precisely what they need (Table 1, "Exact")."""
+
+    name: str = "exact"
+
+    def requested_time(self, runtime: float, rng: np.random.Generator) -> float:
+        return runtime
+
+
+@dataclass(frozen=True)
+class PhiModelEstimates(EstimateModel):
+    """The φ model: a uniform over-estimation factor (Table 1, "Real").
+
+    Parameters
+    ----------
+    mean_factor:
+        Mean of the uniform over-estimation factor; the factor is drawn
+        from ``U[1, 2·mean_factor − 1]``.  Defaults to the paper's 2.16
+        (φ = 0.10).
+    phi:
+        The original model's parameter, retained for provenance.
+    """
+
+    mean_factor: float = PHI_MODEL_MEAN_FACTOR
+    phi: float = 0.10
+    name: str = "phi"
+
+    def __post_init__(self) -> None:
+        if self.mean_factor < 1.0:
+            raise ValueError(
+                f"mean over-estimation factor must be >= 1, got {self.mean_factor}"
+            )
+
+    @property
+    def max_factor(self) -> float:
+        return 2.0 * self.mean_factor - 1.0
+
+    def requested_time(self, runtime: float, rng: np.random.Generator) -> float:
+        factor = rng.uniform(1.0, self.max_factor)
+        return runtime * factor
+
+
+@dataclass(frozen=True)
+class InflatedEstimates(EstimateModel):
+    """Wrap another model, inflating the request by a constant factor.
+
+    Models the Section 3.1.2 robustness check: users of redundant
+    requests pad their requested time (by 10 % or 50 %) to leave room
+    for uploading input data after a remote allocation ("late binding").
+    """
+
+    base: EstimateModel
+    inflation: float = 0.10
+    name: str = "inflated"
+
+    def __post_init__(self) -> None:
+        if self.inflation < 0:
+            raise ValueError(f"inflation must be >= 0, got {self.inflation}")
+
+    def requested_time(self, runtime: float, rng: np.random.Generator) -> float:
+        return self.base.requested_time(runtime, rng) * (1.0 + self.inflation)
+
+
+ESTIMATE_MODELS = {
+    "exact": ExactEstimates,
+    "phi": PhiModelEstimates,
+}
+
+
+def make_estimate_model(name: str, **kwargs) -> EstimateModel:
+    """Instantiate an estimate model by name (``exact`` or ``phi``)."""
+    try:
+        cls = ESTIMATE_MODELS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown estimate model {name!r}; choose from {sorted(ESTIMATE_MODELS)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,53 @@
+"""Tests for ASCII plotting."""
+
+import pytest
+
+from repro.analysis.plots import AsciiPlot
+
+
+class TestAsciiPlot:
+    def make(self):
+        p = AsciiPlot("T", xlabel="x", ylabel="y", width=40, height=10)
+        p.add_series("a", [(0, 0.0), (10, 1.0)])
+        p.add_series("b", [(0, 1.0), (10, 0.0)])
+        return p
+
+    def test_renders_title_axes_legend(self):
+        out = self.make().render()
+        assert "T" in out
+        assert "x" in out and "y" in out
+        assert "o=a" in out and "x=b" in out
+
+    def test_grid_dimensions(self):
+        out = self.make().render()
+        rows = [l for l in out.splitlines() if "|" in l]
+        assert len(rows) == 10
+
+    def test_markers_present(self):
+        out = self.make().render()
+        assert "o" in out and "x" in out
+
+    def test_reference_line(self):
+        p = AsciiPlot("T", reference_y=0.5, width=30, height=8)
+        p.add_series("s", [(0, 0.0), (1, 1.0)])
+        assert "." in p.render()
+
+    def test_empty_plot(self):
+        assert "empty" in AsciiPlot("T").render()
+
+    def test_single_point_series(self):
+        p = AsciiPlot("T", width=20, height=5)
+        p.add_series("s", [(1.0, 2.0)])
+        out = p.render()
+        assert "o" in out
+
+    def test_flat_series_does_not_crash(self):
+        p = AsciiPlot("T", width=20, height=5)
+        p.add_series("s", [(0, 1.0), (5, 1.0), (10, 1.0)])
+        p.render()
+
+    def test_no_points_raises_via_bounds(self):
+        p = AsciiPlot("T")
+        p.add_series("s", [])
+        with pytest.raises(ValueError):
+            p.render()

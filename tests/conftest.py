@@ -1,0 +1,57 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.sched import CBFScheduler, EASYScheduler, FCFSScheduler
+from repro.sched.job import Request
+from repro.sim.engine import Simulator
+
+
+def make_request(
+    nodes: int = 1,
+    runtime: float = 10.0,
+    requested: float | None = None,
+    submit_time: float = 0.0,
+    **kwargs,
+) -> Request:
+    """A request with sensible defaults for scheduler tests."""
+    return Request(
+        nodes=nodes,
+        runtime=runtime,
+        requested_time=requested if requested is not None else runtime,
+        submit_time=submit_time,
+        **kwargs,
+    )
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def cluster() -> Cluster:
+    return Cluster(0, 8)
+
+
+@pytest.fixture(params=["fcfs", "easy", "cbf"])
+def any_scheduler(request, sim, cluster):
+    """One scheduler of each algorithm, same 8-node cluster."""
+    cls = {"fcfs": FCFSScheduler, "easy": EASYScheduler, "cbf": CBFScheduler}
+    return cls[request.param](sim, cluster)
+
+
+def run_all(sim: Simulator) -> None:
+    """Drain the event heap."""
+    sim.run()
+
+
+def submit_at(sim: Simulator, scheduler, request: Request, t: float) -> Request:
+    """Schedule a submission at absolute time ``t``."""
+    from repro.sim.events import EventPriority
+
+    sim.at(t, lambda: scheduler.submit(request), EventPriority.SUBMIT)
+    return request

@@ -1,0 +1,159 @@
+"""Tests for the first-start-wins redundancy protocol."""
+
+import pytest
+
+from repro.cluster.platform import Platform
+from repro.core.coordinator import Coordinator
+from repro.sched.job import RequestState
+from repro.sim.engine import Simulator
+from repro.workload.stream import StreamJob
+
+
+def job(origin=0, arrival=0.0, nodes=4, runtime=10.0, requested=None,
+        redundant=True):
+    return StreamJob(
+        origin=origin,
+        arrival=arrival,
+        nodes=nodes,
+        runtime=runtime,
+        requested_time=requested if requested is not None else runtime,
+        uses_redundancy=redundant,
+    )
+
+
+@pytest.fixture
+def setup():
+    sim = Simulator()
+    platform = Platform(sim, [8, 8, 8], algorithm="easy")
+    coord = Coordinator(sim, platform)
+    return sim, platform, coord
+
+
+class TestProtocol:
+    def test_winner_and_losers(self, setup):
+        sim, platform, coord = setup
+        # Block cluster 0 so the copy on cluster 1 wins.
+        blocker = job(origin=0, nodes=8, runtime=100.0, redundant=False)
+        coord.schedule_job(blocker, [0])
+        j = job(origin=0, arrival=1.0, nodes=8)
+        coord.schedule_job(j, [0, 1])
+        sim.run()
+        rj = coord.jobs[1]
+        assert rj.winner is not None
+        assert rj.winner.cluster.cluster.index == 1
+        loser = rj.requests[0]
+        assert loser.state is RequestState.CANCELLED
+        assert loser.cancelled_at == 1.0  # cancelled the instant the win happened
+
+    def test_no_duplicate_starts_with_zero_latency(self, setup):
+        sim, platform, coord = setup
+        # Both clusters idle: both copies could start at the same instant;
+        # deterministic ordering must let exactly one win.
+        j = job(origin=0, nodes=4)
+        coord.schedule_job(j, [0, 1, 2])
+        sim.run()
+        assert coord.duplicate_starts == []
+        rj = coord.jobs[0]
+        states = sorted(r.state.value for r in rj.requests)
+        assert states == ["cancelled", "cancelled", "completed"]
+
+    def test_metrics_from_winner(self, setup):
+        sim, platform, coord = setup
+        j = job(origin=0, nodes=4, runtime=10.0)
+        coord.schedule_job(j, [0, 1])
+        sim.run()
+        rj = coord.jobs[0]
+        assert rj.completed
+        assert rj.winner.start_time == 0.0
+        assert rj.winner.end_time == 10.0
+
+    def test_single_target_non_redundant(self, setup):
+        sim, platform, coord = setup
+        j = job(redundant=False)
+        coord.schedule_job(j, [0])
+        sim.run()
+        rj = coord.jobs[0]
+        assert not rj.uses_redundancy
+        assert rj.n_copies == 1
+        assert coord.total_cancellations == 0
+
+    def test_counters(self, setup):
+        sim, platform, coord = setup
+        for i in range(5):
+            coord.schedule_job(job(arrival=float(i)), [0, 1, 2])
+        sim.run()
+        assert coord.total_requests == 15
+        assert coord.total_cancellations == 10
+        assert coord.unfinished_jobs() == []
+        coord.check_invariants()
+
+    def test_targets_must_start_with_origin(self, setup):
+        sim, platform, coord = setup
+        with pytest.raises(ValueError, match="origin"):
+            coord.submit_job(job(origin=0), [1, 0])
+
+    def test_empty_targets_rejected(self, setup):
+        sim, platform, coord = setup
+        with pytest.raises(ValueError):
+            coord.submit_job(job(), [])
+
+
+class TestRemoteInflation:
+    def test_remote_copies_padded(self):
+        sim = Simulator()
+        platform = Platform(sim, [8, 8], algorithm="easy")
+        coord = Coordinator(sim, platform, remote_inflation=0.5)
+        j = job(origin=0, nodes=4, runtime=10.0, requested=20.0)
+        coord.schedule_job(j, [0, 1])
+        sim.run()
+        rj = coord.jobs[0]
+        local, remote = rj.requests
+        assert local.requested_time == 20.0
+        assert remote.requested_time == pytest.approx(30.0)
+
+    def test_negative_inflation_rejected(self):
+        sim = Simulator()
+        platform = Platform(sim, [8])
+        with pytest.raises(ValueError):
+            Coordinator(sim, platform, remote_inflation=-0.1)
+
+
+class TestCancellationLatency:
+    def test_duplicate_start_possible_with_latency(self):
+        """With a cancellation delay, a sibling can start in the window;
+        the protocol must count it as waste, not crash."""
+        sim = Simulator()
+        platform = Platform(sim, [8, 8], algorithm="easy")
+        coord = Coordinator(sim, platform, cancellation_latency=5.0)
+        # Cluster 1 is busy until t=2; the local copy starts at t=0, the
+        # remote one at t=2 < 0 + 5s latency.
+        blocker = job(origin=1, nodes=8, runtime=2.0, redundant=False)
+        coord.schedule_job(blocker, [1])
+        j = job(origin=0, nodes=8, runtime=10.0)
+        coord.schedule_job(j, [0, 1])
+        sim.run()
+        rj = coord.jobs[1]
+        assert rj.winner.cluster.cluster.index == 0
+        assert len(coord.duplicate_starts) == 1
+        dup = coord.duplicate_starts[0]
+        assert dup.state is RequestState.COMPLETED  # ran to waste
+
+    def test_latency_cancel_still_removes_pending(self):
+        sim = Simulator()
+        platform = Platform(sim, [8, 8], algorithm="easy")
+        coord = Coordinator(sim, platform, cancellation_latency=1.0)
+        blocker = job(origin=1, nodes=8, runtime=50.0, redundant=False)
+        coord.schedule_job(blocker, [1])
+        j = job(origin=0, nodes=8, runtime=10.0)
+        coord.schedule_job(j, [0, 1])
+        sim.run()
+        rj = coord.jobs[1]
+        remote = rj.requests[1]
+        assert remote.state is RequestState.CANCELLED
+        assert remote.cancelled_at == pytest.approx(1.0)  # start 0 + latency
+
+    def test_negative_latency_rejected(self):
+        sim = Simulator()
+        platform = Platform(sim, [8])
+        with pytest.raises(ValueError):
+            Coordinator(sim, platform, cancellation_latency=-1.0)

@@ -1,0 +1,119 @@
+"""Property-based tests of the first-start-wins protocol.
+
+Random multi-cluster redundancy workloads, audited event by event:
+exactly one winner per job, sibling accounting, node conservation, and
+the identity "submissions = starts + cancellations + still pending"
+across the platform.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.platform import Platform
+from repro.core.coordinator import Coordinator
+from repro.sched.job import RequestState
+from repro.sim.engine import Simulator
+from repro.workload.stream import StreamJob
+
+N_CLUSTERS = 3
+NODES = 8
+
+job_strategy = st.tuples(
+    st.floats(min_value=0.0, max_value=40.0),     # arrival
+    st.integers(min_value=0, max_value=N_CLUSTERS - 1),  # origin
+    st.integers(min_value=1, max_value=NODES),    # nodes
+    st.floats(min_value=0.1, max_value=20.0),     # runtime
+    st.integers(min_value=1, max_value=N_CLUSTERS),  # copies
+)
+
+workload_strategy = st.lists(job_strategy, min_size=1, max_size=25)
+
+
+def run_protocol(workload, algorithm="easy", latency=0.0):
+    sim = Simulator()
+    platform = Platform(sim, [NODES] * N_CLUSTERS, algorithm=algorithm)
+    coord = Coordinator(sim, platform, cancellation_latency=latency)
+    for arrival, origin, nodes, runtime, copies in workload:
+        spec = StreamJob(
+            origin=origin, arrival=arrival, nodes=nodes, runtime=runtime,
+            requested_time=runtime, uses_redundancy=copies > 1,
+        )
+        remotes = [c for c in range(N_CLUSTERS) if c != origin]
+        targets = [origin] + remotes[: copies - 1]
+        coord.schedule_job(spec, targets)
+    while sim.step():
+        platform.check_invariants()
+    coord.check_invariants()
+    return coord, platform
+
+
+@settings(max_examples=50, deadline=None)
+@given(workload=workload_strategy)
+def test_every_job_exactly_one_winner(workload):
+    coord, _ = run_protocol(workload)
+    for job in coord.jobs:
+        winners = [
+            r for r in job.requests
+            if r.state is RequestState.COMPLETED
+        ]
+        assert len(winners) == 1
+        assert job.winner is winners[0]
+        losers = [r for r in job.requests if r is not job.winner]
+        assert all(r.state is RequestState.CANCELLED for r in losers)
+
+
+@settings(max_examples=50, deadline=None)
+@given(workload=workload_strategy)
+def test_request_accounting_identity(workload):
+    coord, platform = run_protocol(workload)
+    submitted = sum(s.stats.submitted for s in platform.schedulers)
+    started = sum(s.stats.started for s in platform.schedulers)
+    cancelled = sum(s.stats.cancelled for s in platform.schedulers)
+    pending = sum(s.queue_length for s in platform.schedulers)
+    assert submitted == coord.total_requests
+    assert cancelled == coord.total_cancellations
+    assert submitted == started + cancelled + pending
+    assert pending == 0  # drained run
+    assert started == len(coord.jobs)  # no duplicates at zero latency
+
+
+@settings(max_examples=40, deadline=None)
+@given(workload=workload_strategy)
+def test_winner_is_earliest_starting_copy(workload):
+    coord, _ = run_protocol(workload)
+    for job in coord.jobs:
+        assert job.winner.start_time is not None
+        # No sibling may carry an earlier start.
+        for r in job.requests:
+            if r.start_time is not None:
+                assert r.start_time >= job.winner.start_time
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    workload=workload_strategy,
+    latency=st.floats(min_value=0.1, max_value=10.0),
+)
+def test_latency_duplicates_are_bounded_and_accounted(workload, latency):
+    """With positive latency, duplicate starts may occur but each job
+    still has exactly one winner; duplicates run to completion."""
+    coord, platform = run_protocol(workload, latency=latency)
+    for job in coord.jobs:
+        assert job.winner is not None
+    for dup in coord.duplicate_starts:
+        assert dup.state is RequestState.COMPLETED
+        assert dup.group.winner is not dup
+    started = sum(s.stats.started for s in platform.schedulers)
+    assert started == len(coord.jobs) + len(coord.duplicate_starts)
+
+
+@settings(max_examples=20, deadline=None)
+@given(workload=workload_strategy)
+def test_protocol_identical_across_algorithms_in_counts(workload):
+    """All three schedulers keep the same protocol-level invariants."""
+    for algorithm in ("fcfs", "easy", "cbf"):
+        coord, platform = run_protocol(workload, algorithm=algorithm)
+        assert all(j.completed for j in coord.jobs)
+        assert sum(s.queue_length for s in platform.schedulers) == 0

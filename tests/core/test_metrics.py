@@ -1,0 +1,104 @@
+"""Tests for schedule-quality metrics."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import (
+    MetricSummary,
+    bounded_slowdown,
+    mean_of_ratios,
+    relative,
+    stretch,
+)
+
+
+class TestStretch:
+    def test_basic(self):
+        assert stretch(40.0, 10.0) == 4.0
+
+    def test_zero_wait_is_one(self):
+        assert stretch(10.0, 10.0) == 1.0
+
+    def test_float_rounding_clamped_to_one(self):
+        rt = 4.224930832079049
+        ta = 4.224930832079046  # a few ulps below (event arithmetic)
+        assert stretch(ta, rt) == 1.0
+
+    def test_clearly_negative_wait_rejected(self):
+        with pytest.raises(ValueError):
+            stretch(5.0, 10.0)
+
+    def test_nonpositive_runtime_rejected(self):
+        with pytest.raises(ValueError):
+            stretch(10.0, 0.0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        wait=st.floats(min_value=0.0, max_value=1e6),
+        runtime=st.floats(min_value=1e-3, max_value=1e6),
+    )
+    def test_property_at_least_one(self, wait, runtime):
+        assert stretch(wait + runtime, runtime) >= 1.0
+
+
+class TestBoundedSlowdown:
+    def test_floors_short_runtimes(self):
+        # A 1-second job waiting 99s: raw stretch 100, bounded 10.
+        assert stretch(100.0, 1.0) == 100.0
+        assert bounded_slowdown(100.0, 1.0) == 10.0
+
+    def test_matches_stretch_for_long_jobs(self):
+        assert bounded_slowdown(40.0, 20.0) == stretch(40.0, 20.0)
+
+    def test_never_below_one(self):
+        assert bounded_slowdown(0.5, 1.0) == 1.0
+
+    def test_custom_tau(self):
+        assert bounded_slowdown(100.0, 1.0, tau=50.0) == 2.0
+
+
+class TestMetricSummary:
+    def test_of_values(self):
+        s = MetricSummary.of([1.0, 2.0, 3.0])
+        assert s.count == 3
+        assert s.mean == 2.0
+        assert s.maximum == 3.0
+        assert s.std == pytest.approx(np.std([1, 2, 3]))
+
+    def test_cv_percent(self):
+        s = MetricSummary.of([2.0, 2.0, 2.0])
+        assert s.cv_percent == 0.0
+        s2 = MetricSummary.of([1.0, 3.0])
+        assert s2.cv_percent == pytest.approx(50.0)
+
+    def test_empty(self):
+        s = MetricSummary.of([])
+        assert s.count == 0
+        assert math.isnan(s.mean)
+        assert math.isnan(s.cv_percent)
+
+
+class TestRelative:
+    def test_ratio(self):
+        assert relative(0.8, 1.0) == 0.8
+
+    def test_zero_baseline_is_nan(self):
+        assert math.isnan(relative(1.0, 0.0))
+
+    def test_mean_of_ratios_is_paired(self):
+        """Mean of per-experiment ratios, not ratio of means — they differ."""
+        pairs = [(1.0, 2.0), (9.0, 3.0)]
+        assert mean_of_ratios(pairs) == pytest.approx((0.5 + 3.0) / 2)
+        ratio_of_means = (1.0 + 9.0) / (2.0 + 3.0)
+        assert mean_of_ratios(pairs) != ratio_of_means
+
+    def test_mean_of_ratios_skips_nan(self):
+        pairs = [(1.0, 0.0), (2.0, 4.0)]
+        assert mean_of_ratios(pairs) == 0.5
+
+    def test_mean_of_ratios_all_bad(self):
+        assert math.isnan(mean_of_ratios([(1.0, 0.0)]))

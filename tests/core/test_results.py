@@ -1,0 +1,134 @@
+"""Tests for result containers."""
+
+import math
+
+import pytest
+
+from repro.core.results import (
+    ClusterOutcome,
+    ExperimentResult,
+    JobOutcome,
+    merge_results,
+)
+
+
+def outcome(job_id=0, origin=0, winner=0, runtime=10.0, submit=0.0,
+            start=5.0, redundant=False, copies=1, **kw):
+    return JobOutcome(
+        job_id=job_id,
+        origin=origin,
+        winner_cluster=winner,
+        nodes=4,
+        runtime=runtime,
+        requested_time=runtime,
+        submit_time=submit,
+        start_time=start,
+        end_time=start + runtime,
+        uses_redundancy=redundant,
+        n_copies=copies,
+        **kw,
+    )
+
+
+def result(jobs, **kw):
+    defaults = dict(scheme="R2", algorithm="easy", n_clusters=2, replication=0)
+    defaults.update(kw)
+    return ExperimentResult(jobs=jobs, **defaults)
+
+
+class TestJobOutcome:
+    def test_derived_times(self):
+        j = outcome(submit=10.0, start=30.0, runtime=20.0)
+        assert j.wait_time == 20.0
+        assert j.turnaround == 40.0
+        assert j.stretch == 2.0
+
+    def test_bounded_slowdown(self):
+        j = outcome(runtime=1.0, submit=0.0, start=99.0)
+        assert j.stretch == 100.0
+        assert j.bounded_slowdown == 10.0
+
+    def test_ran_remotely(self):
+        assert outcome(origin=0, winner=1).ran_remotely
+        assert not outcome(origin=0, winner=0).ran_remotely
+
+
+class TestSelections:
+    def make(self):
+        return result([
+            outcome(0, redundant=True, start=1.0),
+            outcome(1, redundant=False, start=9.0),
+            outcome(2, redundant=True, start=3.0),
+        ])
+
+    def test_select_all(self):
+        assert len(self.make().select()) == 3
+
+    def test_select_by_redundancy(self):
+        r = self.make()
+        assert [j.job_id for j in r.select(redundant=True)] == [0, 2]
+        assert [j.job_id for j in r.select(redundant=False)] == [1]
+
+    def test_stretches_vector(self):
+        r = self.make()
+        assert len(r.stretches()) == 3
+        assert len(r.stretches(redundant=True)) == 2
+
+
+class TestAggregates:
+    def test_avg_and_max_stretch(self):
+        r = result([outcome(start=0.0), outcome(start=30.0)])  # stretch 1, 4
+        assert r.avg_stretch == pytest.approx(2.5)
+        assert r.max_stretch == pytest.approx(4.0)
+
+    def test_cv_stretch(self):
+        r = result([outcome(start=0.0), outcome(start=30.0)])
+        assert r.cv_stretch == pytest.approx(100.0 * 1.5 / 2.5)
+
+    def test_empty_results_nan(self):
+        r = result([])
+        assert math.isnan(r.avg_stretch)
+        assert math.isnan(r.avg_turnaround)
+
+    def test_completion_fraction(self):
+        r = result([outcome()], n_submitted_jobs=4)
+        assert r.completion_fraction == 0.25
+
+    def test_queue_stats(self):
+        r = result(
+            [],
+            clusters=[
+                ClusterOutcome(0, 128, 10, 2, 5, 5, 40),
+                ClusterOutcome(1, 128, 12, 1, 6, 6, 60),
+            ],
+        )
+        assert r.max_queue_length == 60
+        assert r.avg_max_queue_length == 50.0
+
+    def test_remote_fraction(self):
+        r = result([
+            outcome(0, redundant=True, winner=1),
+            outcome(1, redundant=True, winner=0),
+            outcome(2, redundant=False, winner=0),
+        ])
+        assert r.remote_fraction() == 0.5
+
+    def test_remote_fraction_no_redundant_jobs(self):
+        assert math.isnan(result([outcome()]).remote_fraction())
+
+
+class TestMerge:
+    def test_merge_checks_config_consistency(self):
+        a = result([outcome()])
+        b = result([outcome()], scheme="ALL")
+        with pytest.raises(ValueError, match="different configurations"):
+            merge_results([a, b])
+
+    def test_merge_accepts_matching(self):
+        a = result([outcome()], replication=0)
+        b = result([outcome()], replication=1)
+        assert len(merge_results([a, b])) == 2
+
+    def test_merge_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_results([])

@@ -1,0 +1,68 @@
+"""Tests for replication sweeps and paired comparisons."""
+
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.core.runner import compare_schemes, run_replications
+
+
+def tiny(**kw):
+    defaults = dict(
+        n_clusters=3, nodes_per_cluster=16, duration=300.0,
+        offered_load=2.0, drain=True, seed=8,
+    )
+    defaults.update(kw)
+    return ExperimentConfig(**defaults)
+
+
+class TestRunReplications:
+    def test_count_and_indices(self):
+        rs = run_replications(tiny(), 3)
+        assert [r.replication for r in rs] == [0, 1, 2]
+
+    def test_first_replication_offset(self):
+        rs = run_replications(tiny(), 2, first_replication=5)
+        assert [r.replication for r in rs] == [5, 6]
+
+    def test_zero_replications_rejected(self):
+        with pytest.raises(ValueError):
+            run_replications(tiny(), 0)
+
+    def test_parallel_matches_serial(self):
+        serial = run_replications(tiny(), 2, n_workers=1)
+        parallel = run_replications(tiny(), 2, n_workers=2)
+        assert [r.avg_stretch for r in serial] == [
+            r.avg_stretch for r in parallel
+        ]
+
+
+class TestCompareSchemes:
+    def test_structure(self):
+        cmp_ = compare_schemes(tiny(), ["R2", "ALL"], 2)
+        assert set(cmp_.per_scheme) == {"R2", "ALL"}
+        assert len(cmp_.baseline) == 2
+        rel = cmp_.relative("R2")
+        assert rel.scheme == "R2"
+        assert rel.n_replications == 2
+        assert 0 < rel.avg_stretch < 10
+
+    def test_baseline_is_none_scheme(self):
+        cmp_ = compare_schemes(tiny(scheme="ALL"), ["R2"], 1)
+        assert all(r.scheme == "NONE" for r in cmp_.baseline)
+
+    def test_win_fraction_bounds(self):
+        cmp_ = compare_schemes(tiny(), ["ALL"], 3)
+        rel = cmp_.relative("ALL")
+        assert 0.0 <= rel.win_fraction <= 1.0
+        assert rel.worst_avg_stretch >= rel.avg_stretch - rel.avg_stretch_ratio_std * 3
+
+    def test_progress_callback(self):
+        messages = []
+        compare_schemes(tiny(), ["R2"], 1, progress=messages.append)
+        assert len(messages) == 2  # baseline + one scheme
+        assert "NONE" in messages[0]
+
+    def test_all_relative(self):
+        cmp_ = compare_schemes(tiny(), ["R2", "R3"], 1)
+        rel = cmp_.all_relative()
+        assert set(rel) == {"R2", "R3"}

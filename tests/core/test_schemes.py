@@ -1,0 +1,174 @@
+"""Tests for redundancy schemes and target selection."""
+
+import numpy as np
+import pytest
+
+from repro.core.schemes import (
+    PAPER_SCHEME_ORDER,
+    SCHEMES,
+    RedundancyScheme,
+    TargetSelector,
+    geometric_bias_weights,
+    get_scheme,
+)
+
+
+class TestSchemeDefinitions:
+    @pytest.mark.parametrize(
+        "name,n,expected",
+        [
+            ("NONE", 10, 1),
+            ("R2", 10, 2),
+            ("R3", 10, 3),
+            ("R4", 10, 4),
+            ("HALF", 10, 5),
+            ("ALL", 10, 10),
+            ("HALF", 5, 3),      # rounds to nearest
+            ("HALF", 2, 1),
+            ("R4", 3, 3),        # clamped to platform size
+            ("ALL", 1, 1),
+        ],
+    )
+    def test_copy_counts(self, name, n, expected):
+        assert get_scheme(name).copies(n) == expected
+
+    def test_lookup_case_insensitive(self):
+        assert get_scheme("half") is SCHEMES["HALF"]
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            get_scheme("R99")
+
+    def test_paper_order_covers_redundant_schemes(self):
+        assert set(PAPER_SCHEME_ORDER) == set(SCHEMES) - {"NONE"}
+
+    def test_is_redundant(self):
+        assert not get_scheme("NONE").is_redundant
+        assert all(get_scheme(s).is_redundant for s in PAPER_SCHEME_ORDER)
+
+    def test_invalid_definitions_rejected(self):
+        with pytest.raises(ValueError):
+            RedundancyScheme("X", fixed_copies=2, fraction=0.5)
+        with pytest.raises(ValueError):
+            RedundancyScheme("X")
+        with pytest.raises(ValueError):
+            RedundancyScheme("X", fraction=1.5)
+        with pytest.raises(ValueError):
+            RedundancyScheme("X", fixed_copies=0)
+
+
+class TestBiasWeights:
+    def test_geometric_halving(self):
+        w = geometric_bias_weights(4)
+        assert w[0] == pytest.approx(2 * w[1])
+        assert w[1] == pytest.approx(2 * w[2])
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_papers_625_percent_anchor(self):
+        """The paper quotes 6.25% (= 1/16) for low-weight clusters; in a
+        pure halving chain over 10 clusters that is the 4th cluster's
+        normalised weight."""
+        w = geometric_bias_weights(10)
+        assert w[3] == pytest.approx(0.0625, abs=0.001)
+        # The bottom half of the platform is collectively rare (<13%).
+        assert w[5:].sum() < 0.13
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            geometric_bias_weights(0)
+        with pytest.raises(ValueError):
+            geometric_bias_weights(5, ratio=0.0)
+
+
+class TestTargetSelector:
+    def make(self, scheme="R3", counts=(128,) * 10, weights=None, seed=0):
+        return TargetSelector(
+            get_scheme(scheme), counts, np.random.default_rng(seed),
+            cluster_weights=weights,
+        )
+
+    def test_origin_always_first(self):
+        sel = self.make()
+        for origin in range(10):
+            targets = sel.choose(origin, 4, uses_redundancy=True)
+            assert targets[0] == origin
+
+    def test_correct_copy_count(self):
+        sel = self.make("R3")
+        targets = sel.choose(0, 4, uses_redundancy=True)
+        assert len(targets) == 3
+        assert len(set(targets)) == 3  # no duplicates
+
+    def test_non_redundant_job_local_only(self):
+        sel = self.make("ALL")
+        assert sel.choose(2, 4, uses_redundancy=False) == [2]
+
+    def test_none_scheme_local_only(self):
+        sel = self.make("NONE")
+        assert sel.choose(2, 4, uses_redundancy=True) == [2]
+
+    def test_all_scheme_targets_everyone(self):
+        sel = self.make("ALL")
+        targets = sel.choose(3, 4, uses_redundancy=True)
+        assert sorted(targets) == list(range(10))
+
+    def test_heterogeneous_eligibility(self):
+        sel = self.make("ALL", counts=(256, 16, 64, 256))
+        targets = sel.choose(0, 128, uses_redundancy=True)
+        assert sorted(targets) == [0, 3]  # only the 256-node clusters
+
+    def test_no_eligible_remote_falls_back_to_local(self):
+        sel = self.make("R4", counts=(256, 16, 16, 16))
+        assert sel.choose(0, 128, uses_redundancy=True) == [0]
+
+    def test_job_too_big_for_origin_rejected(self):
+        sel = self.make("R2", counts=(16, 256))
+        with pytest.raises(ValueError):
+            sel.choose(0, 64, uses_redundancy=True)
+
+    def test_origin_out_of_range_rejected(self):
+        sel = self.make()
+        with pytest.raises(ValueError):
+            sel.choose(10, 1, uses_redundancy=True)
+
+    def test_uniform_selection_is_roughly_uniform(self):
+        sel = self.make("R2", seed=11)
+        counts = np.zeros(10)
+        for _ in range(5000):
+            t = sel.choose(0, 1, uses_redundancy=True)
+            counts[t[1]] += 1
+        # Remotes 1..9 should each get ~1/9 of the picks.
+        probs = counts[1:] / 5000
+        assert np.all(np.abs(probs - 1 / 9) < 0.02)
+
+    def test_biased_selection_respects_weights(self):
+        w = geometric_bias_weights(10)
+        sel = self.make("R2", weights=w, seed=13)
+        counts = np.zeros(10)
+        n = 8000
+        for _ in range(n):
+            t = sel.choose(9, 1, uses_redundancy=True)  # origin last
+            counts[t[1]] += 1
+        # Cluster 0 should be picked about twice as often as cluster 1.
+        assert counts[0] / counts[1] == pytest.approx(2.0, rel=0.15)
+
+    def test_weight_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            self.make("R2", weights=[0.5, 0.5])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            TargetSelector(
+                get_scheme("R2"), (8, 8), np.random.default_rng(0),
+                cluster_weights=[-1.0, 2.0],
+            )
+
+    def test_zero_weight_eligible_remotes_fall_back_to_uniform(self):
+        # Origin carries all the weight; remotes all zero: redundancy
+        # must still fan out rather than silently degrade.
+        sel = TargetSelector(
+            get_scheme("R2"), (8, 8, 8), np.random.default_rng(0),
+            cluster_weights=[1.0, 0.0, 0.0],
+        )
+        targets = sel.choose(0, 1, uses_redundancy=True)
+        assert len(targets) == 2

@@ -1,0 +1,112 @@
+"""Tests for post-run timeline reconstruction."""
+
+import pytest
+
+from repro.cluster.platform import Platform
+from repro.core.coordinator import Coordinator
+from repro.core.tracing import (
+    growth_rate,
+    level_at,
+    peak,
+    queue_length_timeline,
+    system_request_timeline,
+    time_average,
+    utilization_timeline,
+)
+from repro.sim.engine import Simulator
+from repro.workload.stream import StreamJob
+
+
+def job(origin=0, arrival=0.0, nodes=4, runtime=10.0, redundant=False):
+    return StreamJob(origin=origin, arrival=arrival, nodes=nodes,
+                     runtime=runtime, requested_time=runtime,
+                     uses_redundancy=redundant)
+
+
+@pytest.fixture
+def run():
+    sim = Simulator()
+    platform = Platform(sim, [8, 8], algorithm="easy")
+    coord = Coordinator(sim, platform)
+    # A redundant job whose remote copy gets cancelled, plus a local one.
+    coord.schedule_job(job(nodes=8, runtime=10.0, redundant=True), [0, 1])
+    coord.schedule_job(job(origin=1, arrival=2.0, nodes=4, runtime=6.0),
+                       [1])
+    sim.run()
+    return coord, platform
+
+
+class TestTimelines:
+    def test_system_request_counts(self, run):
+        coord, _ = run
+        series = system_request_timeline(coord.jobs)
+        # t=0: two copies live; the loser cancelled at t=0 too (winner
+        # started immediately), so the level at 0 is net 1.
+        assert level_at(series, 0.0) == 1
+        assert level_at(series, 2.5) == 2   # plus the second job
+        assert level_at(series, 100.0) == 0  # everything done
+
+    def test_queue_length_timeline_empty_when_instant_start(self, run):
+        coord, _ = run
+        series = queue_length_timeline(coord.jobs, 0)
+        assert peak(series) <= 1  # submitted and started at same instant
+
+    def test_utilization_timeline(self, run):
+        coord, platform = run
+        series = utilization_timeline(coord.jobs, 0, 8)
+        assert level_at(series, 5.0) == pytest.approx(1.0)  # 8/8 busy
+        assert level_at(series, 50.0) == 0.0
+
+    def test_utilization_invalid_nodes(self, run):
+        coord, _ = run
+        with pytest.raises(ValueError):
+            utilization_timeline(coord.jobs, 0, 0)
+
+
+class TestSeriesHelpers:
+    SERIES = [(0.0, 0.0), (10.0, 4.0), (20.0, 2.0)]
+
+    def test_level_at(self):
+        assert level_at(self.SERIES, -1.0) == 0.0
+        assert level_at(self.SERIES, 10.0) == 4.0
+        assert level_at(self.SERIES, 15.0) == 4.0
+        assert level_at(self.SERIES, 25.0) == 2.0
+
+    def test_peak(self):
+        assert peak(self.SERIES) == 4.0
+        assert peak([]) == 0.0
+
+    def test_time_average(self):
+        # [0,10): 0, [10,20): 4, [20,30): 2 -> mean over [0,30] = 2.0
+        assert time_average(self.SERIES, 0.0, 30.0) == pytest.approx(2.0)
+
+    def test_time_average_partial_window(self):
+        assert time_average(self.SERIES, 10.0, 20.0) == pytest.approx(4.0)
+
+    def test_time_average_empty_interval(self):
+        with pytest.raises(ValueError):
+            time_average(self.SERIES, 5.0, 5.0)
+
+    def test_growth_rate_linear_series(self):
+        series = [(float(t), 2.0 * t) for t in range(100)]
+        assert growth_rate(series, 0.0, 99.0) == pytest.approx(2.0)
+
+    def test_growth_rate_too_few_points(self):
+        assert growth_rate([(0.0, 1.0)], 0.0, 10.0) == 0.0
+
+
+class TestQueueGrowthReconstruction:
+    def test_overloaded_queue_grows(self):
+        """Reconstruct §4.1's queue growth from request lifecycles."""
+        sim = Simulator()
+        platform = Platform(sim, [4], algorithm="easy")
+        coord = Coordinator(sim, platform)
+        for i in range(100):
+            coord.schedule_job(
+                job(arrival=float(i), nodes=4, runtime=50.0), [0]
+            )
+        sim.run(until=100.0)
+        series = queue_length_timeline(coord.jobs, 0)
+        rate = growth_rate(series, 0.0, 100.0)
+        # ~1 arrival/s, ~0.02 starts/s: queue grows at almost 1/s.
+        assert rate > 0.8

@@ -1,0 +1,116 @@
+"""Tests for moldable redundant requests (option iv)."""
+
+import pytest
+
+from repro.ext.moldable import (
+    MoldableCoordinator,
+    candidate_sizes,
+    moldable_runtime,
+    run_moldable_study,
+)
+from repro.cluster.cluster import Cluster
+from repro.sched import EASYScheduler
+from repro.sim.engine import Simulator
+from repro.workload.stream import StreamJob
+
+
+def spec(arrival=0.0, nodes=8, runtime=100.0, requested=None, redundant=True):
+    return StreamJob(
+        origin=0, arrival=arrival, nodes=nodes, runtime=runtime,
+        requested_time=requested if requested is not None else runtime,
+        uses_redundancy=redundant,
+    )
+
+
+class TestSpeedupModel:
+    def test_natural_point_anchored(self):
+        assert moldable_runtime(8, 100.0, 8) == 100.0
+
+    def test_fewer_nodes_longer(self):
+        assert moldable_runtime(8, 100.0, 4, alpha=1.0) == 200.0
+        assert moldable_runtime(8, 100.0, 4, alpha=0.5) == pytest.approx(
+            100.0 * 2 ** 0.5
+        )
+
+    def test_more_nodes_shorter(self):
+        assert moldable_runtime(8, 100.0, 16, alpha=1.0) == 50.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            moldable_runtime(8, 100.0, 4, alpha=0.0)
+        with pytest.raises(ValueError):
+            moldable_runtime(8, -1.0, 4)
+        with pytest.raises(ValueError):
+            moldable_runtime(0, 100.0, 4)
+
+
+class TestCandidateSizes:
+    def test_half_natural_double(self):
+        assert candidate_sizes(8, 128) == [4, 8, 16]
+
+    def test_clamped_to_cluster(self):
+        assert candidate_sizes(100, 128) == [50, 100, 128]
+
+    def test_deduplicated_at_floor(self):
+        assert candidate_sizes(1, 128) == [1, 2]
+
+
+class TestCoordinator:
+    def test_one_variant_wins_others_cancelled(self):
+        sim = Simulator()
+        sched = EASYScheduler(sim, Cluster(0, 32))
+        coord = MoldableCoordinator(sim, sched)
+        job = coord.submit_moldable(spec(nodes=8, runtime=64.0))
+        sim.run()
+        assert job.completed
+        states = sorted(r.state.value for r in job.requests)
+        assert states.count("completed") == 1
+        assert states.count("cancelled") == len(job.requests) - 1
+
+    def test_small_variant_wins_on_congested_cluster(self):
+        """When the cluster is nearly full, the small variant starts first."""
+        sim = Simulator()
+        sched = EASYScheduler(sim, Cluster(0, 16))
+        coord = MoldableCoordinator(sim, sched)
+        # Occupy 12 nodes for a long time: only <=4-node requests fit.
+        blocker = coord.submit_moldable(
+            spec(nodes=12, runtime=1000.0, redundant=False)
+        )
+        job = coord.submit_moldable(spec(arrival=1.0, nodes=8, runtime=64.0))
+        sim.run(until=900.0)
+        assert job.winner is not None
+        assert job.winner.nodes == 4
+        assert job.winner.start_time == 1.0
+
+    def test_non_redundant_submits_single_natural_size(self):
+        sim = Simulator()
+        sched = EASYScheduler(sim, Cluster(0, 32))
+        coord = MoldableCoordinator(sim, sched)
+        job = coord.submit_moldable(spec(nodes=8, redundant=False))
+        sim.run()
+        assert job.winner.nodes == 8
+        assert len(job.requests) == 1
+
+    def test_overestimate_preserved(self):
+        sim = Simulator()
+        sched = EASYScheduler(sim, Cluster(0, 32))
+        coord = MoldableCoordinator(sim, sched)
+        job = coord.submit_moldable(spec(nodes=8, runtime=50.0, requested=100.0))
+        for r in job.requests:
+            assert r.requested_time == pytest.approx(2.0 * r.runtime)
+
+
+class TestStudy:
+    def test_moldable_helps_under_contention(self):
+        jobs = [
+            spec(arrival=i * 10.0, nodes=16, runtime=300.0)
+            for i in range(10)
+        ]
+        res = run_moldable_study(jobs, nodes=32, alpha=1.0)
+        assert res.moldable_completed >= res.fixed_completed
+        assert res.moldable_avg_stretch <= res.fixed_avg_stretch * 1.05
+
+    def test_study_handles_horizon(self):
+        jobs = [spec(arrival=0.0, nodes=8, runtime=50.0)]
+        res = run_moldable_study(jobs, nodes=32, horizon=200.0)
+        assert res.fixed_completed == 1

@@ -1,0 +1,129 @@
+"""Tests for multi-queue redundancy (options ii/iii)."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.ext.multiqueue import (
+    DEFAULT_QUEUES,
+    MultiQueueCoordinator,
+    MultiQueueScheduler,
+    QueueSpec,
+    run_option_iii_study,
+)
+from repro.sim.engine import Simulator
+from repro.workload.stream import StreamJob
+
+
+def spec(arrival=0.0, nodes=4, runtime=50.0, redundant=True):
+    return StreamJob(origin=0, arrival=arrival, nodes=nodes, runtime=runtime,
+                     requested_time=runtime, uses_redundancy=redundant)
+
+
+def setup(nodes=8):
+    sim = Simulator()
+    sched = MultiQueueScheduler(sim, Cluster(0, nodes))
+    coord = MultiQueueCoordinator(sim, sched)
+    return sim, sched, coord
+
+
+class TestScheduler:
+    def test_premium_jumps_standard(self):
+        sim, sched, coord = setup()
+        # Fill the cluster so both new arrivals must wait.
+        blocker = coord.submit(spec(nodes=8, runtime=100.0), ["standard"])
+        waiting_std = coord.submit(
+            spec(arrival=1.0, nodes=8, runtime=10.0), ["standard"]
+        )
+        waiting_prem = coord.submit(
+            spec(arrival=2.0, nodes=8, runtime=10.0), ["premium"]
+        )
+        sim.run()
+        # Premium submitted later but starts first.
+        assert waiting_prem.winner.start_time == 100.0
+        assert waiting_std.winner.start_time == 110.0
+
+    def test_unknown_queue_rejected(self):
+        sim, sched, coord = setup()
+        from repro.sched.job import Request
+
+        with pytest.raises(ValueError, match="unknown queue"):
+            sched.submit_to(
+                Request(nodes=1, runtime=1.0, requested_time=1.0), "vip"
+            )
+
+    def test_duplicate_queue_names_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="duplicate"):
+            MultiQueueScheduler(
+                sim, Cluster(0, 8),
+                [QueueSpec("q", 0, 1.0), QueueSpec("q", 1, 2.0)],
+            )
+
+    def test_nonpositive_cost_rejected(self):
+        with pytest.raises(ValueError):
+            QueueSpec("q", 0, 0.0)
+
+
+class TestCoordinator:
+    def test_first_start_wins_across_queues(self):
+        sim, sched, coord = setup()
+        blocker = coord.submit(spec(nodes=8, runtime=100.0), ["premium"])
+        job = coord.submit(
+            spec(arrival=1.0, nodes=8, runtime=10.0),
+            ["premium", "standard"],
+        )
+        sim.run()
+        assert job.completed
+        assert job.winner_queue == "premium"  # higher priority at t=100
+        assert job.requests["standard"].state.value == "cancelled"
+
+    def test_billing_uses_winner_queue(self):
+        sim, sched, coord = setup()
+        job = coord.submit(spec(nodes=4, runtime=10.0), ["premium"])
+        sim.run()
+        assert job.cost(sched) == pytest.approx(4 * 10.0 * 2.5)
+
+    def test_cost_before_start_rejected(self):
+        sim, sched, coord = setup()
+        job = coord.submit(spec(), ["standard"])
+        with pytest.raises(ValueError):
+            job.cost(sched)
+
+    def test_empty_targets_rejected(self):
+        sim, sched, coord = setup()
+        with pytest.raises(ValueError):
+            coord.submit(spec(), [])
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        jobs = [
+            spec(arrival=i * 10.0, nodes=4, runtime=120.0)
+            for i in range(40)
+        ]
+        return {
+            o.strategy: o
+            for o in run_option_iii_study(jobs, nodes=8, seed=2)
+        }
+
+    def test_three_strategies(self, outcomes):
+        assert set(outcomes) == {"standard", "premium", "redundant"}
+        assert all(o.completed > 0 for o in outcomes.values())
+
+    def test_redundant_at_least_as_fast_as_standard(self, outcomes):
+        assert (
+            outcomes["redundant"].mean_turnaround
+            <= outcomes["standard"].mean_turnaround + 1e-6
+        )
+
+    def test_redundant_cheaper_than_premium_only(self, outcomes):
+        """The option-(iii) trade: some wins come from the cheap queue,
+        so the average bill sits below all-premium."""
+        assert (
+            outcomes["redundant"].mean_cost
+            <= outcomes["premium"].mean_cost + 1e-6
+        )
+
+    def test_standard_is_cheapest(self, outcomes):
+        assert outcomes["standard"].mean_cost <= outcomes["redundant"].mean_cost

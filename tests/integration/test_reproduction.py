@@ -1,0 +1,168 @@
+"""Integration tests: the paper's qualitative claims at reduced scale.
+
+These run the same code paths as the benchmark harness but on small
+platforms/short windows, asserting *directions and orderings* rather
+than magnitudes (which are recorded in EXPERIMENTS.md at bench scale).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.core.runner import compare_schemes, run_replications
+from repro.core.experiment import run_single
+
+BASE = ExperimentConfig(
+    n_clusters=10,
+    nodes_per_cluster=64,
+    duration=1200.0,
+    offered_load=2.0,
+    drain=True,
+    seed=17,
+)
+REPS = 3
+
+
+@pytest.fixture(scope="module")
+def n10_comparison():
+    return compare_schemes(BASE, ["R2", "HALF", "ALL"], REPS)
+
+
+class TestSection3Scheduling:
+    def test_redundancy_improves_avg_stretch_at_n10(self, n10_comparison):
+        """Figure 1's headline: relative average stretch < 1 for N=10."""
+        for scheme in ("R2", "HALF", "ALL"):
+            rel = n10_comparison.relative(scheme)
+            assert rel.avg_stretch < 1.0, (
+                f"{scheme}: relative stretch {rel.avg_stretch:.2f} >= 1"
+            )
+
+    def test_more_redundancy_helps_more(self, n10_comparison):
+        """Figure 1 ordering at N=10: ALL <= HALF <= R2 (roughly)."""
+        r2 = n10_comparison.relative("R2").avg_stretch
+        all_ = n10_comparison.relative("ALL").avg_stretch
+        assert all_ < r2
+
+    def test_redundancy_wins_most_replications(self, n10_comparison):
+        rel = n10_comparison.relative("HALF")
+        assert rel.win_fraction >= 0.5
+
+    def test_max_stretch_improves(self, n10_comparison):
+        """The paper: max stretch improves 10-60% on average."""
+        rel = n10_comparison.relative("ALL")
+        assert rel.max_stretch < 1.0
+
+    def test_turnaround_metric_agrees(self, n10_comparison):
+        """The paper: conclusions unchanged with the turnaround metric."""
+        rel = n10_comparison.relative("ALL")
+        assert rel.avg_turnaround < 1.0
+
+    def test_benefit_grows_with_sites(self):
+        """Figure 1 shape: N=2 benefit weaker than N=10 benefit."""
+        small = compare_schemes(BASE.with_(n_clusters=2), ["R2"], REPS)
+        big = compare_schemes(BASE.with_(n_clusters=10), ["R2"], REPS)
+        assert (
+            big.relative("R2").avg_stretch
+            < small.relative("R2").avg_stretch + 0.05
+        )
+
+
+class TestTable1Robustness:
+    @pytest.mark.parametrize("algorithm", ["easy", "cbf", "fcfs"])
+    @pytest.mark.parametrize("estimates", ["exact", "phi"])
+    def test_benefit_across_algorithms_and_estimates(self, algorithm,
+                                                     estimates):
+        cfg = BASE.with_(
+            algorithm=algorithm, estimates=estimates, duration=900.0,
+            n_clusters=6,
+        )
+        cmp_ = compare_schemes(cfg, ["HALF"], 2)
+        assert cmp_.relative("HALF").avg_stretch < 1.05
+
+
+class TestTable2Bias:
+    def test_biased_targets_still_beneficial(self):
+        cfg = BASE.with_(target_bias_ratio=0.5)
+        cmp_ = compare_schemes(cfg, ["HALF"], REPS)
+        assert cmp_.relative("HALF").avg_stretch < 1.0
+
+
+class TestTable3Heterogeneity:
+    def test_heterogeneous_benefit_at_least_homogeneous(self):
+        """The paper: redundancy helps even more on heterogeneous
+        platforms."""
+        hom = compare_schemes(BASE, ["HALF"], REPS)
+        het = compare_schemes(BASE.with_(heterogeneous=True), ["HALF"], REPS)
+        assert het.relative("HALF").avg_stretch < 1.0
+        # Allow noise, but heterogeneity should not be much worse.
+        assert (
+            het.relative("HALF").avg_stretch
+            <= hom.relative("HALF").avg_stretch + 0.25
+        )
+
+
+class TestFigure4PartialAdoption:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        out = {}
+        for p in (0.0, 0.5, 1.0):
+            cfg = BASE.with_(scheme="ALL", adoption_probability=p)
+            out[p] = run_replications(cfg, REPS)
+        return out
+
+    def _mean_stretch(self, results, redundant):
+        vals = []
+        for r in results:
+            s = r.stretches(redundant=redundant)
+            if s.size:
+                vals.append(float(s.mean()))
+        return float(np.mean(vals)) if vals else float("nan")
+
+    def test_non_adopters_hurt_by_adoption(self):
+        """Figure 4: the identical non-adopter job set fares worse when
+        others adopt (paired comparison — the unpaired means are too
+        noisy at test scale to show the paper's linear trend)."""
+        from repro.core.runner import paired_nonadopter_penalty
+
+        penalty = paired_nonadopter_penalty(
+            BASE.with_(duration=1800.0, seed=101), "ALL",
+            adoption=0.75, n_replications=6,
+        )
+        assert penalty > 1.0
+
+    def test_adopters_beat_non_adopters_at_same_p(self, sweep):
+        r = self._mean_stretch(sweep[0.5], redundant=True)
+        nr = self._mean_stretch(sweep[0.5], redundant=False)
+        assert r < nr
+
+    def test_full_adoption_beats_no_adoption(self, sweep):
+        """The paper: 'the average stretch is better when p = 100 than
+        when p = 0'."""
+        at_0 = self._mean_stretch(sweep[0.0], redundant=False)
+        at_100 = self._mean_stretch(sweep[1.0], redundant=True)
+        assert at_100 < at_0
+
+
+class TestSection312Inflation:
+    def test_inflation_changes_little(self):
+        base_cmp = compare_schemes(BASE, ["HALF"], REPS)
+        infl_cmp = compare_schemes(
+            BASE.with_(remote_inflation=0.5), ["HALF"], REPS
+        )
+        a = base_cmp.relative("HALF").avg_stretch
+        b = infl_cmp.relative("HALF").avg_stretch
+        assert b < 1.0
+        assert abs(a - b) < 0.25
+
+
+class TestSystemAccounting:
+    def test_request_and_cancellation_bookkeeping(self):
+        r = run_single(BASE.with_(scheme="R3"), 0, check_invariants=True)
+        red = [j for j in r.jobs if j.uses_redundancy]
+        expected_requests = sum(j.n_copies for j in r.jobs)
+        assert r.total_requests == expected_requests
+        assert r.total_cancellations == sum(j.n_copies - 1 for j in r.jobs)
+
+    def test_drained_run_completes_everything(self):
+        r = run_single(BASE.with_(scheme="ALL"), 0)
+        assert r.completion_fraction == 1.0

@@ -1,0 +1,61 @@
+"""Tests for the Section 4 capacity analysis — the paper's exact numbers."""
+
+import pytest
+
+from repro.middleware.capacity import (
+    capacity_report,
+    max_redundancy,
+    per_cluster_cancellation_rate,
+    per_cluster_submission_rate,
+)
+from repro.middleware.gram import MiddlewareModel
+
+
+class TestRates:
+    def test_submission_rate(self):
+        assert per_cluster_submission_rate(3, 5.0) == pytest.approx(0.6)
+
+    def test_cancellation_rate_one_less(self):
+        assert per_cluster_cancellation_rate(3, 5.0) == pytest.approx(0.4)
+        assert per_cluster_cancellation_rate(1, 5.0) == 0.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            per_cluster_submission_rate(0, 5.0)
+        with pytest.raises(ValueError):
+            per_cluster_submission_rate(1, 0.0)
+
+
+class TestMaxRedundancy:
+    def test_paper_scheduler_bound(self):
+        """6 submissions/s at iat 5 s -> r < 30 (the paper's number)."""
+        assert max_redundancy(6.0, 5.0) == 30
+
+    def test_paper_middleware_bound(self):
+        """0.5 submissions/s at iat 5 s -> r < 3."""
+        assert max_redundancy(0.5, 5.0) == 2
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            max_redundancy(0.0, 5.0)
+
+
+class TestReport:
+    def test_paper_numbers_fall_out(self):
+        rep = capacity_report()
+        # scheduler at 10k-deep queue: ~6 subs/s -> r tolerable up to 29
+        assert 25 <= rep.scheduler_max_redundancy <= 32
+        # middleware: just under 0.5 subs/s -> tolerates r = 2 ("r < 3")
+        assert rep.middleware_max_redundancy == 2
+        assert rep.bottleneck == "middleware"
+
+    def test_faster_middleware_shifts_bottleneck(self):
+        fast_mw = MiddlewareModel(tx_per_sec=100.0, name="future GRAM")
+        rep = capacity_report(middleware=fast_mw)
+        assert rep.bottleneck == "scheduler"
+
+    def test_lines_render(self):
+        lines = capacity_report().lines()
+        assert any("bottleneck" in l for l in lines)
+        assert any("r < 30" in l for l in lines)
+        assert any("r < 3" in l for l in lines)

@@ -1,0 +1,78 @@
+"""Tests for the churn saturation experiment."""
+
+import numpy as np
+import pytest
+
+from repro.middleware.churn import (
+    average_curve,
+    churn_curve,
+    measure_real_scheduler_throughput,
+    run_churn_experiment,
+)
+from repro.middleware.pbs import PBSDaemonModel
+
+
+@pytest.fixture
+def model():
+    return PBSDaemonModel(t_0=11.0, t_inf=4.6, q_scale=6000.0,
+                          noise_cv=0.0, oom_queue_size=None)
+
+
+class TestChurnExperiment:
+    def test_rate_matches_model(self, model):
+        s = run_churn_experiment(model, 0, duration_s=300.0,
+                                 sample_noise=False)
+        assert s.submissions_per_sec == pytest.approx(11.0, rel=0.02)
+        assert s.cancellations_per_sec == s.submissions_per_sec
+
+    def test_rate_decays_with_queue(self, model):
+        rates = [
+            run_churn_experiment(model, q, duration_s=200.0,
+                                 sample_noise=False).submissions_per_sec
+            for q in (0, 5000, 20000)
+        ]
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_ops_per_sec_is_sub_plus_cancel(self, model):
+        s = run_churn_experiment(model, 0, duration_s=100.0)
+        assert s.ops_per_sec == pytest.approx(2 * s.submissions_per_sec)
+
+    def test_oom_truncation(self):
+        m = PBSDaemonModel(oom_queue_size=1000)
+        rng = np.random.default_rng(1)
+        truncated = [
+            run_churn_experiment(m, 20000, duration_s=12 * 3600.0, rng=rng)
+            .truncated_by_oom
+            for _ in range(30)
+        ]
+        assert any(truncated)
+
+    def test_invalid_args(self, model):
+        with pytest.raises(ValueError):
+            run_churn_experiment(model, -1)
+        with pytest.raises(ValueError):
+            run_churn_experiment(model, 0, duration_s=0.0)
+
+
+class TestCurves:
+    def test_curve_shape(self, model):
+        curves = churn_curve(model, queue_sizes=(0, 10000, 20000),
+                             duration_s=100.0, n_repetitions=2)
+        assert len(curves) == 2
+        assert len(curves[0]) == 3
+        avg = average_curve(curves)
+        assert [s.queue_size for s in avg] == [0, 10000, 20000]
+        assert avg[0].submissions_per_sec > avg[-1].submissions_per_sec
+
+    def test_average_empty_rejected(self):
+        with pytest.raises(ValueError):
+            average_curve([])
+
+
+class TestRealSchedulerMeasurement:
+    @pytest.mark.parametrize("algorithm", ["fcfs", "easy", "cbf"])
+    def test_positive_throughput(self, algorithm):
+        rate = measure_real_scheduler_throughput(
+            algorithm, queue_size=100, n_ops=100
+        )
+        assert rate > 0

@@ -1,0 +1,75 @@
+"""Tests for the middleware and network models."""
+
+import math
+
+import pytest
+
+from repro.middleware.gram import (
+    MiddlewareModel,
+    NetworkModel,
+    gsoap_model,
+    gt4_wsgram_model,
+)
+
+
+class TestMiddlewareModel:
+    def test_gt4_rate_just_under_one_per_second(self):
+        m = gt4_wsgram_model()
+        assert 0.9 < m.tx_per_sec < 1.0
+
+    def test_max_submission_rate_halves(self):
+        m = MiddlewareModel(tx_per_sec=1.0)
+        assert m.max_submission_rate() == 0.5
+
+    def test_utilization_linear(self):
+        m = MiddlewareModel(tx_per_sec=2.0)
+        assert m.utilization(1.0) == 0.5
+        assert m.utilization(2.0) == 1.0
+
+    def test_saturation(self):
+        m = MiddlewareModel(tx_per_sec=2.0)
+        assert not m.is_saturated(1.9)
+        assert m.is_saturated(2.0)
+
+    def test_mean_wait_md1(self):
+        m = MiddlewareModel(tx_per_sec=1.0)
+        # rho = 0.5: W = 0.5 * 1 / (2 * 0.5) = 0.5
+        assert m.mean_wait(0.5) == pytest.approx(0.5)
+
+    def test_mean_wait_saturated_inf(self):
+        m = MiddlewareModel(tx_per_sec=1.0)
+        assert math.isinf(m.mean_wait(1.0))
+
+    def test_mean_wait_grows_with_load(self):
+        m = MiddlewareModel(tx_per_sec=1.0)
+        assert m.mean_wait(0.9) > m.mean_wait(0.5) > m.mean_wait(0.1)
+
+    def test_gsoap_is_not_the_bottleneck(self):
+        """The paper's point: SOAP marshalling sustains far more than the
+        12 tx/s a loaded batch scheduler can consume."""
+        assert gsoap_model().tx_per_sec > 12.0
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            MiddlewareModel(tx_per_sec=0.0)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            MiddlewareModel(tx_per_sec=1.0).utilization(-1.0)
+
+
+class TestNetworkModel:
+    def test_default_supports_tens_per_second(self):
+        """Paper: 'most networks ... can easily support tens of such
+        interactions per second'."""
+        n = NetworkModel()
+        assert n.max_tx_per_sec >= 50.0
+
+    def test_supports(self):
+        n = NetworkModel(bandwidth_bytes_per_sec=1e6, payload_bytes=1e5)
+        assert n.supports(10.0)
+        assert not n.supports(11.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth_bytes_per_sec=0.0)

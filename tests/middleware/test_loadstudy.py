@@ -1,0 +1,35 @@
+"""Tests for the simulation-backed Section 4.1 load studies."""
+
+import pytest
+
+from repro.middleware.loadstudy import (
+    compare_max_queue_sizes,
+    measure_queue_growth,
+)
+
+
+class TestQueueGrowth:
+    def test_authentic_workload_grows_hundreds_per_hour(self):
+        """Scaled-down check of the paper's ~700 jobs/hour claim: under
+        the authentic peak-hour model almost nothing starts."""
+        g = measure_queue_growth(nodes=128, duration=1800.0)
+        assert g.arrivals_per_hour == pytest.approx(3600 / 5.01, rel=0.15)
+        assert g.growth_per_hour > 0.5 * g.arrivals_per_hour
+        assert g.start_fraction < 0.5
+
+    def test_growth_roughly_independent_of_cluster_size(self):
+        small = measure_queue_growth(nodes=32, duration=1800.0)
+        large = measure_queue_growth(nodes=256, duration=1800.0)
+        assert small.growth_per_hour == pytest.approx(
+            large.growth_per_hour, rel=0.35
+        )
+
+
+class TestQueueSizeComparison:
+    def test_steady_state_all_close_to_none(self):
+        """In a steady-state regime the ALL scheme does not blow up queue
+        sizes (the paper: < 2%; we assert a loose band around parity)."""
+        cmp_ = compare_max_queue_sizes(
+            n_clusters=4, duration=3600.0, n_replications=2
+        )
+        assert -0.6 < cmp_.relative_increase < 0.5

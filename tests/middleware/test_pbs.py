@@ -1,0 +1,97 @@
+"""Tests for the PBS daemon cost model."""
+
+import numpy as np
+import pytest
+
+from repro.middleware.pbs import (
+    PAPER_FIGURE5_ANCHORS,
+    PBSDaemonModel,
+    fit_throughput_curve,
+    paper_calibrated_model,
+)
+
+
+class TestModelShape:
+    def test_anchor_points(self):
+        m = paper_calibrated_model()
+        assert m.throughput(0) == pytest.approx(11.0, rel=0.05)
+        assert m.throughput(20000) == pytest.approx(5.0, rel=0.08)
+
+    def test_monotone_decreasing(self):
+        m = paper_calibrated_model()
+        qs = np.linspace(0, 30000, 50)
+        ts = [m.throughput(q) for q in qs]
+        assert all(a >= b for a, b in zip(ts, ts[1:]))
+
+    def test_sharp_then_slow_decay(self):
+        """Figure 5's 'somewhat exponential' shape: the first 5k queue
+        entries cost more throughput than the last 10k."""
+        m = paper_calibrated_model()
+        drop_early = m.throughput(0) - m.throughput(5000)
+        drop_late = m.throughput(10000) - m.throughput(20000)
+        assert drop_early > drop_late
+
+    def test_op_service_time_inverse(self):
+        m = PBSDaemonModel(t_0=10.0, t_inf=5.0, q_scale=1000.0)
+        assert m.op_service_time(0) == pytest.approx(1 / 20.0)
+
+    def test_negative_queue_rejected(self):
+        with pytest.raises(ValueError):
+            paper_calibrated_model().throughput(-1)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            PBSDaemonModel(t_0=5.0, t_inf=10.0, q_scale=100.0)
+        with pytest.raises(ValueError):
+            PBSDaemonModel(t_0=5.0, t_inf=1.0, q_scale=0.0)
+
+
+class TestNoise:
+    def test_noise_centered_on_base(self):
+        m = PBSDaemonModel(noise_cv=0.05)
+        rng = np.random.default_rng(0)
+        samples = [m.noisy_op_service_time(1000, rng) for _ in range(5000)]
+        assert np.mean(samples) == pytest.approx(m.op_service_time(1000),
+                                                 rel=0.02)
+
+    def test_zero_noise_deterministic(self):
+        m = PBSDaemonModel(noise_cv=0.0)
+        rng = np.random.default_rng(0)
+        assert m.noisy_op_service_time(0, rng) == m.op_service_time(0)
+
+
+class TestOOM:
+    def test_no_oom_below_threshold(self):
+        m = PBSDaemonModel(oom_queue_size=15000)
+        assert m.oom_probability(10000, 12.0) == 0.0
+
+    def test_oom_grows_with_queue_and_time(self):
+        m = PBSDaemonModel(oom_queue_size=15000)
+        assert m.oom_probability(20000, 12.0) > 0
+        assert m.oom_probability(25000, 12.0) > m.oom_probability(20000, 12.0)
+        assert m.oom_probability(20000, 24.0) > m.oom_probability(20000, 12.0)
+
+    def test_oom_disabled(self):
+        m = PBSDaemonModel(oom_queue_size=None)
+        assert m.oom_probability(1e6, 100.0) == 0.0
+
+
+class TestFitting:
+    def test_fit_recovers_known_model(self):
+        true = PBSDaemonModel(t_0=11.0, t_inf=4.6, q_scale=6000.0)
+        qs = np.linspace(0, 20000, 12)
+        ts = [true.throughput(q) for q in qs]
+        fitted = fit_throughput_curve(qs, ts)
+        assert fitted.t_0 == pytest.approx(11.0, rel=0.02)
+        assert fitted.t_inf == pytest.approx(4.6, rel=0.05)
+        assert fitted.q_scale == pytest.approx(6000.0, rel=0.1)
+
+    def test_fit_paper_anchors_consistent(self):
+        q, t = zip(*PAPER_FIGURE5_ANCHORS)
+        m = fit_throughput_curve(q, t)
+        for qi, ti in PAPER_FIGURE5_ANCHORS:
+            assert m.throughput(qi) == pytest.approx(ti, rel=0.1)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_throughput_curve([0, 1], [10, 9])

@@ -1,0 +1,91 @@
+"""Tests for the end-to-end submission pipeline (Section 4.2 by simulation)."""
+
+import pytest
+
+from repro.middleware.gram import MiddlewareModel
+from repro.middleware.pbs import PBSDaemonModel
+from repro.middleware.pipeline import (
+    redundancy_sweep,
+    simulate_submission_pipeline,
+)
+
+
+def quiet_daemon():
+    return PBSDaemonModel(noise_cv=0.0, oom_queue_size=None)
+
+
+class TestPipeline:
+    def test_low_redundancy_keeps_up(self):
+        res = simulate_submission_pipeline(
+            1, iat=5.0, n_clusters=1, horizon=1200.0, daemon=quiet_daemon()
+        )
+        assert not res.middleware_saturated
+        assert res.middleware_utilization < 0.5
+        assert res.completion_fraction > 0.95
+
+    def test_saturation_cliff_at_r3(self):
+        """The paper's Section 4.2 headline: the middleware saturates
+        around three redundant requests per job."""
+        r2 = simulate_submission_pipeline(
+            2, iat=5.0, n_clusters=1, horizon=1800.0, daemon=quiet_daemon()
+        )
+        r4 = simulate_submission_pipeline(
+            4, iat=5.0, n_clusters=1, horizon=1800.0, daemon=quiet_daemon()
+        )
+        assert not r2.middleware_saturated
+        assert r4.middleware_saturated
+        assert r4.middleware_backlog > 10 * max(r2.middleware_backlog, 1)
+
+    def test_scheduler_not_the_bottleneck(self):
+        res = simulate_submission_pipeline(
+            4, iat=5.0, n_clusters=1, horizon=1200.0, daemon=quiet_daemon()
+        )
+        # Whatever trickles through the saturated middleware is far below
+        # the daemon's capacity.
+        assert res.scheduler_utilization < 0.5
+
+    def test_scheduler_saturates_beyond_r30_without_middleware(self):
+        """With a fast middleware in front, the daemon's own r < 30 bound
+        becomes the binding one."""
+        fast_mw = MiddlewareModel(tx_per_sec=1e6, name="infinite")
+        under = simulate_submission_pipeline(
+            20, iat=5.0, n_clusters=1, horizon=1200.0,
+            middleware=fast_mw, daemon=quiet_daemon(),
+        )
+        over = simulate_submission_pipeline(
+            40, iat=5.0, n_clusters=1, horizon=1200.0,
+            middleware=fast_mw, daemon=quiet_daemon(),
+        )
+        assert under.scheduler_backlog < over.scheduler_backlog
+        assert over.scheduler_utilization > 0.95
+
+    def test_latency_grows_with_load(self):
+        lo = simulate_submission_pipeline(
+            1, iat=5.0, n_clusters=1, horizon=1200.0, daemon=quiet_daemon()
+        )
+        hi = simulate_submission_pipeline(
+            3, iat=5.0, n_clusters=1, horizon=1200.0, daemon=quiet_daemon()
+        )
+        assert hi.mean_end_to_end_latency > lo.mean_end_to_end_latency
+
+    def test_deterministic_given_seed(self):
+        a = simulate_submission_pipeline(2, horizon=600.0, seed=5)
+        b = simulate_submission_pipeline(2, horizon=600.0, seed=5)
+        assert a.middleware_backlog == b.middleware_backlog
+        assert a.mean_end_to_end_latency == b.mean_end_to_end_latency
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            simulate_submission_pipeline(0)
+        with pytest.raises(ValueError):
+            simulate_submission_pipeline(1, horizon=0.0)
+
+
+class TestSweep:
+    def test_sweep_shows_monotone_backlog(self):
+        results = redundancy_sweep(
+            levels=(1, 3, 6), horizon=900.0, daemon=quiet_daemon()
+        )
+        backlogs = [r.middleware_backlog for r in results]
+        assert backlogs[0] <= backlogs[1] <= backlogs[2]
+        assert results[-1].middleware_saturated

@@ -1,0 +1,91 @@
+"""Tests for the binomial-method quantile predictor."""
+
+import numpy as np
+import pytest
+
+from repro.predict.binomial import (
+    BinomialQuantilePredictor,
+    binomial_bound_index,
+    evaluate_predictor,
+)
+
+
+class TestBoundIndex:
+    def test_insufficient_history_returns_none(self):
+        assert binomial_bound_index(1, 0.95, 0.95) is None
+        assert binomial_bound_index(0, 0.95, 0.95) is None
+
+    def test_known_small_case(self):
+        """For the median with 95% confidence and n=10, the binomial CDF
+        first reaches 0.95 at k=9: P[Bin(10,0.5) < 9] ≈ 0.989."""
+        k = binomial_bound_index(10, 0.5, 0.95)
+        assert k == 9
+
+    def test_monotone_in_quantile(self):
+        k_lo = binomial_bound_index(100, 0.5, 0.9)
+        k_hi = binomial_bound_index(100, 0.9, 0.9)
+        assert k_hi > k_lo
+
+    def test_monotone_in_confidence(self):
+        k_lo = binomial_bound_index(100, 0.5, 0.5)
+        k_hi = binomial_bound_index(100, 0.5, 0.99)
+        assert k_hi > k_lo
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            binomial_bound_index(10, 0.0, 0.9)
+        with pytest.raises(ValueError):
+            binomial_bound_index(10, 0.9, 1.0)
+
+
+class TestPredictor:
+    def test_no_prediction_without_history(self):
+        p = BinomialQuantilePredictor()
+        assert p.predict() is None
+
+    def test_window_rolls(self):
+        p = BinomialQuantilePredictor(window=5)
+        for w in range(10):
+            p.observe(float(w))
+        assert p.history_length == 5
+
+    def test_prediction_is_order_statistic(self):
+        p = BinomialQuantilePredictor(quantile=0.5, confidence=0.9, window=100)
+        for w in np.linspace(1, 100, 100):
+            p.observe(float(w))
+        bound = p.predict()
+        assert bound is not None
+        assert 50.0 <= bound <= 100.0  # above the median, within range
+
+    def test_negative_wait_rejected(self):
+        with pytest.raises(ValueError):
+            BinomialQuantilePredictor().observe(-1.0)
+
+
+class TestCoverage:
+    def test_calibrated_on_iid_data(self):
+        """On exchangeable data the bound covers ~quantile of outcomes."""
+        rng = np.random.default_rng(0)
+        waits = rng.exponential(100.0, size=4000)
+        report = evaluate_predictor(waits, quantile=0.9, confidence=0.9,
+                                    window=300)
+        assert report.n_predictions > 3000
+        assert report.coverage >= 0.87
+
+    def test_coverage_drops_under_regime_change(self):
+        """A sudden wait-time regime shift (what redundancy churn causes)
+        degrades coverage until the window refills."""
+        rng = np.random.default_rng(1)
+        calm = rng.exponential(10.0, size=500)
+        stormy = rng.exponential(400.0, size=200)
+        report = evaluate_predictor(
+            np.concatenate([calm, stormy]), quantile=0.9, confidence=0.9,
+            window=400,
+        )
+        calm_only = evaluate_predictor(calm, quantile=0.9, confidence=0.9,
+                                       window=400)
+        assert report.coverage < calm_only.coverage
+
+    def test_empty_report(self):
+        report = evaluate_predictor([], quantile=0.9, confidence=0.9)
+        assert report.n_predictions == 0

@@ -1,0 +1,68 @@
+"""Tests for prediction-accuracy statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.results import JobOutcome
+from repro.predict.stats import (
+    OverestimationStats,
+    overestimation_stats,
+    prediction_ratios,
+)
+
+
+def job(wait=10.0, pred_local=None, pred_min=None, redundant=False):
+    return JobOutcome(
+        job_id=0, origin=0, winner_cluster=0, nodes=1,
+        runtime=5.0, requested_time=5.0,
+        submit_time=0.0, start_time=wait, end_time=wait + 5.0,
+        uses_redundancy=redundant, n_copies=1,
+        predicted_wait_local=pred_local, predicted_wait_min=pred_min,
+    )
+
+
+class TestPredictionRatios:
+    def test_local_ratios(self):
+        jobs = [job(wait=10.0, pred_local=30.0), job(wait=5.0, pred_local=5.0)]
+        r = prediction_ratios(jobs, "local")
+        assert list(r) == [3.0, 1.0]
+
+    def test_min_ratios(self):
+        jobs = [job(wait=10.0, pred_local=30.0, pred_min=20.0)]
+        assert list(prediction_ratios(jobs, "min")) == [2.0]
+
+    def test_missing_predictions_skipped(self):
+        jobs = [job(wait=10.0), job(wait=10.0, pred_local=20.0)]
+        assert len(prediction_ratios(jobs, "local")) == 1
+
+    def test_zero_wait_excluded(self):
+        jobs = [job(wait=0.0, pred_local=10.0), job(wait=10.0, pred_local=10.0)]
+        assert list(prediction_ratios(jobs, "local")) == [1.0]
+
+    def test_min_wait_threshold(self):
+        jobs = [job(wait=0.5, pred_local=1.0)]
+        assert len(prediction_ratios(jobs, "local", min_wait=1.0)) == 0
+        assert len(prediction_ratios(jobs, "local", min_wait=0.1)) == 1
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            prediction_ratios([job()], "median")  # type: ignore[arg-type]
+
+
+class TestStats:
+    def test_aggregate(self):
+        jobs = [job(wait=10.0, pred_local=10.0 * k) for k in (1, 2, 3)]
+        s = overestimation_stats(jobs, "local")
+        assert s.count == 3
+        assert s.mean_ratio == pytest.approx(2.0)
+        assert s.median_ratio == pytest.approx(2.0)
+        assert s.cv_percent == pytest.approx(
+            100 * np.std([1, 2, 3]) / 2.0
+        )
+
+    def test_empty_stats_nan(self):
+        s = OverestimationStats.of(np.array([]))
+        assert s.count == 0
+        assert math.isnan(s.mean_ratio)

@@ -1,0 +1,34 @@
+"""Tests for the Table 4 study harness."""
+
+import pytest
+
+from repro.predict.study import run_table4_study
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_table4_study(
+        n_clusters=4, duration=900.0, n_replications=2, seed=3
+    )
+
+
+class TestTable4Study:
+    def test_three_rows(self, study):
+        rows = study.rows()
+        assert len(rows) == 3
+        assert all(r.stats.count > 0 for r in rows)
+
+    def test_baseline_overpredicts(self, study):
+        """CBF + φ estimates over-predict even without redundancy
+        (the paper's 9.24x; magnitude is regime-dependent)."""
+        assert study.baseline.stats.mean_ratio > 1.5
+
+    def test_redundancy_degrades_predictions(self, study):
+        """Both populations see worse over-prediction under churn."""
+        assert study.degradation_non_redundant > 1.0
+        assert study.degradation_redundant > 1.0
+
+    def test_min_prediction_used_for_redundant_jobs(self, study):
+        # The redundant population uses min-over-copies predictions;
+        # the stats must still be finite and positive.
+        assert study.redundant.stats.mean_ratio > 0

@@ -1,0 +1,140 @@
+"""Unit tests for the FCFS scheduler."""
+
+import pytest
+
+from repro.cluster.cluster import Cluster
+from repro.sched import FCFSScheduler
+from repro.sched.base import SchedulerError
+from repro.sched.job import RequestState
+from repro.sim.engine import Simulator
+
+from ..conftest import make_request, submit_at
+
+
+@pytest.fixture
+def fcfs(sim, cluster):
+    return FCFSScheduler(sim, cluster)
+
+
+class TestBasics:
+    def test_single_job_runs_immediately(self, sim, fcfs):
+        r = make_request(nodes=4, runtime=10.0)
+        fcfs.submit(r)
+        sim.run()
+        assert r.state is RequestState.COMPLETED
+        assert r.start_time == 0.0
+        assert r.end_time == 10.0
+
+    def test_jobs_run_in_submission_order(self, sim, fcfs):
+        # Each needs the full cluster: strictly sequential.
+        rs = [make_request(nodes=8, runtime=5.0) for _ in range(3)]
+        for r in rs:
+            fcfs.submit(r)
+        sim.run()
+        assert [r.start_time for r in rs] == [0.0, 5.0, 10.0]
+
+    def test_parallel_starts_when_fitting(self, sim, fcfs):
+        a = make_request(nodes=4, runtime=10.0)
+        b = make_request(nodes=4, runtime=10.0)
+        fcfs.submit(a)
+        fcfs.submit(b)
+        sim.run()
+        assert a.start_time == b.start_time == 0.0
+
+    def test_head_blockade_no_skipping(self, sim, fcfs):
+        """The defining FCFS property: a small job behind a big head waits."""
+        running = make_request(nodes=6, runtime=100.0)
+        big = make_request(nodes=8, runtime=10.0)
+        small = make_request(nodes=1, runtime=1.0)
+        fcfs.submit(running)
+        submit_at(sim, fcfs, big, 1.0)
+        submit_at(sim, fcfs, small, 2.0)
+        sim.run()
+        # small fits at t=2 (2 nodes free) but must wait behind big.
+        assert big.start_time == 100.0
+        assert small.start_time >= big.start_time
+
+    def test_oversized_request_rejected(self, fcfs):
+        with pytest.raises(SchedulerError):
+            fcfs.submit(make_request(nodes=9))
+
+    def test_resubmission_rejected(self, sim, fcfs):
+        r = make_request()
+        fcfs.submit(r)
+        with pytest.raises(SchedulerError):
+            fcfs.submit(r)
+
+
+class TestCancellation:
+    def test_cancel_pending(self, sim, fcfs):
+        blocker = make_request(nodes=8, runtime=50.0)
+        waiting = make_request(nodes=8, runtime=10.0)
+        fcfs.submit(blocker)
+        fcfs.submit(waiting)
+        fcfs.cancel(waiting)
+        sim.run()
+        assert waiting.state is RequestState.CANCELLED
+        assert waiting.cancelled_at == 0.0
+        assert fcfs.stats.cancelled == 1
+
+    def test_cancel_unblocks_successor(self, sim, fcfs):
+        blocker = make_request(nodes=8, runtime=50.0)
+        big = make_request(nodes=8, runtime=10.0)
+        small = make_request(nodes=1, runtime=1.0)
+        fcfs.submit(blocker)
+        fcfs.submit(big)
+        fcfs.submit(small)
+        sim.at(10.0, lambda: fcfs.cancel(big))
+        sim.run()
+        assert small.start_time == 50.0  # right after blocker, big gone
+
+    def test_cancel_running_rejected(self, sim, fcfs):
+        r = make_request(nodes=1, runtime=100.0)
+        fcfs.submit(r)
+        sim.run(until=1.0)
+        assert r.state is RequestState.RUNNING
+        with pytest.raises(SchedulerError):
+            fcfs.cancel(r)
+
+    def test_cancel_foreign_request_rejected(self, sim, fcfs):
+        other = FCFSScheduler(sim, Cluster(1, 8))
+        r = make_request()
+        other.submit(r)
+        with pytest.raises(SchedulerError):
+            fcfs.cancel(r)
+
+
+class TestAccounting:
+    def test_stats_counts(self, sim, fcfs):
+        rs = [make_request(nodes=2, runtime=5.0) for _ in range(4)]
+        for r in rs:
+            fcfs.submit(r)
+        fcfs.cancel(rs[3])
+        sim.run()
+        assert fcfs.stats.submitted == 4
+        assert fcfs.stats.cancelled == 1
+        assert fcfs.stats.started == 3
+        assert fcfs.stats.completed == 3
+
+    def test_nodes_released_after_completion(self, sim, fcfs, cluster):
+        fcfs.submit(make_request(nodes=8, runtime=5.0))
+        sim.run()
+        assert cluster.free_nodes == 8
+
+    def test_max_queue_length_tracked(self, sim, fcfs):
+        # All six submissions land before the coalesced scheduling pass
+        # runs, so the queue peaks at 6 (including the job about to start).
+        fcfs.submit(make_request(nodes=8, runtime=10.0))
+        for _ in range(5):
+            fcfs.submit(make_request(nodes=8, runtime=1.0))
+        sim.run()
+        assert fcfs.stats.max_queue_length == 6
+
+    def test_invariants_hold_during_run(self, sim, fcfs):
+        for i in range(20):
+            submit_at(
+                sim, fcfs,
+                make_request(nodes=(i % 8) + 1, runtime=3.0 + i), float(i),
+            )
+        while sim.step():
+            fcfs.check_invariants()

@@ -1,0 +1,54 @@
+"""Tests for Event objects and the priority vocabulary."""
+
+import pytest
+
+from repro.sim.events import Event, EventPriority
+
+
+class TestEventPriority:
+    def test_causal_ordering_of_classes(self):
+        """The vocabulary encodes the paper's causality: cancellations
+        before releases before submissions before scheduling passes."""
+        assert (
+            EventPriority.CANCEL
+            < EventPriority.FINISH
+            < EventPriority.SUBMIT
+            < EventPriority.SCHEDULE
+            < EventPriority.CONTROL
+        )
+
+    def test_int_enum(self):
+        assert EventPriority.CANCEL == 0
+        assert isinstance(EventPriority.SUBMIT + 0, int)
+
+
+class TestEventOrdering:
+    def make(self, time=1.0, priority=0, seq=0):
+        return Event(time=time, priority=priority, seq=seq,
+                     callback=lambda: None)
+
+    def test_time_dominates(self):
+        assert self.make(time=1.0, priority=9, seq=9) < self.make(
+            time=2.0, priority=0, seq=0
+        )
+
+    def test_priority_breaks_time_tie(self):
+        assert self.make(priority=0, seq=9) < self.make(priority=1, seq=0)
+
+    def test_seq_breaks_full_tie(self):
+        assert self.make(seq=1) < self.make(seq=2)
+
+    def test_callback_not_compared(self):
+        a = Event(1.0, 0, 0, callback=lambda: 1)
+        b = Event(1.0, 0, 0, callback=lambda: 2)
+        assert not a < b and not b < a
+
+    def test_cancel_sets_flag(self):
+        ev = self.make()
+        assert not ev.cancelled
+        ev.cancel()
+        assert ev.cancelled
+
+    def test_tag_carried(self):
+        ev = Event(1.0, 0, 0, callback=lambda: None, tag={"k": 1})
+        assert ev.tag == {"k": 1}

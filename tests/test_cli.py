@@ -1,0 +1,64 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_defaults(self):
+        args = build_parser().parse_args(["run", "fig1"])
+        assert args.experiment == "fig1"
+        assert args.scale is None
+
+    def test_run_with_scale(self):
+        args = build_parser().parse_args(["run", "tab4", "--scale", "smoke"])
+        assert args.scale == "smoke"
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig1", "--scale", "huge"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_registry(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp in ("fig1", "tab4", "sec4"):
+            assert exp in out
+
+    def test_run_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_sec4_smoke(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert main(["run", "sec4"]) == 0
+        out = capsys.readouterr().out
+        assert "capacity analysis" in out
+        assert "bottleneck" in out
+
+    def test_run_with_exports(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        json_path = tmp_path / "report.json"
+        csv_dir = tmp_path / "csv"
+        assert main([
+            "run", "fig5",
+            "--json", str(json_path),
+            "--csv", str(csv_dir),
+        ]) == 0
+        assert json_path.exists()
+        import json
+
+        payload = json.loads(json_path.read_text())
+        assert payload["exp_id"] == "fig5"
+        csvs = list(csv_dir.glob("fig5_table*.csv"))
+        assert len(csvs) >= 2

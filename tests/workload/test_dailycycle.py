@@ -1,0 +1,79 @@
+"""Tests for the daily-cycle arrival modulation."""
+
+import numpy as np
+import pytest
+
+from repro.workload.dailycycle import (
+    SECONDS_PER_DAY,
+    DailyCycle,
+    DailyCycleGenerator,
+    hourly_arrival_counts,
+)
+from repro.workload.lublin import LublinParams
+
+
+class TestProfile:
+    def test_daily_mean_is_one(self):
+        cycle = DailyCycle()
+        hours = np.linspace(0, 24, 960, endpoint=False)
+        mults = [cycle.multiplier(h * 3600.0) for h in hours]
+        assert np.mean(mults) == pytest.approx(1.0, abs=0.02)
+
+    def test_peaks_beat_trough(self):
+        cycle = DailyCycle()
+        night = cycle.multiplier(3.5 * 3600.0)
+        morning = cycle.multiplier(10.5 * 3600.0)
+        assert morning > 2 * night
+
+    def test_wraps_over_midnight(self):
+        cycle = DailyCycle()
+        assert cycle.multiplier(0.0) == pytest.approx(
+            cycle.multiplier(SECONDS_PER_DAY), rel=1e-9
+        )
+
+    def test_peak_multiplier_is_max(self):
+        cycle = DailyCycle()
+        hours = np.linspace(0, 24, 480, endpoint=False)
+        mults = [cycle.multiplier(h * 3600.0) for h in hours]
+        assert cycle.peak_multiplier() == pytest.approx(max(mults), rel=0.01)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            DailyCycle(trough=0.0)
+        with pytest.raises(ValueError):
+            DailyCycle(peak_width_hours=0.0)
+
+
+class TestGenerator:
+    def make(self, mean_iat=60.0, seed=0):
+        params = LublinParams().with_mean_interarrival(mean_iat)
+        return DailyCycleGenerator(
+            params, 64, np.random.default_rng(seed)
+        )
+
+    def test_daily_count_matches_mean_rate(self):
+        gen = self.make(mean_iat=60.0)
+        jobs = gen.generate(SECONDS_PER_DAY)
+        expected = SECONDS_PER_DAY / 60.0
+        assert len(jobs) == pytest.approx(expected, rel=0.1)
+
+    def test_daytime_busier_than_night(self):
+        gen = self.make(mean_iat=30.0, seed=3)
+        jobs = gen.generate(SECONDS_PER_DAY)
+        counts = hourly_arrival_counts(jobs, SECONDS_PER_DAY)
+        night = counts[2:5].mean()
+        day = counts[9:15].mean()
+        assert day > 2 * night
+
+    def test_arrivals_sorted_within_horizon(self):
+        gen = self.make()
+        jobs = gen.generate(7200.0)
+        arrivals = [j.arrival for j in jobs]
+        assert arrivals == sorted(arrivals)
+        assert all(0 < a <= 7200.0 for a in arrivals)
+
+    def test_job_shapes_from_lublin(self):
+        gen = self.make(mean_iat=20.0, seed=1)
+        jobs = gen.generate(3 * 3600.0)
+        assert all(1 <= j.nodes <= 64 for j in jobs)
+        assert all(j.runtime > 0 for j in jobs)

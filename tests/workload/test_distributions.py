@@ -1,0 +1,129 @@
+"""Tests for the distribution primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.distributions import (
+    HyperGamma,
+    gamma_interarrival,
+    log_uniform_nodes,
+    two_stage_uniform,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(123)
+
+
+class TestGammaInterarrival:
+    def test_mean_matches_alpha_beta(self, rng):
+        samples = [gamma_interarrival(rng, 10.23, 0.49) for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(10.23 * 0.49, rel=0.02)
+
+    def test_always_positive(self, rng):
+        assert all(gamma_interarrival(rng, 4.0, 0.49) > 0 for _ in range(100))
+
+    def test_invalid_params_rejected(self, rng):
+        with pytest.raises(ValueError):
+            gamma_interarrival(rng, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            gamma_interarrival(rng, 1.0, -1.0)
+
+
+class TestTwoStageUniform:
+    def test_bounds(self, rng):
+        for _ in range(500):
+            v = two_stage_uniform(rng, 1.0, 3.0, 7.0, 0.7)
+            assert 1.0 <= v <= 7.0
+
+    def test_first_stage_probability(self, rng):
+        samples = [two_stage_uniform(rng, 0.0, 1.0, 2.0, 0.8)
+                   for _ in range(20000)]
+        below = np.mean([s < 1.0 for s in samples])
+        assert below == pytest.approx(0.8, abs=0.02)
+
+    def test_degenerate_prob_extremes(self, rng):
+        assert all(
+            two_stage_uniform(rng, 0.0, 1.0, 2.0, 1.0) <= 1.0 for _ in range(50)
+        )
+        assert all(
+            two_stage_uniform(rng, 0.0, 1.0, 2.0, 0.0) >= 1.0 for _ in range(50)
+        )
+
+    def test_bad_ordering_rejected(self, rng):
+        with pytest.raises(ValueError):
+            two_stage_uniform(rng, 2.0, 1.0, 3.0, 0.5)
+
+    def test_bad_prob_rejected(self, rng):
+        with pytest.raises(ValueError):
+            two_stage_uniform(rng, 0.0, 1.0, 2.0, 1.5)
+
+
+class TestHyperGamma:
+    def test_mean_interpolates_components(self):
+        hg = HyperGamma(a1=2.0, b1=1.0, a2=10.0, b2=2.0)
+        assert hg.mean(1.0) == pytest.approx(2.0)
+        assert hg.mean(0.0) == pytest.approx(20.0)
+        assert hg.mean(0.5) == pytest.approx(11.0)
+
+    def test_sample_mean(self, rng):
+        hg = HyperGamma(a1=2.0, b1=1.0, a2=10.0, b2=2.0)
+        samples = [hg.sample(rng, 0.5) for _ in range(30000)]
+        assert np.mean(samples) == pytest.approx(hg.mean(0.5), rel=0.03)
+
+    def test_p_is_clamped(self, rng):
+        hg = HyperGamma(a1=2.0, b1=1.0, a2=10.0, b2=2.0)
+        # p outside [0, 1] must not crash (the linear node model can
+        # produce such values for extreme node counts).
+        assert hg.sample(rng, 1.7) > 0
+        assert hg.sample(rng, -0.5) > 0
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            HyperGamma(a1=0.0, b1=1.0, a2=1.0, b2=1.0)
+
+
+class TestLogUniformNodes:
+    def kwargs(self):
+        return dict(serial_prob=0.25, pow2_prob=0.6, ulow=0.8, umed=4.5,
+                    uprob=0.86)
+
+    def test_within_bounds(self, rng):
+        for _ in range(1000):
+            n = log_uniform_nodes(rng, 128, **self.kwargs())
+            assert 1 <= n <= 128
+
+    def test_serial_fraction(self, rng):
+        samples = [log_uniform_nodes(rng, 128, **self.kwargs())
+                   for _ in range(20000)]
+        serial = np.mean([s == 1 for s in samples])
+        # serial_prob plus parallel jobs that round down to 1
+        assert serial >= 0.25 - 0.02
+        assert serial < 0.45
+
+    def test_power_of_two_bias(self, rng):
+        samples = [log_uniform_nodes(rng, 128, **self.kwargs())
+                   for _ in range(20000)]
+        parallel = [s for s in samples if s > 1]
+        pow2 = np.mean([(s & (s - 1)) == 0 for s in parallel])
+        # With pow2_prob=0.6 plus incidental powers of two, well above half.
+        assert pow2 > 0.55
+
+    def test_single_node_cluster(self, rng):
+        assert log_uniform_nodes(rng, 1, **self.kwargs()) == 1
+
+    def test_invalid_max_nodes(self, rng):
+        with pytest.raises(ValueError):
+            log_uniform_nodes(rng, 0, **self.kwargs())
+
+    @settings(max_examples=50, deadline=None)
+    @given(max_nodes=st.integers(min_value=1, max_value=4096),
+           seed=st.integers(min_value=0, max_value=2**32 - 1))
+    def test_never_exceeds_cluster(self, max_nodes, seed):
+        rng = np.random.default_rng(seed)
+        for _ in range(20):
+            n = log_uniform_nodes(rng, max_nodes, **self.kwargs())
+            assert 1 <= n <= max_nodes

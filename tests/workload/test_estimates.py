@@ -1,0 +1,93 @@
+"""Tests for runtime-estimate models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.estimates import (
+    ExactEstimates,
+    InflatedEstimates,
+    PhiModelEstimates,
+    PHI_MODEL_MEAN_FACTOR,
+    make_estimate_model,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestExact:
+    def test_identity(self, rng):
+        m = ExactEstimates()
+        assert m.requested_time(123.4, rng) == 123.4
+
+
+class TestPhiModel:
+    def test_never_below_runtime(self, rng):
+        m = PhiModelEstimates()
+        assert all(
+            m.requested_time(10.0, rng) >= 10.0 for _ in range(1000)
+        )
+
+    def test_mean_factor_is_papers_216(self, rng):
+        m = PhiModelEstimates()
+        factors = [m.requested_time(1.0, rng) for _ in range(40000)]
+        assert np.mean(factors) == pytest.approx(PHI_MODEL_MEAN_FACTOR, rel=0.01)
+
+    def test_factor_uniform_upper_bound(self, rng):
+        m = PhiModelEstimates()
+        assert m.max_factor == pytest.approx(2 * 2.16 - 1)
+        factors = [m.requested_time(1.0, rng) for _ in range(2000)]
+        assert max(factors) <= m.max_factor
+        assert min(factors) >= 1.0
+
+    def test_custom_mean(self, rng):
+        m = PhiModelEstimates(mean_factor=1.5)
+        factors = [m.requested_time(1.0, rng) for _ in range(20000)]
+        assert np.mean(factors) == pytest.approx(1.5, rel=0.02)
+
+    def test_mean_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            PhiModelEstimates(mean_factor=0.9)
+
+    @settings(max_examples=50, deadline=None)
+    @given(runtime=st.floats(min_value=1e-3, max_value=1e6))
+    def test_property_requested_at_least_runtime(self, runtime):
+        m = PhiModelEstimates()
+        rng = np.random.default_rng(0)
+        assert m.requested_time(runtime, rng) >= runtime
+
+
+class TestInflated:
+    def test_inflates_base(self, rng):
+        m = InflatedEstimates(base=ExactEstimates(), inflation=0.5)
+        assert m.requested_time(100.0, rng) == pytest.approx(150.0)
+
+    def test_zero_inflation_is_base(self, rng):
+        m = InflatedEstimates(base=ExactEstimates(), inflation=0.0)
+        assert m.requested_time(100.0, rng) == 100.0
+
+    def test_negative_inflation_rejected(self):
+        with pytest.raises(ValueError):
+            InflatedEstimates(base=ExactEstimates(), inflation=-0.1)
+
+    def test_wraps_phi(self, rng):
+        m = InflatedEstimates(base=PhiModelEstimates(), inflation=0.1)
+        assert all(m.requested_time(7.0, rng) >= 7.7 for _ in range(200))
+
+
+class TestFactory:
+    def test_known_models(self):
+        assert isinstance(make_estimate_model("exact"), ExactEstimates)
+        assert isinstance(make_estimate_model("PHI"), PhiModelEstimates)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError, match="unknown estimate model"):
+            make_estimate_model("psychic")
+
+    def test_kwargs_forwarded(self):
+        m = make_estimate_model("phi", mean_factor=3.0)
+        assert m.mean_factor == 3.0

@@ -1,0 +1,115 @@
+"""Tests for the Lublin–Feitelson workload model."""
+
+import numpy as np
+import pytest
+
+from repro.workload.lublin import (
+    LublinGenerator,
+    LublinParams,
+    empirical_mean_area,
+    empirical_mean_runtime,
+    offered_load,
+    scaled_for_load,
+)
+
+
+@pytest.fixture
+def gen():
+    return LublinGenerator(LublinParams(), 128, np.random.default_rng(7))
+
+
+class TestParams:
+    def test_default_mean_interarrival_is_papers(self):
+        assert LublinParams().mean_interarrival == pytest.approx(5.01, abs=0.01)
+
+    def test_with_mean_interarrival_scales_alpha(self):
+        p = LublinParams().with_mean_interarrival(10.0)
+        assert p.mean_interarrival == pytest.approx(10.0)
+        assert p.arrival_beta == LublinParams().arrival_beta
+
+    def test_with_mean_interarrival_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            LublinParams().with_mean_interarrival(0.0)
+
+    def test_params_hashable_for_memoisation(self):
+        assert hash(LublinParams()) == hash(LublinParams())
+
+
+class TestSampling:
+    def test_nodes_within_cluster(self, gen):
+        assert all(1 <= gen.sample_nodes() <= 128 for _ in range(500))
+
+    def test_runtime_bounds(self, gen):
+        p = gen.params
+        for _ in range(500):
+            rt = gen.sample_runtime(gen.sample_nodes())
+            assert p.min_runtime <= rt <= p.max_runtime
+
+    def test_bigger_jobs_run_longer_on_average(self):
+        """p = p_a·n + p_b with p_a < 0: node count shifts weight to the
+        long-runtime component."""
+        g = LublinGenerator(LublinParams(), 128, np.random.default_rng(0))
+        small = np.mean([g.sample_runtime(1) for _ in range(8000)])
+        big = np.mean([g.sample_runtime(128) for _ in range(8000)])
+        assert big > small
+
+    def test_interarrival_mean(self, gen):
+        samples = [gen.sample_interarrival() for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(5.01, rel=0.03)
+
+    def test_runtime_scale_scales_runtimes(self):
+        base = LublinParams(min_runtime=0.0)
+        scaled = LublinParams(min_runtime=0.0, runtime_scale=0.5)
+        g1 = LublinGenerator(base, 128, np.random.default_rng(3))
+        g2 = LublinGenerator(scaled, 128, np.random.default_rng(3))
+        r1 = [g1.sample_runtime(4) for _ in range(200)]
+        r2 = [g2.sample_runtime(4) for _ in range(200)]
+        assert np.allclose(np.array(r2), 0.5 * np.array(r1))
+
+
+class TestStreams:
+    def test_jobs_until_horizon(self, gen):
+        jobs = gen.generate(600.0)
+        assert all(0 < j.arrival <= 600.0 for j in jobs)
+        arrivals = [j.arrival for j in jobs]
+        assert arrivals == sorted(arrivals)
+
+    def test_expected_job_count(self, gen):
+        jobs = gen.generate(3600.0)
+        assert len(jobs) == pytest.approx(3600 / 5.01, rel=0.1)
+
+    def test_start_offset(self, gen):
+        jobs = gen.generate(200.0, start=100.0)
+        assert all(100.0 < j.arrival <= 200.0 for j in jobs)
+
+    def test_deterministic_given_rng(self):
+        a = LublinGenerator(LublinParams(), 64, np.random.default_rng(5))
+        b = LublinGenerator(LublinParams(), 64, np.random.default_rng(5))
+        ja, jb = a.generate(300.0), b.generate(300.0)
+        assert ja == jb
+
+
+class TestCalibration:
+    def test_authentic_load_is_extreme_overload(self):
+        """The paper's own workload: ≈100x oversubscription at 5 s iat —
+        the basis of its ~700 jobs/hour queue growth (DESIGN.md §3b)."""
+        rho = offered_load(LublinParams(), 128, n=8000)
+        assert rho > 30
+
+    def test_scaled_for_load_hits_target(self):
+        p = scaled_for_load(2.0, 128, n=8000)
+        achieved = offered_load(p, 128, n=8000)
+        assert achieved == pytest.approx(2.0, rel=0.1)
+
+    def test_scaled_for_load_lower_target_smaller_scale(self):
+        p1 = scaled_for_load(1.0, 128, n=4000)
+        p2 = scaled_for_load(4.0, 128, n=4000)
+        assert p1.runtime_scale < p2.runtime_scale
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scaled_for_load(0.0)
+
+    def test_mean_area_positive_and_runtime_helpers(self):
+        assert empirical_mean_area(n=2000) > 0
+        assert empirical_mean_runtime(n=2000) > 0

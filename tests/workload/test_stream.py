@@ -1,0 +1,113 @@
+"""Tests for per-cluster stream generation and CRN discipline."""
+
+import pytest
+
+from repro.sim.rng import RngFactory
+from repro.workload.estimates import PhiModelEstimates
+from repro.workload.lublin import LublinParams
+from repro.workload.stream import (
+    generate_cluster_stream,
+    generate_platform_streams,
+    merge_streams,
+)
+
+
+@pytest.fixture
+def factory():
+    return RngFactory(99)
+
+
+class TestClusterStream:
+    def test_jobs_sorted_and_within_duration(self, factory):
+        jobs = generate_cluster_stream(factory, 0, 0, 128, 600.0)
+        assert all(0 < j.arrival <= 600.0 for j in jobs)
+        assert [j.arrival for j in jobs] == sorted(j.arrival for j in jobs)
+
+    def test_origin_stamped(self, factory):
+        jobs = generate_cluster_stream(factory, 0, 3, 128, 300.0)
+        assert all(j.origin == 3 for j in jobs)
+
+    def test_requested_at_least_runtime(self, factory):
+        jobs = generate_cluster_stream(
+            factory, 0, 0, 128, 600.0, estimate_model=PhiModelEstimates()
+        )
+        assert all(j.requested_time >= j.runtime for j in jobs)
+
+    def test_adoption_probability_extremes(self, factory):
+        all_red = generate_cluster_stream(
+            factory, 0, 0, 128, 600.0, adoption_probability=1.0
+        )
+        none_red = generate_cluster_stream(
+            factory, 0, 0, 128, 600.0, adoption_probability=0.0
+        )
+        assert all(j.uses_redundancy for j in all_red)
+        assert not any(j.uses_redundancy for j in none_red)
+
+    def test_adoption_probability_fraction(self, factory):
+        jobs = generate_cluster_stream(
+            factory, 0, 0, 128, 3600.0, adoption_probability=0.4
+        )
+        frac = sum(j.uses_redundancy for j in jobs) / len(jobs)
+        assert frac == pytest.approx(0.4, abs=0.08)
+
+    def test_invalid_adoption_rejected(self, factory):
+        with pytest.raises(ValueError):
+            generate_cluster_stream(factory, 0, 0, 128, 60.0,
+                                    adoption_probability=1.5)
+
+
+class TestCommonRandomNumbers:
+    def test_workload_independent_of_estimates_and_adoption(self, factory):
+        """Changing the estimate model or adoption p must not perturb
+        arrivals, node counts or runtimes (the pairing discipline)."""
+        a = generate_cluster_stream(factory, 0, 0, 128, 900.0,
+                                    adoption_probability=1.0)
+        b = generate_cluster_stream(
+            factory, 0, 0, 128, 900.0,
+            estimate_model=PhiModelEstimates(), adoption_probability=0.3,
+        )
+        assert [(j.arrival, j.nodes, j.runtime) for j in a] == [
+            (j.arrival, j.nodes, j.runtime) for j in b
+        ]
+
+    def test_replications_differ(self, factory):
+        a = generate_cluster_stream(factory, 0, 0, 128, 900.0)
+        b = generate_cluster_stream(factory, 1, 0, 128, 900.0)
+        assert [j.arrival for j in a] != [j.arrival for j in b]
+
+    def test_clusters_differ(self, factory):
+        a = generate_cluster_stream(factory, 0, 0, 128, 900.0)
+        b = generate_cluster_stream(factory, 0, 1, 128, 900.0)
+        assert [j.arrival for j in a] != [j.arrival for j in b]
+
+
+class TestPlatformStreams:
+    def test_one_stream_per_cluster(self, factory):
+        streams = generate_platform_streams(factory, 0, [128, 64, 32], 300.0)
+        assert len(streams) == 3
+        for i, stream in enumerate(streams):
+            assert all(j.origin == i for j in stream)
+            max_nodes = [128, 64, 32][i]
+            assert all(j.nodes <= max_nodes for j in stream)
+
+    def test_per_cluster_params(self, factory):
+        fast = LublinParams().with_mean_interarrival(2.0)
+        slow = LublinParams().with_mean_interarrival(50.0)
+        streams = generate_platform_streams(
+            factory, 0, [128, 128], 3600.0, params_per_cluster=[fast, slow]
+        )
+        assert len(streams[0]) > 4 * len(streams[1])
+
+    def test_params_length_mismatch_rejected(self, factory):
+        with pytest.raises(ValueError):
+            generate_platform_streams(
+                factory, 0, [128, 128], 60.0,
+                params_per_cluster=[LublinParams()],
+            )
+
+    def test_merge_streams_global_order(self, factory):
+        streams = generate_platform_streams(factory, 0, [64, 64, 64], 600.0)
+        merged = merge_streams(streams)
+        assert len(merged) == sum(len(s) for s in streams)
+        arrivals = [j.arrival for j in merged]
+        assert arrivals == sorted(arrivals)

@@ -1,0 +1,125 @@
+"""Tests for SWF trace parsing, writing and replay conversion."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RngFactory
+from repro.workload.stream import generate_cluster_stream
+from repro.workload.swf import (
+    SWFError,
+    SWFRecord,
+    parse_swf_line,
+    read_swf,
+    records_to_stream,
+    stream_to_records,
+    write_swf,
+)
+
+GOOD_LINE = "1 100 30 600 16 -1 -1 16 1200 -1 1 -1 -1 -1 -1 -1 -1 -1"
+
+
+class TestParsing:
+    def test_parse_fields(self):
+        r = parse_swf_line(GOOD_LINE)
+        assert r.job_id == 1
+        assert r.submit_time == 100.0
+        assert r.wait_time == 30.0
+        assert r.run_time == 600.0
+        assert r.allocated_procs == 16
+        assert r.requested_time == 1200.0
+        assert r.status == 1
+
+    def test_too_few_fields(self):
+        with pytest.raises(SWFError, match="expected 18"):
+            parse_swf_line("1 2 3")
+
+    def test_garbage_fields(self):
+        with pytest.raises(SWFError, match="unparseable"):
+            parse_swf_line(GOOD_LINE.replace("600", "xyz"))
+
+    def test_nodes_falls_back_to_requested(self):
+        line = GOOD_LINE.split()
+        line[4] = "-1"  # allocated missing
+        r = parse_swf_line(" ".join(line))
+        assert r.nodes == 16  # requested_procs
+
+    def test_nodes_missing_entirely(self):
+        line = GOOD_LINE.split()
+        line[4] = "-1"
+        line[7] = "-1"
+        r = parse_swf_line(" ".join(line))
+        with pytest.raises(SWFError):
+            _ = r.nodes
+
+    def test_requested_time_floor_at_runtime(self):
+        line = GOOD_LINE.split()
+        line[8] = "10"  # requested below runtime 600
+        r = parse_swf_line(" ".join(line))
+        assert r.effective_requested_time == 600.0
+
+
+class TestRoundTrip:
+    def test_write_read_round_trip(self, tmp_path):
+        records = [
+            SWFRecord(i, i * 10.0, -1, 50.0 + i, 4, 4, 100.0 + i, 1)
+            for i in range(1, 6)
+        ]
+        path = tmp_path / "trace.swf"
+        n = write_swf(path, records, header_comments=["test trace"])
+        assert n == 5
+        back = list(read_swf(path))
+        assert len(back) == 5
+        assert [r.job_id for r in back] == [1, 2, 3, 4, 5]
+        assert [r.run_time for r in back] == [51.0, 52.0, 53.0, 54.0, 55.0]
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "trace.swf"
+        path.write_text(f"; header\n\n{GOOD_LINE}\n; tail comment\n")
+        assert len(list(read_swf(path))) == 1
+
+    def test_generated_stream_survives_swf_round_trip(self, tmp_path):
+        jobs = generate_cluster_stream(RngFactory(1), 0, 0, 64, 600.0)
+        records = stream_to_records(jobs)
+        path = tmp_path / "gen.swf"
+        write_swf(path, records)
+        replayed = records_to_stream(read_swf(path), max_nodes=64)
+        assert len(replayed) == len(jobs)
+        # SWF stores integer seconds; compare coarsely.
+        for orig, back in zip(jobs, replayed):
+            assert back.nodes == orig.nodes
+            assert back.runtime == pytest.approx(orig.runtime, abs=1.0)
+
+
+class TestReplayConversion:
+    def test_failed_jobs_skipped(self):
+        records = [
+            SWFRecord(1, 0.0, -1, -1.0, 4, 4, 100.0, 0),   # failed, rt -1
+            SWFRecord(2, 5.0, -1, 50.0, 4, 4, 100.0, 1),
+        ]
+        jobs = records_to_stream(records)
+        assert len(jobs) == 1
+        assert jobs[0].arrival == 5.0
+
+    def test_wide_jobs_clamped(self):
+        records = [SWFRecord(1, 0.0, -1, 10.0, 512, 512, 20.0, 1)]
+        jobs = records_to_stream(records, max_nodes=128)
+        assert jobs[0].nodes == 128
+
+    def test_adoption_sampling(self):
+        records = [
+            SWFRecord(i, float(i), -1, 10.0, 1, 1, 20.0, 1)
+            for i in range(1000)
+        ]
+        jobs = records_to_stream(
+            records, adoption_probability=0.5, rng=np.random.default_rng(0)
+        )
+        frac = sum(j.uses_redundancy for j in jobs) / len(jobs)
+        assert frac == pytest.approx(0.5, abs=0.06)
+
+    def test_stream_sorted_by_arrival(self):
+        records = [
+            SWFRecord(1, 50.0, -1, 10.0, 1, 1, 10.0, 1),
+            SWFRecord(2, 5.0, -1, 10.0, 1, 1, 10.0, 1),
+        ]
+        jobs = records_to_stream(records)
+        assert [j.arrival for j in jobs] == [5.0, 50.0]

@@ -1,0 +1,104 @@
+"""Benchmarks for the parallel sweep engine and the result cache.
+
+Exercises the acceptance criteria of the parallel-sweep work: a full
+5-scheme x 16-replication grid through ``compare_schemes`` with worker
+processes, plus cold/warm cache runs demonstrating that a warm rerun
+performs zero simulation.  The machine-readable variant of the same
+measurement is ``repro bench --json``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.cache import ResultCache
+from repro.core.config import ExperimentConfig
+from repro.core.runner import compare_schemes
+
+SCHEMES = ["R2", "R3", "R4", "HALF", "ALL"]
+N_REPLICATIONS = 16
+
+
+def _grid_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        n_clusters=5, nodes_per_cluster=32, duration=900.0,
+        offered_load=2.0, drain=True, seed=20060619,
+    )
+
+
+def _time(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def test_bench_parallel_grid(benchmark):
+    """Headline number: the flattened grid with 4 worker processes."""
+    cfg = _grid_config()
+    result = benchmark.pedantic(
+        compare_schemes,
+        args=(cfg, SCHEMES, N_REPLICATIONS),
+        kwargs={"n_workers": 4},
+        rounds=1, iterations=1,
+    )
+    print(f"\n[parallel-sweep] {len(SCHEMES)} schemes x {N_REPLICATIONS} reps, "
+          f"4 workers on {os.cpu_count()} CPUs")
+    for scheme in SCHEMES:
+        rel = result.relative(scheme)
+        print(f"  {scheme:>8}: stretch x{rel.avg_stretch:.3f}")
+
+
+def test_bench_parallel_speedup_and_determinism():
+    """Serial vs parallel wall time; results must be identical."""
+    cfg = _grid_config()
+    serial, t_serial = _time(
+        lambda: compare_schemes(cfg, SCHEMES, N_REPLICATIONS, n_workers=1)
+    )
+    parallel, t_parallel = _time(
+        lambda: compare_schemes(cfg, SCHEMES, N_REPLICATIONS, n_workers=4)
+    )
+
+    for scheme in SCHEMES:
+        assert serial.relative(scheme) == parallel.relative(scheme), (
+            f"parallel output diverged from serial for {scheme}"
+        )
+    speedup = t_serial / t_parallel if t_parallel > 0 else float("inf")
+    print(f"\n[parallel-sweep] serial {t_serial:.2f}s, "
+          f"4 workers {t_parallel:.2f}s, speedup x{speedup:.2f} "
+          f"({os.cpu_count()} CPUs)")
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip(
+            f"speedup assertion needs >= 4 CPUs, have {os.cpu_count()}"
+        )
+    assert speedup >= 2.0, (
+        f"expected >= 2x speedup with 4 workers, got x{speedup:.2f}"
+    )
+
+
+def test_bench_warm_cache_skips_simulation(tmp_path):
+    """A warm rerun of the full grid must be pure cache hits."""
+    cfg = _grid_config()
+    cache = ResultCache(tmp_path)
+    n_tasks = (len(SCHEMES) + 1) * N_REPLICATIONS  # schemes + NONE baseline
+
+    cold, t_cold = _time(
+        lambda: compare_schemes(cfg, SCHEMES, N_REPLICATIONS, cache=cache)
+    )
+    assert cache.stats.stores == n_tasks
+
+    cache.clear_memory()  # warm run must survive on the disk layer alone
+    hits_before = cache.stats.hits
+    warm, t_warm = _time(
+        lambda: compare_schemes(cfg, SCHEMES, N_REPLICATIONS, cache=cache)
+    )
+
+    assert cache.stats.hits - hits_before == n_tasks, "warm run simulated"
+    assert cache.stats.stores == n_tasks, "warm run re-stored entries"
+    for scheme in SCHEMES:
+        assert cold.relative(scheme) == warm.relative(scheme)
+    print(f"\n[result-cache] cold {t_cold:.2f}s, warm {t_warm:.3f}s "
+          f"({n_tasks} tasks, {cache.stats.hits - hits_before} hits)")
+    assert t_warm < t_cold, "warm rerun should be faster than cold"

@@ -43,8 +43,11 @@ from .core import (
     ExperimentResult,
     JobOutcome,
     RelativeMetrics,
+    ResultCache,
     SchemeComparison,
+    SweepEngine,
     compare_schemes,
+    run_grid,
     run_replications,
     run_single,
 )
@@ -57,7 +60,10 @@ __all__ = [
     "JobOutcome",
     "RelativeMetrics",
     "SchemeComparison",
+    "SweepEngine",
+    "ResultCache",
     "compare_schemes",
+    "run_grid",
     "run_replications",
     "run_single",
     "__version__",

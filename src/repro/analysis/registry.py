@@ -24,6 +24,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from ..core.cache import shared_cache
 from ..core.config import ExperimentConfig
 from ..core.runner import SchemeComparison, compare_schemes, run_replications
 from ..core.schemes import PAPER_SCHEME_ORDER
@@ -161,7 +162,8 @@ def _sites_sweep(scale: Scale) -> dict[int, SchemeComparison]:
     for n in scale.fig1_sites:
         cfg = calibrated_config(scale, n_clusters=n)
         out[n] = compare_schemes(
-            cfg, PAPER_SCHEME_ORDER, scale.n_replications, n_workers()
+            cfg, PAPER_SCHEME_ORDER, scale.n_replications, n_workers(),
+            cache=shared_cache(),
         )
     return out
 
@@ -261,7 +263,8 @@ def tab1(scale: Optional[Scale] = None) -> ExperimentReport:
                 scale, algorithm=algorithm, estimates=estimates
             )
             cmp_ = compare_schemes(
-                cfg, ["HALF"], scale.n_replications, n_workers()
+                cfg, ["HALF"], scale.n_replications, n_workers(),
+                cache=shared_cache(),
             )
             rel = cmp_.relative("HALF")
             row_s.append(rel.avg_stretch)
@@ -293,7 +296,9 @@ def tab2(scale: Optional[Scale] = None) -> ExperimentReport:
     scale = scale or current_scale()
     cfg = calibrated_config(scale, target_bias_ratio=0.5)
     schemes = ("R2", "R3", "R4", "HALF")
-    cmp_ = compare_schemes(cfg, schemes, scale.n_replications, n_workers())
+    cmp_ = compare_schemes(
+        cfg, schemes, scale.n_replications, n_workers(), cache=shared_cache()
+    )
     table = Table(
         "Table 2 — biased account distribution (N=10)",
         columns=list(schemes),
@@ -355,7 +360,8 @@ def fig3(scale: Optional[Scale] = None) -> ExperimentReport:
             scale, mean_interarrival=iat, offered_load=rho
         )
         comparisons[alpha] = compare_schemes(
-            cfg, PAPER_SCHEME_ORDER, scale.n_replications, n_workers()
+            cfg, PAPER_SCHEME_ORDER, scale.n_replications, n_workers(),
+            cache=shared_cache(),
         )
     for scheme in PAPER_SCHEME_ORDER:
         rel = [comparisons[a].relative(scheme).avg_stretch
@@ -388,7 +394,8 @@ def tab3(scale: Optional[Scale] = None) -> ExperimentReport:
     scale = scale or current_scale()
     cfg = calibrated_config(scale, heterogeneous=True)
     cmp_ = compare_schemes(
-        cfg, PAPER_SCHEME_ORDER, scale.n_replications, n_workers()
+        cfg, PAPER_SCHEME_ORDER, scale.n_replications, n_workers(),
+        cache=shared_cache(),
     )
     table = Table(
         "Table 3 — heterogeneous platform (N=10)",
@@ -444,7 +451,9 @@ def fig4(scale: Optional[Scale] = None) -> ExperimentReport:
             cfg = calibrated_config(
                 scale, scheme=scheme, adoption_probability=p
             )
-            results = run_replications(cfg, scale.n_replications, n_workers())
+            results = run_replications(
+                cfg, scale.n_replications, n_workers(), cache=shared_cache()
+            )
             if p == 0.0:
                 baseline_results = results
             r_vals, nr_vals = [], []
@@ -697,7 +706,10 @@ def sec312(scale: Optional[Scale] = None) -> ExperimentReport:
     data = {}
     for inflation in (0.0, 0.10, 0.50):
         cfg = calibrated_config(scale, remote_inflation=inflation)
-        cmp_ = compare_schemes(cfg, ["HALF"], scale.n_replications, n_workers())
+        cmp_ = compare_schemes(
+            cfg, ["HALF"], scale.n_replications, n_workers(),
+            cache=shared_cache(),
+        )
         rel = cmp_.relative("HALF")
         table.add_row(
             f"+{inflation:.0%}", [rel.avg_stretch, rel.cv_stretch]

@@ -6,18 +6,24 @@ Usage::
     repro run fig1                  # regenerate Figure 1 (default scale)
     repro run tab4 --scale smoke    # quick noisy version
     repro run all --scale default   # everything, in order
+    repro run fig1 --workers 8 --cache-dir ~/.cache/repro
+    repro bench --json bench.json   # machine-readable sweep timings
 
 Scales are defined in :mod:`repro.analysis.registry`; ``--workers``
-parallelises replications across processes.
+parallelises replications across processes.  ``--cache-dir`` persists
+simulation results on disk (content-addressed by config + replication),
+so reruns and figures sharing the paired NONE baseline skip simulation;
+``--no-cache`` disables caching entirely.
 """
 
 from __future__ import annotations
 
 import argparse
-from pathlib import Path
+import json
 import os
 import sys
 import time
+from pathlib import Path
 from typing import Optional, Sequence
 
 from .analysis.registry import REGISTRY, SCALES, run_experiment
@@ -53,6 +59,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="processes for replication parallelism (overrides REPRO_WORKERS)",
     )
     run.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persist simulation results in this directory "
+        "(overrides REPRO_CACHE_DIR)",
+    )
+    run.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable result caching (in-memory and on-disk)",
+    )
+    run.add_argument(
         "--json",
         metavar="PATH",
         default=None,
@@ -65,6 +83,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also write each report table as CSV into this directory",
     )
+
+    bench = sub.add_parser(
+        "bench",
+        help="time the sweep engine (serial vs parallel, cold vs warm cache)",
+    )
+    bench.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker processes for the parallel measurement (default 4)",
+    )
+    bench.add_argument(
+        "--schemes",
+        nargs="+",
+        default=None,
+        metavar="SCHEME",
+        help="schemes to sweep (default: the paper's R2 R3 R4 HALF ALL)",
+    )
+    bench.add_argument(
+        "--replications",
+        type=int,
+        default=16,
+        help="replications per config (default 16)",
+    )
+    bench.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write machine-readable timings to PATH ('-' for stdout only)",
+    )
     return parser
 
 
@@ -75,17 +123,28 @@ def cmd_list() -> int:
     return 0
 
 
+def _apply_cache_flags(cache_dir: Optional[str], no_cache: bool) -> None:
+    if no_cache:
+        os.environ["REPRO_NO_CACHE"] = "1"
+    elif cache_dir is not None:
+        os.environ.pop("REPRO_NO_CACHE", None)
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
+
+
 def cmd_run(
     experiment: str,
     scale: Optional[str],
     workers: Optional[int],
     json_path: Optional[str] = None,
     csv_dir: Optional[str] = None,
+    cache_dir: Optional[str] = None,
+    no_cache: bool = False,
 ) -> int:
     if scale is not None:
         os.environ["REPRO_SCALE"] = scale
     if workers is not None:
         os.environ["REPRO_WORKERS"] = str(workers)
+    _apply_cache_flags(cache_dir, no_cache)
     ids = sorted(REGISTRY) if experiment == "all" else [experiment]
     many = len(ids) > 1
     for exp_id in ids:
@@ -122,13 +181,114 @@ def cmd_run(
     return 0
 
 
+def cmd_bench(
+    workers: int,
+    schemes: Optional[Sequence[str]],
+    replications: int,
+    json_path: Optional[str],
+) -> int:
+    """Benchmark the sweep engine and emit machine-readable timings.
+
+    Three measurements over the same 5-scheme comparison grid:
+
+    * ``serial``   — fresh run, one process, no cache (the seed path);
+    * ``parallel`` — fresh run, ``--workers`` processes, no cache;
+    * ``cold``/``warm`` — disk-cached runs into a temp directory; the
+      warm rerun must hit the cache for every task.
+    """
+    import tempfile
+
+    from .core.cache import ResultCache
+    from .core.runner import compare_schemes
+    from .core.schemes import PAPER_SCHEME_ORDER
+
+    schemes = list(schemes) if schemes else list(PAPER_SCHEME_ORDER)
+    from .core.config import ExperimentConfig
+
+    cfg = ExperimentConfig(
+        n_clusters=5, nodes_per_cluster=32, duration=900.0,
+        offered_load=2.0, drain=True, seed=20060619,
+    )
+    n_tasks = (len(schemes) + 1) * replications
+    print(
+        f"[bench] {len(schemes)} schemes x {replications} replications "
+        f"(+ baseline) = {n_tasks} simulations; workers={workers}"
+    )
+
+    t0 = time.perf_counter()
+    serial = compare_schemes(cfg, schemes, replications, n_workers=1)
+    t_serial = time.perf_counter() - t0
+    print(f"[bench] serial:   {t_serial:.2f}s")
+
+    t0 = time.perf_counter()
+    parallel = compare_schemes(cfg, schemes, replications, n_workers=workers)
+    t_parallel = time.perf_counter() - t0
+    print(f"[bench] parallel: {t_parallel:.2f}s "
+          f"(speedup {t_serial / t_parallel:.2f}x)")
+
+    identical = all(
+        serial.relative(s) == parallel.relative(s) for s in schemes
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cache = ResultCache(tmp)
+        t0 = time.perf_counter()
+        compare_schemes(cfg, schemes, replications, n_workers=workers,
+                        cache=cache)
+        t_cold = time.perf_counter() - t0
+        cache.clear_memory()  # force the warm run through the disk layer
+        warm_start_hits = cache.stats.hits
+        t0 = time.perf_counter()
+        warm = compare_schemes(cfg, schemes, replications, n_workers=workers,
+                               cache=cache)
+        t_warm = time.perf_counter() - t0
+        warm_hits = cache.stats.hits - warm_start_hits
+    print(f"[bench] cold cache: {t_cold:.2f}s; warm cache: {t_warm:.2f}s "
+          f"({warm_hits}/{n_tasks} tasks from cache)")
+    identical = identical and all(
+        serial.relative(s) == warm.relative(s) for s in schemes
+    )
+
+    payload = {
+        "bench": "parallel_sweep",
+        "cpu_count": os.cpu_count(),
+        "config": {
+            "schemes": schemes,
+            "replications": replications,
+            "workers": workers,
+            "n_tasks": n_tasks,
+        },
+        "timings_s": {
+            "serial": t_serial,
+            "parallel": t_parallel,
+            "cold_cache": t_cold,
+            "warm_cache": t_warm,
+        },
+        "speedup_parallel": t_serial / t_parallel,
+        "speedup_warm_cache": t_serial / t_warm,
+        "warm_cache_hits": warm_hits,
+        "warm_cache_complete": warm_hits == n_tasks,
+        "results_identical": identical,
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if json_path and json_path != "-":
+        Path(json_path).write_text(text + "\n")
+        print(f"[wrote {json_path}]")
+    else:
+        print(text)
+    return 0 if identical else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return cmd_list()
     if args.command == "run":
         return cmd_run(args.experiment, args.scale, args.workers,
-                       args.json, args.csv)
+                       args.json, args.csv, args.cache_dir, args.no_cache)
+    if args.command == "bench":
+        return cmd_bench(args.workers, args.schemes, args.replications,
+                         args.json)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

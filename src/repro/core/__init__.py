@@ -5,9 +5,19 @@ High-level entry points:
 * :class:`ExperimentConfig` + :func:`run_single` — one simulated run;
 * :func:`run_replications` — a replication sweep;
 * :func:`compare_schemes` — paired relative metrics against NONE, the
-  form every figure and table in the paper uses.
+  form every figure and table in the paper uses;
+* :func:`run_grid` / :class:`SweepEngine` — the flattened parallel
+  sweep engine underneath all of the above;
+* :class:`ResultCache` — content-addressed result caching shared by
+  sweeps and registry figures.
 """
 
+from .cache import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    config_fingerprint,
+    shared_cache,
+)
 from .config import DEFAULT_DURATION, DEFAULT_NODES, ExperimentConfig
 from .coordinator import Coordinator, RedundantJob
 from .experiment import run_single
@@ -29,6 +39,7 @@ from .tracing import (
     time_average,
     utilization_timeline,
 )
+from .parallel import SweepEngine, run_grid
 from .runner import (
     RelativeMetrics,
     paired_nonadopter_penalty,
@@ -51,6 +62,12 @@ __all__ = [
     "DEFAULT_DURATION",
     "run_single",
     "run_replications",
+    "run_grid",
+    "SweepEngine",
+    "ResultCache",
+    "CACHE_SCHEMA_VERSION",
+    "config_fingerprint",
+    "shared_cache",
     "compare_schemes",
     "SchemeComparison",
     "RelativeMetrics",

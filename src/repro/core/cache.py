@@ -1,0 +1,263 @@
+"""Content-addressed result cache for replication sweeps.
+
+Every figure of the paper reruns the same paired NONE baseline, and the
+larger scheme x load grids the ROADMAP targets repeat whole sub-sweeps.
+Since ``run_single(config, replication)`` is a pure function of
+``(config, replication)`` (the RNG tree is derived from the config seed
+and the replication index only), its results can be cached and shared
+across :func:`~repro.core.runner.compare_schemes`,
+:func:`~repro.core.runner.paired_nonadopter_penalty` and every registry
+experiment.
+
+Keys are *content addresses*: a SHA-256 fingerprint over the canonical
+JSON form of every :class:`~repro.core.config.ExperimentConfig` field
+plus :data:`CACHE_SCHEMA_VERSION`.  Any config change produces a new
+key, and bumping the schema version (done whenever a simulator change
+alters results) invalidates every old entry at once.
+
+Storage is two-layer:
+
+* a bounded in-process LRU (always on) so the baseline is computed once
+  per process even without a cache directory;
+* an optional on-disk layer (one pickle per ``(config, replication)``,
+  written atomically) that survives across processes and CLI runs.
+
+Disk entries are *verified on load*: the payload embeds the schema
+version, fingerprint and replication index, and any mismatch or
+unpickling error discards the file instead of trusting it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from pathlib import Path
+from typing import Optional, Union
+
+from .config import ExperimentConfig
+from .results import ExperimentResult
+
+#: bump whenever simulator/scheduler changes alter results for an
+#: unchanged config — every older on-disk entry then misses
+CACHE_SCHEMA_VERSION = 1
+
+#: default bound on the in-process LRU layer (entries, i.e. replications)
+DEFAULT_MEMORY_ENTRIES = 128
+
+
+def config_fingerprint(
+    config: ExperimentConfig, schema_version: int = CACHE_SCHEMA_VERSION
+) -> str:
+    """Stable content address of a configuration.
+
+    Canonical JSON (sorted keys, tuples as lists) over *all* dataclass
+    fields plus the cache schema version, hashed with SHA-256.  Two
+    configs share a fingerprint iff they are equal, so the fingerprint
+    doubles as the dedup key for grid flattening.
+    """
+    payload = {
+        "schema": int(schema_version),
+        "config": dataclasses.asdict(config),
+    }
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
+
+
+class CacheStats:
+    """Hit/miss/store counters (the warm-cache benchmark reads these)."""
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.discarded = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "discarded": self.discarded,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CacheStats({self.as_dict()})"
+
+
+class ResultCache:
+    """Two-layer (memory + optional disk) cache of experiment results.
+
+    Parameters
+    ----------
+    root:
+        Directory for the on-disk layer; ``None`` keeps the cache
+        memory-only.  The directory is created lazily on first store.
+    memory_entries:
+        Bound on the in-process LRU layer; 0 disables it (useful when a
+        huge paper-scale sweep should stream through the disk only).
+    """
+
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+    ) -> None:
+        self.root = Path(root) if root is not None else None
+        self.memory_entries = int(memory_entries)
+        self._mem: OrderedDict[tuple[str, int], ExperimentResult] = OrderedDict()
+        self.stats = CacheStats()
+
+    # -- keys ------------------------------------------------------------
+
+    def _path(self, fingerprint: str, replication: int) -> Path:
+        assert self.root is not None
+        return self.root / fingerprint[:2] / f"{fingerprint}-r{replication}.pkl"
+
+    # -- memory layer ----------------------------------------------------
+
+    def _mem_get(self, key: tuple[str, int]) -> Optional[ExperimentResult]:
+        result = self._mem.get(key)
+        if result is not None:
+            self._mem.move_to_end(key)
+        return result
+
+    def _mem_put(self, key: tuple[str, int], result: ExperimentResult) -> None:
+        if self.memory_entries <= 0:
+            return
+        self._mem[key] = result
+        self._mem.move_to_end(key)
+        while len(self._mem) > self.memory_entries:
+            self._mem.popitem(last=False)
+
+    # -- public API ------------------------------------------------------
+
+    def get(
+        self, config: ExperimentConfig, replication: int,
+        fingerprint: Optional[str] = None,
+    ) -> Optional[ExperimentResult]:
+        """Cached result for ``(config, replication)``, or ``None``.
+
+        ``fingerprint`` may be passed to avoid recomputing it in grid
+        loops that already hold it.
+        """
+        fp = fingerprint or config_fingerprint(config)
+        key = (fp, replication)
+        result = self._mem_get(key)
+        if result is not None:
+            self.stats.hits += 1
+            return result
+        if self.root is not None:
+            result = self._disk_get(fp, replication)
+            if result is not None:
+                self._mem_put(key, result)
+                self.stats.hits += 1
+                return result
+        self.stats.misses += 1
+        return None
+
+    def put(
+        self, config: ExperimentConfig, replication: int,
+        result: ExperimentResult, fingerprint: Optional[str] = None,
+    ) -> None:
+        """Store a freshly computed result in both layers."""
+        fp = fingerprint or config_fingerprint(config)
+        self._mem_put((fp, replication), result)
+        if self.root is not None:
+            self._disk_put(fp, replication, result)
+        self.stats.stores += 1
+
+    def clear_memory(self) -> None:
+        """Drop the in-process layer (disk entries are untouched)."""
+        self._mem.clear()
+
+    # -- disk layer ------------------------------------------------------
+
+    def _disk_get(self, fp: str, replication: int) -> Optional[ExperimentResult]:
+        path = self._path(fp, replication)
+        try:
+            with open(path, "rb") as fh:
+                payload = pickle.load(fh)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Truncated/corrupted pickle: never trust it.
+            self._discard(path)
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != CACHE_SCHEMA_VERSION
+            or payload.get("fingerprint") != fp
+            or payload.get("replication") != replication
+            or not isinstance(payload.get("result"), ExperimentResult)
+        ):
+            self._discard(path)
+            return None
+        return payload["result"]
+
+    def _disk_put(self, fp: str, replication: int, result: ExperimentResult) -> None:
+        path = self._path(fp, replication)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "fingerprint": fp,
+            "replication": replication,
+            "result": result,
+        }
+        # Atomic publish: concurrent writers of the same key race
+        # harmlessly (identical content), readers never see a torn file.
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _discard(self, path: Path) -> None:
+        self.stats.discarded += 1
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = str(self.root) if self.root else "memory"
+        return f"ResultCache({where}, {self.stats.as_dict()})"
+
+
+# -- process-wide default (env-driven) ----------------------------------
+
+_MEMORY_CACHE: Optional[ResultCache] = None
+_DISK_CACHES: dict[str, ResultCache] = {}
+
+
+def shared_cache() -> Optional[ResultCache]:
+    """The cache the registry and CLI use, resolved from the environment.
+
+    * ``REPRO_NO_CACHE=1`` — caching off entirely;
+    * ``REPRO_CACHE_DIR=/path`` — disk-backed cache rooted there (one
+      instance per directory, so the memory layer persists too);
+    * otherwise — a process-wide memory-only cache, which is what makes
+      the NONE baseline shared across registry figures in one run.
+    """
+    if os.environ.get("REPRO_NO_CACHE", "").strip().lower() in ("1", "true", "yes"):
+        return None
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    if cache_dir:
+        cache = _DISK_CACHES.get(cache_dir)
+        if cache is None:
+            cache = _DISK_CACHES[cache_dir] = ResultCache(cache_dir)
+        return cache
+    global _MEMORY_CACHE
+    if _MEMORY_CACHE is None:
+        _MEMORY_CACHE = ResultCache(None)
+    return _MEMORY_CACHE

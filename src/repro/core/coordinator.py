@@ -17,6 +17,7 @@ assumption.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Optional, Sequence
 
 from ..cluster.platform import Platform
@@ -145,7 +146,7 @@ class Coordinator:
         """Arrange for :meth:`submit_job` to run at the job's arrival time."""
         self.sim.at(
             spec.arrival,
-            lambda: self.submit_job(spec, targets),
+            partial(self.submit_job, spec, targets),
             EventPriority.SUBMIT,
         )
 
@@ -168,7 +169,7 @@ class Coordinator:
         else:
             self.sim.after(
                 self.cancellation_latency,
-                lambda j=job: self._cancel_losers(j),
+                partial(self._cancel_losers, job),
                 EventPriority.CANCEL,
             )
 

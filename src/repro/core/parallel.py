@@ -1,0 +1,238 @@
+"""Parallel sweep engine: one flattened (config x replication) grid.
+
+The seed runner parallelised each scheme's replications separately: one
+process pool per ``run_replications`` call, re-pickling the config for
+every task and synchronising at every scheme boundary.  This module
+replaces that with a single engine used by every sweep:
+
+1. the whole grid — every config (including the NONE baseline) times
+   every replication — is flattened into one task list;
+2. duplicate configs are deduplicated up front (configs are frozen
+   dataclasses, so equality is exact), which is how the paired baseline
+   is computed once per grid no matter how many callers request it;
+3. a result cache (:mod:`repro.core.cache`) is consulted before any
+   work is scheduled, so warm reruns skip simulation entirely;
+4. remaining tasks run on **one** :class:`ProcessPoolExecutor` for the
+   whole grid.  Workers receive the unique-config table once through
+   the pool initializer; tasks are ``(config_index, replication)``
+   integer pairs, so nothing large is re-pickled per task;
+5. tasks are submitted in chunks (amortising IPC) and collected
+   ``as_completed`` for progress reporting;
+6. results are reassembled by ``(config_index, replication)`` key, so
+   the output is deterministic and bit-identical to a serial run
+   regardless of worker scheduling.
+
+``run_single`` is a pure function of ``(config, replication)``; that is
+the invariant that makes 2, 3 and 6 sound.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, Optional, Sequence
+
+from .cache import ResultCache, config_fingerprint
+from .config import ExperimentConfig
+from .experiment import run_single
+from .results import ExperimentResult
+
+ProgressFn = Callable[[str], None]
+
+#: soft cap on in-flight chunks per worker (bounds parent-side memory
+#: while keeping every worker busy)
+_INFLIGHT_PER_WORKER = 2
+
+
+# -- worker side ---------------------------------------------------------
+
+_WORKER_CONFIGS: Sequence[ExperimentConfig] = ()
+
+
+def _init_worker(configs: Sequence[ExperimentConfig]) -> None:
+    """Pool initializer: unpickle the unique-config table once per worker."""
+    global _WORKER_CONFIGS
+    _WORKER_CONFIGS = configs
+
+
+def _run_chunk(
+    tasks: Sequence[tuple[int, int]],
+) -> list[tuple[int, int, ExperimentResult]]:
+    """Run a chunk of ``(config_index, replication)`` tasks in one worker."""
+    return [
+        (ci, rep, run_single(_WORKER_CONFIGS[ci], rep)) for ci, rep in tasks
+    ]
+
+
+# -- parent side ---------------------------------------------------------
+
+def default_chunksize(n_tasks: int, n_workers: int) -> int:
+    """Chunk so each worker sees a few chunks (load balance vs IPC cost)."""
+    if n_tasks <= 0:
+        return 1
+    return max(1, math.ceil(n_tasks / (max(1, n_workers) * 4)))
+
+
+def run_grid(
+    configs: Sequence[ExperimentConfig],
+    n_replications: int,
+    n_workers: int = 1,
+    first_replication: int = 0,
+    cache: Optional[ResultCache] = None,
+    chunksize: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+) -> list[list[ExperimentResult]]:
+    """Run every config for every replication; return results per config.
+
+    The returned list is parallel to ``configs``; each inner list holds
+    ``n_replications`` results ordered by replication index.  Duplicate
+    configs are simulated once and their result lists shared by value.
+    """
+    if n_replications < 1:
+        raise ValueError(f"need >= 1 replication, got {n_replications}")
+    if not configs:
+        return []
+
+    # 1+2. Deduplicate the grid (frozen dataclasses hash by content).
+    unique: list[ExperimentConfig] = []
+    index_of: dict[ExperimentConfig, int] = {}
+    slots: list[int] = []
+    for cfg in configs:
+        ui = index_of.get(cfg)
+        if ui is None:
+            ui = index_of[cfg] = len(unique)
+            unique.append(cfg)
+        slots.append(ui)
+
+    reps = range(first_replication, first_replication + n_replications)
+    grid: list[dict[int, ExperimentResult]] = [{} for _ in unique]
+
+    # 3. Resolve cache hits before scheduling any work.
+    fingerprints = [config_fingerprint(cfg) for cfg in unique]
+    tasks: list[tuple[int, int]] = []
+    for ui, fp in enumerate(fingerprints):
+        for rep in reps:
+            hit = (
+                cache.get(unique[ui], rep, fingerprint=fp)
+                if cache is not None else None
+            )
+            if hit is not None:
+                grid[ui][rep] = hit
+            else:
+                tasks.append((ui, rep))
+
+    total = len(unique) * n_replications
+    done = total - len(tasks)
+
+    def note(ui: int, rep: int) -> None:
+        if progress is not None:
+            progress(
+                f"[{done}/{total}] {unique[ui].describe()} rep {rep}"
+            )
+
+    def record(ui: int, rep: int, result: ExperimentResult) -> None:
+        nonlocal done
+        grid[ui][rep] = result
+        if cache is not None:
+            cache.put(unique[ui], rep, result, fingerprint=fingerprints[ui])
+        done += 1
+        note(ui, rep)
+
+    # 4-5. Execute what is left: serial fast path, else one pool.
+    if tasks:
+        if n_workers <= 1 or len(tasks) == 1:
+            for ui, rep in tasks:
+                record(ui, rep, run_single(unique[ui], rep))
+        else:
+            _run_parallel(unique, tasks, n_workers, chunksize, record)
+
+    # 6. Deterministic reassembly in (config, replication) order.
+    per_unique = [
+        [grid[ui][rep] for rep in reps] for ui in range(len(unique))
+    ]
+    return [list(per_unique[ui]) for ui in slots]
+
+
+def _run_parallel(
+    unique: Sequence[ExperimentConfig],
+    tasks: list[tuple[int, int]],
+    n_workers: int,
+    chunksize: Optional[int],
+    record: Callable[[int, int, ExperimentResult], None],
+) -> None:
+    """Fan a task list over one persistent pool, chunked, as-completed."""
+    n_workers = min(n_workers, len(tasks))
+    if chunksize is None:
+        chunksize = default_chunksize(len(tasks), n_workers)
+    chunks = [
+        tasks[k:k + chunksize] for k in range(0, len(tasks), chunksize)
+    ]
+    with ProcessPoolExecutor(
+        max_workers=n_workers,
+        initializer=_init_worker,
+        initargs=(tuple(unique),),
+    ) as pool:
+        backlog = iter(chunks)
+        pending = {
+            pool.submit(_run_chunk, chunk)
+            for chunk in itertools.islice(
+                backlog, n_workers * _INFLIGHT_PER_WORKER
+            )
+        }
+        while pending:
+            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in finished:
+                for ci, rep, result in fut.result():
+                    record(ci, rep, result)
+                nxt = next(backlog, None)
+                if nxt is not None:
+                    pending.add(pool.submit(_run_chunk, nxt))
+
+
+class SweepEngine:
+    """Bound defaults for a sequence of grid runs.
+
+    A convenience wrapper the registry and CLI use so that worker count,
+    cache and progress reporting are decided once::
+
+        engine = SweepEngine(n_workers=8, cache=shared_cache())
+        baseline, r2 = engine.run_grid([cfg_none, cfg_r2], 50)
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        chunksize: Optional[int] = None,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        self.n_workers = max(1, int(n_workers))
+        self.cache = cache
+        self.chunksize = chunksize
+        self.progress = progress
+
+    def run_grid(
+        self,
+        configs: Sequence[ExperimentConfig],
+        n_replications: int,
+        first_replication: int = 0,
+    ) -> list[list[ExperimentResult]]:
+        return run_grid(
+            configs,
+            n_replications,
+            n_workers=self.n_workers,
+            first_replication=first_replication,
+            cache=self.cache,
+            chunksize=self.chunksize,
+            progress=self.progress,
+        )
+
+    def run_replications(
+        self,
+        config: ExperimentConfig,
+        n_replications: int,
+        first_replication: int = 0,
+    ) -> list[ExperimentResult]:
+        [results] = self.run_grid([config], n_replications, first_replication)
+        return results

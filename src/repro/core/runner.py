@@ -6,22 +6,26 @@ mean of per-replication paired ratios.  The pairing works because the
 job streams of replication r are identical across schemes (common
 random numbers, see :mod:`repro.workload.stream`).
 
-Replications are embarrassingly parallel; ``n_workers > 1`` fans them
-out over processes (each replication is a self-contained simulation, so
-there is no shared state to coordinate).
+Replications are embarrassingly parallel.  All sweeps here flatten
+their full (config x replication) grid through the engine in
+:mod:`repro.core.parallel`: one process pool for the whole grid, tasks
+chunked as ``(config_index, replication)`` integer pairs (the configs
+travel once via the pool initializer — nothing is materialised per
+task), optional result caching, and deterministic reassembly so
+``n_workers > 1`` is bit-identical to serial.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 import numpy as np
 
+from .cache import ResultCache
 from .config import ExperimentConfig
-from .experiment import run_single
 from .metrics import mean_of_ratios
+from .parallel import run_grid
 from .results import ExperimentResult
 
 
@@ -30,15 +34,21 @@ def run_replications(
     n_replications: int,
     n_workers: int = 1,
     first_replication: int = 0,
+    cache: Optional[ResultCache] = None,
+    chunksize: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
 ) -> list[ExperimentResult]:
     """Run ``n_replications`` independent replications of ``config``."""
-    if n_replications < 1:
-        raise ValueError(f"need >= 1 replication, got {n_replications}")
-    reps = range(first_replication, first_replication + n_replications)
-    if n_workers <= 1:
-        return [run_single(config, r) for r in reps]
-    with ProcessPoolExecutor(max_workers=n_workers) as pool:
-        return list(pool.map(run_single, [config] * n_replications, reps))
+    [results] = run_grid(
+        [config],
+        n_replications,
+        n_workers=n_workers,
+        first_replication=first_replication,
+        cache=cache,
+        chunksize=chunksize,
+        progress=progress,
+    )
+    return results
 
 
 @dataclass(frozen=True)
@@ -111,6 +121,7 @@ def paired_nonadopter_penalty(
     adoption: float,
     n_replications: int,
     n_workers: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> float:
     """Figure 4's fairness effect, isolated by pairing.
 
@@ -129,8 +140,9 @@ def paired_nonadopter_penalty(
         raise ValueError(f"adoption must be in (0, 1], got {adoption}")
     cfg_p = base_config.with_(scheme=scheme, adoption_probability=adoption)
     cfg_0 = base_config.with_(scheme=scheme, adoption_probability=0.0)
-    with_adoption = run_replications(cfg_p, n_replications, n_workers)
-    without = run_replications(cfg_0, n_replications, n_workers)
+    with_adoption, without = run_grid(
+        [cfg_p, cfg_0], n_replications, n_workers=n_workers, cache=cache
+    )
     ratios = []
     for rp, r0 in zip(with_adoption, without):
         nr_ids = {j.job_id for j in rp.jobs if not j.uses_redundancy}
@@ -147,12 +159,17 @@ def compare_schemes(
     n_replications: int,
     n_workers: int = 1,
     progress: Optional[Callable[[str], None]] = None,
+    cache: Optional[ResultCache] = None,
+    chunksize: Optional[int] = None,
 ) -> SchemeComparison:
     """Run NONE plus every scheme in ``schemes`` on paired job streams.
 
     ``base_config.scheme`` is ignored; each run derives its scheme from
-    the sweep.  ``progress`` receives a short message per completed
-    scheme (hook for CLI/bench reporting).
+    the sweep.  The baseline and all schemes form one flattened grid, so
+    with ``n_workers > 1`` baseline and scheme replications interleave
+    across the pool instead of synchronising per scheme.  ``progress``
+    receives a short message per grid entry (hook for CLI/bench
+    reporting).
     """
     def note(msg: str) -> None:
         if progress is not None:
@@ -160,16 +177,23 @@ def compare_schemes(
 
     baseline_cfg = base_config.with_(scheme="NONE")
     note(f"running baseline: {baseline_cfg.describe()}")
-    baseline = run_replications(baseline_cfg, n_replications, n_workers)
-    comparison = SchemeComparison(
-        base_config=base_config,
-        n_replications=n_replications,
-        baseline=baseline,
-    )
+    scheme_cfgs = []
     for scheme in schemes:
         cfg = base_config.with_(scheme=scheme)
         note(f"running scheme:   {cfg.describe()}")
-        comparison.per_scheme[scheme] = run_replications(
-            cfg, n_replications, n_workers
-        )
+        scheme_cfgs.append(cfg)
+    results = run_grid(
+        [baseline_cfg, *scheme_cfgs],
+        n_replications,
+        n_workers=n_workers,
+        cache=cache,
+        chunksize=chunksize,
+    )
+    comparison = SchemeComparison(
+        base_config=base_config,
+        n_replications=n_replications,
+        baseline=results[0],
+    )
+    for scheme, scheme_results in zip(schemes, results[1:]):
+        comparison.per_scheme[scheme] = scheme_results
     return comparison

@@ -28,6 +28,7 @@ Subclasses implement :meth:`_schedule_pass` only.
 from __future__ import annotations
 
 import abc
+from functools import partial
 from typing import Callable, Iterable
 
 from ..cluster.cluster import Cluster
@@ -184,7 +185,10 @@ class Scheduler(abc.ABC):
             self._compact_queue()
 
     def _compact_queue(self) -> None:
-        self.queue = [r for r in self.queue if r.is_pending]
+        # Direct state check: this comprehension runs over thousands of
+        # entries per pass under overload (see the class docstring).
+        pending = RequestState.PENDING
+        self.queue = [r for r in self.queue if r.state is pending]
 
     def _start_possible(self) -> bool:
         """O(1) guard: could the algorithm possibly start anything now?
@@ -199,7 +203,8 @@ class Scheduler(abc.ABC):
 
     def _tighten_min_nodes(self) -> None:
         """Recompute the exact smallest pending node count (O(queue))."""
-        pending = [r.nodes for r in self.queue if r.is_pending]
+        state = RequestState.PENDING
+        pending = [r.nodes for r in self.queue if r.state is state]
         self._min_nodes_lb = min(pending) if pending else self.cluster.total_nodes + 1
 
     def _request_pass(self) -> None:
@@ -238,7 +243,7 @@ class Scheduler(abc.ABC):
         self.stats.started += 1
         self.sim.at(
             self.sim.now + request.runtime,
-            lambda r=request: self._finish(r),
+            partial(self._finish, request),
             EventPriority.FINISH,
         )
         # Notify listeners last: the coordinator's sibling-cancellation

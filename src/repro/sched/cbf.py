@@ -202,7 +202,9 @@ class CBFScheduler(Scheduler):
         if self._timer is not None and not self._timer.cancelled:
             if self._timer.time <= t:
                 return
-            self._timer.cancel()
+            # Tracked cancellation: the engine counts the tombstone and
+            # compacts the heap when dead timers start to dominate.
+            self.sim.cancel(self._timer)
         self._timer = self.sim.at(t, self._request_pass, EventPriority.CONTROL)
 
     # -- base-class guard ----------------------------------------------------

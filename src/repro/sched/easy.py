@@ -21,6 +21,7 @@ from __future__ import annotations
 import math
 
 from .base import Scheduler, expected_releases
+from .job import RequestState
 
 
 class EASYScheduler(Scheduler):
@@ -61,10 +62,16 @@ class EASYScheduler(Scheduler):
         # head reservation is recomputed until no request can start.
         # Started/cancelled entries are left in place and skipped via
         # state checks; they are reclaimed by the next pass's compaction.
+        # The scans check ``state`` directly instead of the
+        # ``is_pending`` property: these loops run over thousands of
+        # queue entries per pass under overload and the descriptor call
+        # is measurable.
+        pending = RequestState.PENDING
+        queue = self.queue
         while True:
             head = None
-            for r in self.queue:
-                if r.is_pending:
+            for r in queue:
+                if r.state is pending:
                     head = r
                     break
             if head is None:
@@ -75,15 +82,16 @@ class EASYScheduler(Scheduler):
             shadow, extra = self._head_reservation(head.nodes)
             started = False
             seen_head = False
-            for req in self.queue:
+            now = self.sim.now
+            for req in queue:
                 if req is head:
                     seen_head = True
                     continue
-                if not seen_head or not req.is_pending:
+                if not seen_head or req.state is not pending:
                     continue
                 if not self.cluster.can_fit(req.nodes):
                     continue
-                finishes_in_time = self.sim.now + req.requested_time <= shadow
+                finishes_in_time = now + req.requested_time <= shadow
                 within_extra = req.nodes <= extra
                 if finishes_in_time or within_extra:
                     self._start(req)

@@ -80,40 +80,78 @@ class Profile:
 
     # -- mutation --------------------------------------------------------
 
-    def _split_at(self, t: float) -> int:
-        """Ensure a breakpoint exists at ``t``; return its index."""
-        i = bisect.bisect_right(self.times, t) - 1
-        if i < 0:
-            raise ProfileError(f"time {t} precedes profile origin {self.times[0]}")
-        if self.times[i] != t:
-            self.times.insert(i + 1, t)
-            self.free.insert(i + 1, self.free[i])
-            return i + 1
-        return i
-
     def adjust(self, start: float, end: float, delta: int) -> None:
         """Add ``delta`` free nodes over ``[start, end)`` (``end`` may be inf).
 
         Raises :exc:`ProfileError` (leaving the profile unchanged) if the
         result would leave ``[0, total_nodes]`` anywhere in the window.
+
+        The window is validated *before* any mutation, then applied in a
+        single batched update: when both window edges already coincide
+        with breakpoints — the dominant case under backfill churn, where
+        reservations are released over the exact windows that created
+        them — the update is pure in-place arithmetic with **zero** list
+        inserts; otherwise the affected slice is rebuilt with one splice
+        instead of per-edge O(n) inserts plus rollback bookkeeping.
         """
         if end <= start:
             raise ValueError(f"empty window [{start}, {end})")
         if delta == 0:
             return
-        i = self._split_at(start)
-        j = self._split_at(end) if math.isfinite(end) else len(self.times)
-        for k in range(i, j):
-            nf = self.free[k] + delta
-            if not 0 <= nf <= self.total_nodes:
-                # Roll back the prefix already adjusted.
-                for kk in range(i, k):
-                    self.free[kk] -= delta
+        times, free = self.times, self.free
+        n = len(times)
+        i = bisect.bisect_right(times, start) - 1
+        if i < 0:
+            raise ProfileError(
+                f"time {start} precedes profile origin {times[0]}"
+            )
+        finite = math.isfinite(end)
+        if finite:
+            # Segment containing ``end``; j >= i because end > start.
+            j = bisect.bisect_right(times, end, lo=i) - 1
+            split_end = times[j] != end
+            hi = j if split_end else j - 1
+        else:
+            j = n - 1
+            split_end = False
+            hi = n - 1
+        split_start = times[i] != start
+
+        # Validate the whole window first — failure leaves no trace.
+        total = self.total_nodes
+        for k in range(i, hi + 1):
+            nf = free[k] + delta
+            if not 0 <= nf <= total:
                 raise ProfileError(
                     f"adjust({start}, {end}, {delta:+d}) drives availability "
-                    f"to {nf} at t={self.times[k]} (capacity {self.total_nodes})"
+                    f"to {nf} at t={max(times[k], start)} (capacity {total})"
                 )
-            self.free[k] = nf
+
+        if not split_start and not split_end:
+            # Fast path: boundaries already exist, adjust in place.
+            for k in range(i, hi + 1):
+                free[k] += delta
+            return
+
+        # One splice covering segments i..hi, inserting the (at most
+        # two) new breakpoints along the way.
+        new_times: list[float] = []
+        new_free: list[int] = []
+        if split_start:
+            new_times.append(times[i])
+            new_free.append(free[i])
+            new_times.append(start)
+        else:
+            new_times.append(times[i])
+        new_free.append(free[i] + delta)
+        for k in range(i + 1, hi + 1):
+            new_times.append(times[k])
+            new_free.append(free[k] + delta)
+        if split_end:
+            new_times.append(end)
+            new_free.append(free[j])
+        times[i:hi + 1] = new_times
+        free[i:hi + 1] = new_free
 
     def reserve(self, start: float, duration: float, nodes: int) -> None:
         """Subtract ``nodes`` over ``[start, start + duration)``."""
@@ -202,18 +240,19 @@ class Profile:
             raise ValueError(f"nodes must be positive, got {nodes}")
         if duration <= 0:
             raise ValueError(f"duration must be positive, got {duration}")
-        earliest = max(earliest, self.times[0])
-        n = len(self.times)
-        start_idx = bisect.bisect_right(self.times, earliest) - 1
+        times, free = self.times, self.free
+        earliest = max(earliest, times[0])
+        n = len(times)
+        start_idx = bisect.bisect_right(times, earliest) - 1
         i = start_idx
         while i < n:
-            t = earliest if i == start_idx else self.times[i]
-            if self.free[i] >= nodes:
+            if free[i] >= nodes:
+                t = earliest if i == start_idx else times[i]
                 end = t + duration
                 ok = True
                 j = i + 1
-                while j < n and self.times[j] < end:
-                    if self.free[j] < nodes:
+                while j < n and times[j] < end:
+                    if free[j] < nodes:
                         ok = False
                         break
                     j += 1

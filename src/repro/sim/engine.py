@@ -6,6 +6,13 @@ equivalent foundation.  This one is deliberately minimal: a binary heap of
 :class:`~repro.sim.events.Event` objects ordered by
 ``(time, priority, seq)`` and executed one at a time.
 
+Cancellation is lazy: cancelling marks a tombstone flag and the loop
+drops flagged events when they surface at the heap top — no mid-heap
+removal, no re-sift.  The simulator counts tombstones created through
+:meth:`Simulator.cancel` and compacts the heap in one O(n) filter +
+heapify once they dominate, so churn-heavy runs (the CBF reservation
+timer cancels constantly) never drag a mostly-dead heap around.
+
 Typical usage::
 
     sim = Simulator()
@@ -20,6 +27,10 @@ import math
 from typing import Any, Callable, Iterable, Optional
 
 from .events import Event, EventPriority
+
+#: compact the heap once at least this many tracked tombstones exist
+#: and they outnumber live events (amortised O(1) per cancellation)
+_COMPACT_MIN_TOMBSTONES = 512
 
 
 class SimulationError(RuntimeError):
@@ -43,6 +54,10 @@ class Simulator:
         self._seq: int = 0
         self._running: bool = False
         self._executed: int = 0
+        #: tombstones known to sit in the heap (only those created via
+        #: :meth:`cancel`; direct ``Event.cancel`` calls are untracked
+        #: and merely surface lazily as before)
+        self._tombstones: int = 0
 
     # -- clock ----------------------------------------------------------
 
@@ -73,7 +88,8 @@ class Simulator:
         """Schedule ``callback`` at absolute simulated ``time``.
 
         Returns the :class:`Event`, which may be cancelled with
-        :meth:`Event.cancel` as long as it has not fired.
+        :meth:`cancel` (or :meth:`Event.cancel`) as long as it has not
+        fired.
         """
         if math.isnan(time):
             raise SimulationError("event time is NaN")
@@ -99,6 +115,38 @@ class Simulator:
             raise SimulationError(f"negative delay {delay}")
         return self.at(self._now + delay, callback, priority, tag)
 
+    def cancel(self, event: Event) -> None:
+        """Cancel ``event`` lazily, tracking the tombstone for compaction.
+
+        Idempotent.  The event object stays in the heap (no re-sift);
+        it is dropped when popped, or swept out wholesale when
+        tombstones outnumber live events.
+        """
+        if event.cancelled:
+            return
+        event.cancelled = True
+        self._tombstones += 1
+        if (
+            self._tombstones >= _COMPACT_MIN_TOMBSTONES
+            and self._tombstones * 2 >= len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without tombstones (one filter + heapify).
+
+        In-place slice assignment keeps the list object's identity, so
+        the execution loop's local binding never goes stale.
+        """
+        heap = self._heap
+        heap[:] = [ev for ev in heap if not ev.cancelled]
+        heapq.heapify(heap)
+        self._tombstones = 0
+
+    def _note_popped_tombstone(self) -> None:
+        if self._tombstones > 0:
+            self._tombstones -= 1
+
     # -- execution ------------------------------------------------------
 
     def step(self) -> bool:
@@ -107,9 +155,11 @@ class Simulator:
         Returns ``True`` if an event was executed, ``False`` if the heap
         is exhausted.
         """
-        while self._heap:
-            ev = heapq.heappop(self._heap)
+        heap = self._heap
+        while heap:
+            ev = heapq.heappop(heap)
             if ev.cancelled:
+                self._note_popped_tombstone()
                 continue
             self._now = ev.time
             self._executed += 1
@@ -127,20 +177,29 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
+        # The heap list object is never replaced (only mutated in
+        # place, see _compact/drain), so local bindings stay valid
+        # across callbacks that schedule or cancel events.
+        heap = self._heap
+        heappop = heapq.heappop
         try:
             executed = 0
-            while self._heap:
+            while heap:
+                ev = heap[0]
+                if ev.cancelled:
+                    heappop(heap)
+                    self._note_popped_tombstone()
+                    continue
                 if max_events is not None and executed >= max_events:
                     return
-                nxt = self._heap[0]
-                if nxt.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and nxt.time > until:
+                if until is not None and ev.time > until:
                     self._now = max(self._now, until)
                     return
-                if self.step():
-                    executed += 1
+                heappop(heap)
+                self._now = ev.time
+                self._executed += 1
+                ev.callback()
+                executed += 1
             if until is not None:
                 self._now = max(self._now, until)
         finally:
@@ -149,14 +208,17 @@ class Simulator:
     def drain(self) -> None:
         """Discard all pending events without executing them."""
         self._heap.clear()
+        self._tombstones = 0
 
     # -- introspection ---------------------------------------------------
 
     def peek_time(self) -> float:
         """Time of the next pending event, or ``inf`` when empty."""
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else math.inf
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+            self._note_popped_tombstone()
+        return heap[0].time if heap else math.inf
 
     def iter_pending(self) -> Iterable[Event]:
         """Iterate over live (non-cancelled) pending events, unordered."""

@@ -36,9 +36,18 @@ class EventPriority(enum.IntEnum):
     CONTROL = 4
 
 
-@dataclass(order=True)
+@dataclass(eq=False, slots=True)
 class Event:
     """A scheduled callback.
+
+    Millions of these live in the kernel heap of an overloaded run, so
+    the layout is tuned: ``slots=True`` removes the per-instance dict
+    (smaller objects, faster attribute access in heap sift loops) and
+    the hand-written :meth:`__lt__` below avoids the tuple allocation a
+    dataclass-generated comparison would perform on every heap sift.
+    The class cannot be ``frozen`` because lazy cancellation mutates
+    ``cancelled`` in place; identity (``eq=False``) is the intended
+    equality for handles to scheduled work.
 
     Attributes
     ----------
@@ -58,10 +67,23 @@ class Event:
     time: float
     priority: int
     seq: int
-    callback: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    tag: Any = field(default=None, compare=False)
+    callback: Callable[[], None]
+    cancelled: bool = field(default=False)
+    tag: Any = field(default=None)
+
+    def __lt__(self, other: "Event") -> bool:
+        """Total order by ``(time, priority, seq)`` without tuple churn."""
+        if self.time != other.time:
+            return self.time < other.time
+        if self.priority != other.priority:
+            return self.priority < other.priority
+        return self.seq < other.seq
 
     def cancel(self) -> None:
-        """Mark the event so the event loop discards it when popped."""
+        """Mark the event so the event loop discards it when popped.
+
+        Prefer :meth:`Simulator.cancel <repro.sim.engine.Simulator.cancel>`
+        where the simulator is at hand — it additionally keeps the
+        tombstone count that triggers heap compaction.
+        """
         self.cancelled = True

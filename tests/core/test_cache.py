@@ -1,0 +1,204 @@
+"""Tests for the content-addressed result cache."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.core.cache import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    config_fingerprint,
+    shared_cache,
+)
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import run_single
+
+
+def tiny(**kw):
+    defaults = dict(
+        n_clusters=3, nodes_per_cluster=16, duration=300.0,
+        offered_load=2.0, drain=True, seed=8,
+    )
+    defaults.update(kw)
+    return ExperimentConfig(**defaults)
+
+
+def results_equal(a, b) -> bool:
+    """Field-by-field equality, ignoring the wall-clock measurement."""
+    da = dataclasses.asdict(a)
+    db = dataclasses.asdict(b)
+    da.pop("wall_time_s")
+    db.pop("wall_time_s")
+    return da == db
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self):
+        assert config_fingerprint(tiny()) == config_fingerprint(tiny())
+
+    def test_changes_with_every_field(self):
+        base = config_fingerprint(tiny())
+        variants = [
+            tiny(n_clusters=4),
+            tiny(nodes_per_cluster=32),
+            tiny(scheme="R2"),
+            tiny(algorithm="cbf"),
+            tiny(seed=9),
+            tiny(duration=600.0),
+            tiny(adoption_probability=0.5),
+            tiny(estimates="phi"),
+            tiny(remote_inflation=0.1),
+            tiny(cancellation_latency=1.0),
+        ]
+        fps = [config_fingerprint(v) for v in variants]
+        assert base not in fps
+        assert len(set(fps)) == len(fps), "variant fingerprints collide"
+
+    def test_changes_with_schema_version(self):
+        cfg = tiny()
+        assert config_fingerprint(cfg) != config_fingerprint(
+            cfg, schema_version=CACHE_SCHEMA_VERSION + 1
+        )
+
+    def test_tuple_nodes_fingerprintable(self):
+        cfg = tiny(nodes_per_cluster=(16, 32, 16))
+        assert config_fingerprint(cfg) != config_fingerprint(tiny())
+
+
+class TestResultCacheRoundtrip:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cfg = tiny()
+        assert cache.get(cfg, 0) is None
+        result = run_single(cfg, 0)
+        cache.put(cfg, 0, result)
+        assert cache.get(cfg, 0) is result  # memory layer, same object
+
+    def test_disk_hit_bit_identical_to_fresh_run(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cfg = tiny()
+        cache.put(cfg, 0, run_single(cfg, 0))
+        cache.clear_memory()  # force the disk layer
+        cached = cache.get(cfg, 0)
+        fresh = run_single(cfg, 0)
+        assert cached is not None
+        assert results_equal(cached, fresh)
+
+    def test_replications_keyed_separately(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cfg = tiny()
+        cache.put(cfg, 0, run_single(cfg, 0))
+        assert cache.get(cfg, 1) is None
+
+    def test_memory_only_cache(self):
+        cache = ResultCache(None)
+        cfg = tiny()
+        result = run_single(cfg, 0)
+        cache.put(cfg, 0, result)
+        assert cache.get(cfg, 0) is result
+
+    def test_memory_layer_is_lru_bounded(self):
+        cache = ResultCache(None, memory_entries=2)
+        cfg = tiny()
+        result = run_single(cfg, 0)
+        for rep in range(3):
+            cache.put(cfg, rep, result)
+        assert cache.get(cfg, 0) is None  # evicted
+        assert cache.get(cfg, 2) is result
+
+    def test_stats_counters(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cfg = tiny()
+        cache.get(cfg, 0)
+        cache.put(cfg, 0, run_single(cfg, 0))
+        cache.get(cfg, 0)
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        assert cache.stats.hits == 1
+
+
+class TestCorruptionHandling:
+    def _entry_path(self, cache, cfg, rep):
+        fp = config_fingerprint(cfg)
+        return cache._path(fp, rep)
+
+    def test_truncated_pickle_discarded(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cfg = tiny()
+        cache.put(cfg, 0, run_single(cfg, 0))
+        path = self._entry_path(cache, cfg, 0)
+        path.write_bytes(path.read_bytes()[:20])
+        cache.clear_memory()
+        assert cache.get(cfg, 0) is None
+        assert not path.exists(), "corrupted entry must be removed"
+        assert cache.stats.discarded == 1
+
+    def test_garbage_bytes_discarded(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cfg = tiny()
+        cache.put(cfg, 0, run_single(cfg, 0))
+        path = self._entry_path(cache, cfg, 0)
+        path.write_bytes(b"not a pickle at all")
+        cache.clear_memory()
+        assert cache.get(cfg, 0) is None
+        assert not path.exists()
+
+    def test_mismatched_payload_discarded(self, tmp_path):
+        """A well-formed pickle whose metadata does not match is not trusted."""
+        cache = ResultCache(tmp_path)
+        cfg = tiny()
+        result = run_single(cfg, 0)
+        cache.put(cfg, 0, result)
+        path = self._entry_path(cache, cfg, 0)
+        payload = pickle.loads(path.read_bytes())
+        payload["fingerprint"] = "0" * 64  # moved/renamed entry
+        path.write_bytes(pickle.dumps(payload))
+        cache.clear_memory()
+        assert cache.get(cfg, 0) is None
+        assert not path.exists()
+
+    def test_stale_schema_version_discarded(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cfg = tiny()
+        cache.put(cfg, 0, run_single(cfg, 0))
+        path = self._entry_path(cache, cfg, 0)
+        payload = pickle.loads(path.read_bytes())
+        payload["schema"] = CACHE_SCHEMA_VERSION - 1
+        path.write_bytes(pickle.dumps(payload))
+        cache.clear_memory()
+        assert cache.get(cfg, 0) is None
+
+    def test_recovers_after_discard(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cfg = tiny()
+        result = run_single(cfg, 0)
+        cache.put(cfg, 0, result)
+        path = self._entry_path(cache, cfg, 0)
+        path.write_bytes(b"junk")
+        cache.clear_memory()
+        assert cache.get(cfg, 0) is None
+        cache.put(cfg, 0, result)
+        cache.clear_memory()
+        cached = cache.get(cfg, 0)
+        assert cached is not None and results_equal(cached, result)
+
+
+class TestSharedCache:
+    def test_disabled_by_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert shared_cache() is None
+
+    def test_memory_singleton_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        a = shared_cache()
+        b = shared_cache()
+        assert a is b and a is not None and a.root is None
+
+    def test_disk_cache_from_env(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = shared_cache()
+        assert cache is not None and cache.root == tmp_path
+        assert shared_cache() is cache  # one instance per directory

@@ -1,0 +1,163 @@
+"""Tests for the flattened parallel sweep engine."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.cache import ResultCache
+from repro.core.config import ExperimentConfig
+from repro.core.parallel import SweepEngine, default_chunksize, run_grid
+from repro.core.runner import compare_schemes, paired_nonadopter_penalty
+
+
+def tiny(**kw):
+    defaults = dict(
+        n_clusters=4, nodes_per_cluster=16, duration=300.0,
+        offered_load=2.0, drain=True, seed=8,
+    )
+    defaults.update(kw)
+    return ExperimentConfig(**defaults)
+
+
+def strip_wall(result):
+    d = dataclasses.asdict(result)
+    d.pop("wall_time_s")
+    return d
+
+
+class TestRunGrid:
+    def test_shape_and_replication_order(self):
+        grids = run_grid([tiny(), tiny(scheme="R2")], 3)
+        assert len(grids) == 2
+        for per_config in grids:
+            assert [r.replication for r in per_config] == [0, 1, 2]
+        assert grids[1][0].scheme == "R2"
+
+    def test_first_replication_offset(self):
+        [results] = run_grid([tiny()], 2, first_replication=5)
+        assert [r.replication for r in results] == [5, 6]
+
+    def test_zero_replications_rejected(self):
+        with pytest.raises(ValueError):
+            run_grid([tiny()], 0)
+
+    def test_empty_grid(self):
+        assert run_grid([], 3) == []
+
+    def test_duplicate_configs_simulated_once(self, monkeypatch):
+        calls = []
+        import repro.core.parallel as parallel
+
+        real = parallel.run_single
+
+        def counting(config, replication):
+            calls.append((config.scheme, replication))
+            return real(config, replication)
+
+        monkeypatch.setattr(parallel, "run_single", counting)
+        a, b, c = run_grid([tiny(), tiny(scheme="R2"), tiny()], 2)
+        assert len(calls) == 4, "duplicate config must not be re-simulated"
+        # Both duplicates see the same values nonetheless.
+        assert [strip_wall(r) for r in a] == [strip_wall(r) for r in c]
+
+    def test_shared_config_lists_are_independent(self):
+        a, b = run_grid([tiny(), tiny()], 1)
+        a.append("sentinel")
+        assert len(b) == 1, "callers must not share list objects"
+
+    def test_cache_fills_and_skips(self):
+        cache = ResultCache(None)
+        run_grid([tiny()], 2, cache=cache)
+        assert cache.stats.stores == 2
+        run_grid([tiny()], 2, cache=cache)
+        assert cache.stats.hits == 2
+        assert cache.stats.stores == 2, "warm run must not resimulate"
+
+    def test_cached_equals_fresh(self):
+        cache = ResultCache(None)
+        [fresh] = run_grid([tiny()], 2, cache=cache)
+        [cached] = run_grid([tiny()], 2, cache=cache)
+        assert [strip_wall(r) for r in fresh] == [strip_wall(r) for r in cached]
+
+    def test_progress_reports_every_task(self):
+        messages = []
+        run_grid([tiny(), tiny(scheme="ALL")], 2, progress=messages.append)
+        assert len(messages) == 4
+        assert any("ALL" in m for m in messages)
+
+
+class TestParallelDeterminism:
+    def test_run_grid_parallel_bit_identical_to_serial(self):
+        serial = run_grid([tiny(), tiny(scheme="R2")], 2, n_workers=1)
+        parallel = run_grid([tiny(), tiny(scheme="R2")], 2, n_workers=2)
+        for s_cfg, p_cfg in zip(serial, parallel):
+            assert [strip_wall(r) for r in s_cfg] == [
+                strip_wall(r) for r in p_cfg
+            ]
+
+    def test_compare_schemes_four_workers_matches_serial(self):
+        """The ISSUE's determinism criterion: identical RelativeMetrics."""
+        cfg = tiny()
+        schemes = ["R2", "ALL"]
+        serial = compare_schemes(cfg, schemes, 4, n_workers=1)
+        parallel = compare_schemes(cfg, schemes, 4, n_workers=4)
+        for scheme in schemes:
+            assert serial.relative(scheme) == parallel.relative(scheme)
+
+    def test_explicit_chunksize(self):
+        serial = run_grid([tiny()], 3, n_workers=1)
+        chunked = run_grid([tiny()], 3, n_workers=2, chunksize=1)
+        assert [strip_wall(r) for r in serial[0]] == [
+            strip_wall(r) for r in chunked[0]
+        ]
+
+    def test_parallel_with_cache(self):
+        cache = ResultCache(None)
+        first = run_grid([tiny()], 3, n_workers=2, cache=cache)
+        again = run_grid([tiny()], 3, n_workers=2, cache=cache)
+        assert cache.stats.hits == 3
+        assert [strip_wall(r) for r in first[0]] == [
+            strip_wall(r) for r in again[0]
+        ]
+
+
+class TestDefaultChunksize:
+    def test_small_grids_chunk_to_one(self):
+        assert default_chunksize(3, 4) == 1
+
+    def test_large_grids_amortise(self):
+        assert default_chunksize(96, 4) == 6
+
+    def test_degenerate(self):
+        assert default_chunksize(0, 4) == 1
+
+
+class TestSweepEngine:
+    def test_bound_defaults(self):
+        cache = ResultCache(None)
+        engine = SweepEngine(n_workers=1, cache=cache)
+        engine.run_replications(tiny(), 2)
+        assert cache.stats.stores == 2
+        [results] = engine.run_grid([tiny()], 2)
+        assert cache.stats.hits == 2
+        assert [r.replication for r in results] == [0, 1]
+
+
+class TestPairedPenaltyGrid:
+    def test_penalty_runs_through_grid(self):
+        penalty = paired_nonadopter_penalty(
+            tiny(), "ALL", adoption=0.5, n_replications=2
+        )
+        assert penalty == penalty, "penalty must be finite for a live workload"
+
+    def test_penalty_uses_cache(self):
+        cache = ResultCache(None)
+        a = paired_nonadopter_penalty(
+            tiny(), "ALL", adoption=0.5, n_replications=2, cache=cache
+        )
+        stores = cache.stats.stores
+        b = paired_nonadopter_penalty(
+            tiny(), "ALL", adoption=0.5, n_replications=2, cache=cache
+        )
+        assert cache.stats.stores == stores, "warm rerun must not simulate"
+        assert a == b

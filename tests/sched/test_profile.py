@@ -89,6 +89,63 @@ class TestAdjust:
         assert p.free_at(1e12) == 5
 
 
+class TestAdjustBatching:
+    """The in-place fast path and the single-splice slow path must agree."""
+
+    def test_existing_breakpoints_add_no_segments(self):
+        """Releasing over the exact window that created a reservation is
+        the dominant churn pattern and must not grow the arrays."""
+        p = Profile(0.0, 8, 8)
+        p.reserve(10.0, 5.0, 3)
+        n_segments = len(p)
+        p.reserve(10.0, 5.0, 2)  # same window: both edges exist already
+        assert len(p) == n_segments
+        assert p.free_at(12.0) == 3
+        p.release_window(10.0, 15.0, 5)
+        assert len(p) == n_segments
+        assert all(f == 8 for _, f in p.segments())
+        p.check_invariants()
+
+    def test_splice_spanning_many_segments(self):
+        p = Profile(0.0, 8, 8)
+        for k in range(4):
+            p.reserve(10.0 * k + 5.0, 2.0, 1)
+        before = p.segments()
+        p.adjust(2.0, 33.0, -1)  # spans all four windows, splits both edges
+        p.check_invariants()
+        # Every pre-existing breakpoint inside [2, 33) dropped by one.
+        for t, f in before:
+            if 2.0 <= t < 33.0:
+                assert p.free_at(t) == f - 1
+            elif t >= 33.0:
+                assert p.free_at(t) == f
+        # Edges split exactly once each.
+        assert p.free_at(1.9) == 8 and p.free_at(2.0) == 7
+        assert p.free_at(32.9) == 7 and p.free_at(33.0) == 8
+
+    def test_failure_leaves_no_trace_in_split_path(self):
+        """Validation happens before the splice, so a rejected window
+        that would have split both edges changes nothing."""
+        p = Profile(0.0, 8, 8)
+        p.reserve(10.0, 10.0, 7)  # free=1 over [10, 20)
+        before = p.segments()
+        with pytest.raises(ProfileError):
+            p.adjust(5.0, 25.0, -2)  # would go negative inside [10, 20)
+        assert p.segments() == before
+        p.check_invariants()
+
+    def test_fast_and_slow_paths_agree(self):
+        """Applying the same logical window via pre-split breakpoints or
+        via fresh splits yields identical step functions."""
+        fast = Profile(0.0, 16, 16)
+        fast.adjust(5.0, 9.0, -0)  # no-op
+        fast.reserve(5.0, 4.0, 1)   # creates breakpoints 5 and 9
+        fast.reserve(5.0, 4.0, 2)   # fast path
+        slow = Profile(0.0, 16, 16)
+        slow.reserve(5.0, 4.0, 3)   # single splice creating both edges
+        assert fast.segments() == slow.segments()
+
+
 class TestFindStart:
     def test_immediate_when_free(self):
         p = Profile(0.0, 8, 8)

@@ -186,3 +186,73 @@ class TestExecution:
         sim.run()
         assert seen == [0, 1, 2, 3, 4, 5]
         assert sim.now == 5.0
+
+
+class TestLazyCancellation:
+    """Tracked tombstones and the amortised heap compaction."""
+
+    def test_tracked_cancel_not_executed(self, sim):
+        fired = []
+        ev = sim.at(1.0, lambda: fired.append(1))
+        sim.cancel(ev)
+        sim.run()
+        assert fired == []
+
+    def test_tracked_cancel_idempotent(self, sim):
+        ev = sim.at(1.0, lambda: None)
+        sim.cancel(ev)
+        sim.cancel(ev)
+        assert sim._tombstones == 1
+
+    def test_compaction_sweeps_dominant_tombstones(self, sim):
+        from repro.sim.engine import _COMPACT_MIN_TOMBSTONES
+
+        n = _COMPACT_MIN_TOMBSTONES
+        live = [sim.at(float(i), lambda: None) for i in range(4)]
+        dead = [sim.at(10.0 + i, lambda: None) for i in range(n)]
+        for ev in dead:
+            sim.cancel(ev)
+        # The sweep fired: only the live events remain in the heap.
+        assert sim.pending_events == len(live)
+        assert sim._tombstones == 0
+        fired = []
+        for i, ev in enumerate(live):
+            ev.callback = lambda i=i: fired.append(i)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+
+    def test_no_compaction_below_threshold(self, sim):
+        evs = [sim.at(float(i), lambda: None) for i in range(10)]
+        for ev in evs[:5]:
+            sim.cancel(ev)
+        assert sim.pending_events == 10  # lazily retained
+        assert sim._tombstones == 5
+        sim.run()
+        assert sim.events_executed == 5
+
+    def test_popped_tombstone_decrements_counter(self, sim):
+        ev = sim.at(1.0, lambda: None)
+        sim.at(2.0, lambda: None)
+        sim.cancel(ev)
+        assert sim.peek_time() == 2.0
+        assert sim._tombstones == 0
+
+    def test_compaction_preserves_ordering(self, sim):
+        from repro.sim.engine import _COMPACT_MIN_TOMBSTONES
+
+        order = []
+        for t in (3.0, 1.0, 2.0):
+            sim.at(t, lambda t=t: order.append(t))
+        doomed = [sim.at(100.0, lambda: None)
+                  for _ in range(_COMPACT_MIN_TOMBSTONES)]
+        for ev in doomed:
+            sim.cancel(ev)
+        sim.run()
+        assert order == [1.0, 2.0, 3.0]
+
+    def test_drain_resets_tombstones(self, sim):
+        ev = sim.at(1.0, lambda: None)
+        sim.cancel(ev)
+        sim.drain()
+        assert sim._tombstones == 0
+        assert sim.pending_events == 0

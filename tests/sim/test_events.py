@@ -52,3 +52,64 @@ class TestEventOrdering:
     def test_tag_carried(self):
         ev = Event(1.0, 0, 0, callback=lambda: None, tag={"k": 1})
         assert ev.tag == {"k": 1}
+
+
+class TestEventMemoryLayout:
+    """Event is the hottest allocation in the simulator; it must stay
+    slotted so millions of instances avoid per-object ``__dict__``s."""
+
+    def make(self, **kw):
+        defaults = dict(time=1.0, priority=0, seq=0, callback=lambda: None)
+        defaults.update(kw)
+        return Event(**defaults)
+
+    def test_no_instance_dict(self):
+        ev = self.make()
+        assert not hasattr(ev, "__dict__")
+
+    def test_unknown_attributes_rejected(self):
+        ev = self.make()
+        with pytest.raises(AttributeError):
+            ev.extra = 1
+
+    def test_slots_cover_all_fields(self):
+        ev = self.make(tag="t")
+        assert (ev.time, ev.priority, ev.seq, ev.tag) == (1.0, 0, 0, "t")
+        ev.cancelled = True  # the one deliberately mutable flag
+        assert ev.cancelled
+
+
+class TestKernelOrderingDeterminism:
+    """Heap pop order must be a pure function of (time, priority, seq),
+    independent of insertion order — the determinism the parallel sweep
+    engine relies on."""
+
+    def test_shuffled_heap_pops_in_canonical_order(self):
+        import heapq
+        import random
+
+        events = [
+            Event(time=t, priority=p, seq=s, callback=lambda: None)
+            for t in (0.0, 1.0, 1.5)
+            for p in (0, 1, 2)
+            for s in (10, 11)
+        ]
+        canonical = sorted(events)
+        rng = random.Random(1234)
+        for _ in range(5):
+            shuffled = list(events)
+            rng.shuffle(shuffled)
+            heapq.heapify(shuffled)
+            popped = [heapq.heappop(shuffled) for _ in range(len(events))]
+            keys = [(e.time, e.priority, e.seq) for e in popped]
+            assert keys == [(e.time, e.priority, e.seq) for e in canonical]
+
+    def test_total_order_matches_key_tuple(self):
+        a = Event(1.0, 2, 3, callback=lambda: None)
+        b = Event(1.0, 2, 4, callback=lambda: None)
+        c = Event(1.0, 3, 0, callback=lambda: None)
+        d = Event(2.0, 0, 0, callback=lambda: None)
+        ordered = [a, b, c, d]
+        for i, lo in enumerate(ordered):
+            for hi in ordered[i + 1:]:
+                assert lo < hi and not hi < lo

@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from .analysis.registry import REGISTRY, SCALES, run_experiment
+from .core.parallel import resolve_workers
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -143,7 +144,13 @@ def cmd_run(
     if scale is not None:
         os.environ["REPRO_SCALE"] = scale
     if workers is not None:
-        os.environ["REPRO_WORKERS"] = str(workers)
+        try:
+            os.environ["REPRO_WORKERS"] = str(
+                resolve_workers(workers, source="--workers")
+            )
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     _apply_cache_flags(cache_dir, no_cache)
     ids = sorted(REGISTRY) if experiment == "all" else [experiment]
     many = len(ids) > 1
@@ -199,9 +206,15 @@ def cmd_bench(
     import tempfile
 
     from .core.cache import ResultCache
+    from .core.parallel import GridStats
     from .core.runner import compare_schemes
     from .core.schemes import PAPER_SCHEME_ORDER
 
+    try:
+        workers = resolve_workers(workers, source="--workers")
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     schemes = list(schemes) if schemes else list(PAPER_SCHEME_ORDER)
     from .core.config import ExperimentConfig
 
@@ -215,13 +228,16 @@ def cmd_bench(
         f"(+ baseline) = {n_tasks} simulations; workers={workers}"
     )
 
+    stats = GridStats()
     t0 = time.perf_counter()
-    serial = compare_schemes(cfg, schemes, replications, n_workers=1)
+    serial = compare_schemes(cfg, schemes, replications, n_workers=1,
+                             stats=stats)
     t_serial = time.perf_counter() - t0
     print(f"[bench] serial:   {t_serial:.2f}s")
 
     t0 = time.perf_counter()
-    parallel = compare_schemes(cfg, schemes, replications, n_workers=workers)
+    parallel = compare_schemes(cfg, schemes, replications, n_workers=workers,
+                               stats=stats)
     t_parallel = time.perf_counter() - t0
     print(f"[bench] parallel: {t_parallel:.2f}s "
           f"(speedup {t_serial / t_parallel:.2f}x)")
@@ -234,13 +250,13 @@ def cmd_bench(
         cache = ResultCache(tmp)
         t0 = time.perf_counter()
         compare_schemes(cfg, schemes, replications, n_workers=workers,
-                        cache=cache)
+                        cache=cache, stats=stats)
         t_cold = time.perf_counter() - t0
         cache.clear_memory()  # force the warm run through the disk layer
         warm_start_hits = cache.stats.hits
         t0 = time.perf_counter()
         warm = compare_schemes(cfg, schemes, replications, n_workers=workers,
-                               cache=cache)
+                               cache=cache, stats=stats)
         t_warm = time.perf_counter() - t0
         warm_hits = cache.stats.hits - warm_start_hits
     print(f"[bench] cold cache: {t_cold:.2f}s; warm cache: {t_warm:.2f}s "
@@ -269,6 +285,7 @@ def cmd_bench(
         "warm_cache_hits": warm_hits,
         "warm_cache_complete": warm_hits == n_tasks,
         "results_identical": identical,
+        **stats.as_dict(),
     }
     text = json.dumps(payload, indent=2, sort_keys=True)
     if json_path and json_path != "-":

@@ -71,6 +71,21 @@ class Platform:
         """Indices of clusters on which a ``nodes``-node request can run."""
         return [c.index for c in self.clusters if c.can_ever_fit(nodes)]
 
+    # -- outages -----------------------------------------------------------
+
+    def begin_outage(self, index: int, drop_queue: bool = False):
+        """Take cluster ``index``'s scheduler down.
+
+        Returns the pending requests lost when ``drop_queue`` is set
+        (empty list otherwise) so the caller can route them to the
+        coordinator's resubmission policy.
+        """
+        return self.schedulers[index].go_down(drop_queue=drop_queue)
+
+    def end_outage(self, index: int) -> None:
+        """Restart cluster ``index``'s scheduler."""
+        self.schedulers[index].come_up()
+
     def check_invariants(self) -> None:
         for sched in self.schedulers:
             sched.check_invariants()

@@ -44,7 +44,8 @@ from .results import ExperimentResult
 
 #: bump whenever simulator/scheduler changes alter results for an
 #: unchanged config — every older on-disk entry then misses
-CACHE_SCHEMA_VERSION = 1
+#: (2: fault-injection fields on ExperimentConfig/ExperimentResult)
+CACHE_SCHEMA_VERSION = 2
 
 #: default bound on the in-process LRU layer (entries, i.e. replications)
 DEFAULT_MEMORY_ENTRIES = 128
@@ -184,9 +185,14 @@ class ResultCache:
                 payload = pickle.load(fh)
         except FileNotFoundError:
             return None
-        except Exception:
-            # Truncated/corrupted pickle: never trust it.
+        except (pickle.UnpicklingError, EOFError, AttributeError, ValueError):
+            # Truncated/corrupted pickle (or one referencing classes that
+            # no longer unpickle): never trust it, delete the entry.
             self._discard(path)
+            return None
+        except OSError:
+            # Transient I/O failure (permissions, NFS hiccup): the file
+            # may be perfectly valid — treat as a miss, leave it alone.
             return None
         if (
             not isinstance(payload, dict)

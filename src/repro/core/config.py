@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
 from ..core.schemes import get_scheme
+from ..faults import FaultConfig
 from ..workload.estimates import make_estimate_model
 
 #: paper defaults (Section 3.3)
@@ -83,6 +84,12 @@ class ExperimentConfig:
     cancellation_latency:
         Seconds between a copy starting and sibling cancellation
         (default 0 = the paper's assumption; ablation knob).
+    faults:
+        Optional :class:`~repro.faults.FaultConfig` describing the
+        failure regime (lost/delayed cancellations, scheduler outages).
+        ``None``, or a config whose knobs are all zero, is a strict
+        no-op: the fault layer is never constructed and results are
+        bit-identical to the fault-free simulator.
     cbf_compress_interval:
         Forwarded to :class:`~repro.sched.cbf.CBFScheduler` when
         ``algorithm="cbf"``.
@@ -106,6 +113,7 @@ class ExperimentConfig:
     remote_inflation: float = 0.0
     target_bias_ratio: Optional[float] = None
     cancellation_latency: float = 0.0
+    faults: Optional[FaultConfig] = None
     cbf_compress_interval: Optional[float] = None
     seed: int = 0
 
@@ -160,8 +168,15 @@ class ExperimentConfig:
             else self.nodes_per_cluster
         )
         iat = self.mean_interarrival if self.mean_interarrival else "peak"
+        faults = ""
+        if self.faults is not None and self.faults.enabled:
+            faults = (
+                f", faults(p_loss={self.faults.p_cancel_loss:g}, "
+                f"outage={self.faults.outage_rate:g}/h)"
+            )
         return (
             f"{self.scheme} on N={self.n_clusters} ({nodes} nodes, "
             f"{self.algorithm.upper()}, iat={iat}, est={self.estimates}, "
-            f"p={self.adoption_probability:.0%}, {self.duration / 3600:.2g}h)"
+            f"p={self.adoption_probability:.0%}, {self.duration / 3600:.2g}h"
+            f"{faults})"
         )

@@ -21,10 +21,21 @@ from functools import partial
 from typing import Optional, Sequence
 
 from ..cluster.platform import Platform
+from ..faults import FaultInjector
+from ..sched.base import SchedulerDownError
 from ..sched.job import Request, RequestState
 from ..sim.engine import Simulator
 from ..sim.events import EventPriority
 from ..workload.stream import StreamJob
+
+
+class InvariantError(AssertionError):
+    """A first-start-wins protocol invariant was violated.
+
+    Subclasses ``AssertionError`` for drop-in compatibility with callers
+    that treated invariant checks as assertions, but is raised
+    explicitly so ``python -O`` cannot strip the checks.
+    """
 
 
 @dataclass
@@ -76,6 +87,12 @@ class Coordinator:
         the Section 3.1.2 late-data-binding padding (users request 10 %
         or 50 % more time on remote clusters to upload input data after
         the allocation is granted).
+    fault_injector:
+        Optional :class:`~repro.faults.FaultInjector`.  When present,
+        sibling cancellations may be lost or delayed per its config,
+        and submissions rejected by a downed scheduler are retried or
+        abandoned per its policy.  ``None`` (the default) keeps the
+        perfect-world protocol bit-identical to the fault-free code.
     """
 
     def __init__(
@@ -84,6 +101,7 @@ class Coordinator:
         platform: Platform,
         cancellation_latency: float = 0.0,
         remote_inflation: float = 0.0,
+        fault_injector: Optional[FaultInjector] = None,
     ) -> None:
         if cancellation_latency < 0:
             raise ValueError(
@@ -97,10 +115,18 @@ class Coordinator:
         self.platform = platform
         self.cancellation_latency = cancellation_latency
         self.remote_inflation = remote_inflation
+        self.fault_injector = fault_injector
         self.jobs: list[RedundantJob] = []
-        #: requests that started after their sibling (only possible with
-        #: a positive cancellation latency); their work is wasted
+        #: requests that started despite a sibling winning first (late
+        #: or lost cancellations); their node-seconds are pure waste
         self.duplicate_starts: list[Request] = []
+        #: cancellation messages dropped (probability draw) or rejected
+        #: by a downed scheduler — each leaves an orphaned copy queued
+        self.lost_cancellations = 0
+        #: submissions rejected because the target scheduler was down
+        self.failed_submissions = 0
+        #: copies successfully submitted again after an outage
+        self.resubmissions = 0
         self._total_requests = 0
         self._total_cancellations = 0
         for sched in platform.schedulers:
@@ -137,9 +163,17 @@ class Coordinator:
                 group=job,
                 name=f"job{job.job_id}@{target}",
             )
+            try:
+                self.platform.scheduler_at(target).submit(req)
+            except SchedulerDownError:
+                # A subset of targets being down must not sink the whole
+                # job: the remaining copies proceed, and this one is
+                # retried at recovery or abandoned per policy.
+                self.failed_submissions += 1
+                self._handle_unsubmittable(job, req, target)
+                continue
             job.requests.append(req)
             self._total_requests += 1
-            self.platform.scheduler_at(target).submit(req)
         return job
 
     def schedule_job(self, spec: StreamJob, targets: Sequence[int]) -> None:
@@ -157,14 +191,27 @@ class Coordinator:
         if not isinstance(job, RedundantJob):
             return  # request not managed by this coordinator
         if job.winner is not None:
-            # Only reachable with a positive cancellation latency: a
-            # sibling started during the window.  Count the waste; the
-            # duplicate run completes (we cannot cancel running jobs),
-            # but it contributes nothing to the job's metrics.
+            # A sibling started despite the winner: its cancellation was
+            # in flight (positive latency), lost, or swallowed by a
+            # downed scheduler.  Count the waste; the duplicate run
+            # completes (we cannot cancel running jobs), but it
+            # contributes nothing to the job's metrics.
             self.duplicate_starts.append(request)
             return
         job.winner = request
-        if self.cancellation_latency == 0.0:
+        injector = self.fault_injector
+        if injector is not None and injector.has_cancel_delay:
+            # Per-loser delays from the configured distribution replace
+            # the scalar latency.  Draw in request order (determinism).
+            for req in job.requests:
+                if req is job.winner or req.state is not RequestState.PENDING:
+                    continue
+                self.sim.after(
+                    injector.draw_cancel_delay(),
+                    partial(self._cancel_one, job, req),
+                    EventPriority.CANCEL,
+                )
+        elif self.cancellation_latency == 0.0:
             self._cancel_losers(job)
         else:
             self.sim.after(
@@ -175,11 +222,125 @@ class Coordinator:
 
     def _cancel_losers(self, job: RedundantJob) -> None:
         for req in job.requests:
-            if req is job.winner:
+            if req is not job.winner:
+                self._cancel_one(job, req)
+
+    def _cancel_one(
+        self, job: RedundantJob, request: Request, force: bool = False
+    ) -> None:
+        """Issue one sibling cancellation, subject to fault draws.
+
+        ``force`` bypasses loss draws and downed daemons — reserved for
+        :meth:`finalize`'s end-of-run bookkeeping.
+        """
+        if request.state is not RequestState.PENDING:
+            return  # already started (duplicate), dropped, or cancelled
+        injector = self.fault_injector
+        if not force and injector is not None and injector.cancel_lost():
+            # The qdel never arrives; the orphan stays queued and will
+            # run to completion as pure waste if it ever starts.
+            self.lost_cancellations += 1
+            return
+        try:
+            request.cluster.cancel(request, force=force)
+        except SchedulerDownError:
+            self.lost_cancellations += 1
+            return
+        self._total_cancellations += 1
+
+    # -- outage recovery ---------------------------------------------------
+
+    def _handle_unsubmittable(
+        self, job: RedundantJob, request: Request, target: int
+    ) -> None:
+        """Decide what to do with a copy rejected by a downed scheduler."""
+        injector = self.fault_injector
+        if injector is None or injector.config.resubmit_policy != "resubmit":
+            return  # abandon this copy; any sibling copies carry the job
+        recovery = injector.earliest_recovery([target], self.sim.now)
+        if recovery is None:
+            return  # downed out-of-band (no known window): nothing to await
+        self.sim.at(
+            recovery,
+            partial(self._try_resubmit, job, request, target),
+            EventPriority.SUBMIT,
+        )
+
+    def _try_resubmit(
+        self, job: RedundantJob, request: Request, target: int
+    ) -> None:
+        if job.winner is not None:
+            return  # a sibling already started; don't add churn
+        try:
+            self.platform.scheduler_at(target).submit(request)
+        except SchedulerDownError:
+            # Back-to-back outage: route through the policy again.
+            self.failed_submissions += 1
+            self._handle_unsubmittable(job, request, target)
+            return
+        job.requests.append(request)
+        self._total_requests += 1
+        self.resubmissions += 1
+
+    def on_requests_dropped(
+        self, dropped: Sequence[Request], resume_time: float
+    ) -> None:
+        """React to an outage that lost a scheduler's pending queue.
+
+        Dropped copies of already-started jobs need nothing — the drop
+        did the cancellation's work for free.  For jobs still waiting,
+        the policy either resubmits a fresh copy once the scheduler
+        recovers (at ``resume_time``) or abandons it.
+        """
+        injector = self.fault_injector
+        resubmit = (
+            injector is not None
+            and injector.config.resubmit_policy == "resubmit"
+        )
+        for request in dropped:
+            job = request.group
+            if not isinstance(job, RedundantJob):
                 continue
-            if req.state is RequestState.PENDING:
-                req.cluster.cancel(req)
-                self._total_cancellations += 1
+            if job.winner is not None or not resubmit:
+                continue
+            self.sim.at(
+                resume_time,
+                partial(self._resubmit_copy, job, request),
+                EventPriority.SUBMIT,
+            )
+
+    def _resubmit_copy(self, job: RedundantJob, lost: Request) -> None:
+        """Submit a fresh copy replacing one lost in a queue drop."""
+        if job.winner is not None:
+            return
+        scheduler = lost.cluster
+        fresh = lost.copy_spec()
+        try:
+            scheduler.submit(fresh)
+        except SchedulerDownError:
+            self.failed_submissions += 1
+            self._handle_unsubmittable(job, fresh, scheduler.cluster.index)
+            return
+        job.requests.append(fresh)
+        self._total_requests += 1
+        self.resubmissions += 1
+
+    def finalize(self) -> None:
+        """End-of-run bookkeeping; call once the simulation has stopped.
+
+        A job whose winner starts inside the final cancellation-latency
+        window has its sibling-cancellation event scheduled past the
+        horizon, so without this pass those losers would be left PENDING
+        forever.  Forced cancellation bypasses fault draws and downed
+        daemons: this models the operator purge after the measurement
+        window, not simulated middleware traffic.
+        """
+        for job in self.jobs:
+            if job.winner is None:
+                continue
+            for req in job.requests:
+                if req is not job.winner and req.state is RequestState.PENDING:
+                    self._cancel_one(job, req, force=True)
 
     # -- accounting --------------------------------------------------------
 
@@ -197,15 +358,58 @@ class Coordinator:
         """Jobs that have not completed (diagnostics; empty after a full run)."""
         return [j for j in self.jobs if not j.completed]
 
+    def abandoned_jobs(self) -> int:
+        """Jobs that lost every copy to faults before any could start.
+
+        Zero in a fault-free run: a job without a winner always keeps at
+        least one pending copy, because losers are only cancelled after
+        a sibling wins.
+        """
+        return sum(
+            1
+            for job in self.jobs
+            if job.winner is None
+            and not any(r.is_active for r in job.requests)
+        )
+
+    def wasted_node_seconds(self, now: float) -> float:
+        """Node-seconds burned by non-winning copies that ran anyway.
+
+        Covers both late starts (cancellation in flight) and orphans
+        from lost cancellations.  A duplicate still running at ``now``
+        is charged up to ``now``.
+        """
+        total = 0.0
+        for req in self.duplicate_starts:
+            if req.start_time is None:  # pragma: no cover - defensive
+                continue
+            end = req.end_time if req.end_time is not None else now
+            total += max(0.0, min(end, now) - req.start_time) * req.nodes
+        return total
+
     def check_invariants(self) -> None:
-        """Every job has exactly one winner once started; losers ended pending."""
+        """Every job has exactly one winner once started; losers never run.
+
+        Raises :class:`InvariantError` explicitly (bare ``assert`` would
+        be stripped under ``python -O``), identifying the offending job
+        and request.
+        """
+        duplicate_ids = {id(r) for r in self.duplicate_starts}
+        ran = (RequestState.RUNNING, RequestState.COMPLETED)
+        ended = (RequestState.PENDING, RequestState.CANCELLED)
         for job in self.jobs:
             if job.winner is None:
                 continue
             for req in job.requests:
                 if req is job.winner:
-                    assert req.state in (RequestState.RUNNING, RequestState.COMPLETED)
-                elif req in self.duplicate_starts:
-                    assert req.state in (RequestState.RUNNING, RequestState.COMPLETED)
+                    role, allowed = "winner", ran
+                elif id(req) in duplicate_ids:
+                    role, allowed = "duplicate start", ran
                 else:
-                    assert req.state in (RequestState.PENDING, RequestState.CANCELLED)
+                    role, allowed = "loser", ended
+                if req.state not in allowed:
+                    raise InvariantError(
+                        f"job {job.job_id}: {role} request "
+                        f"{req.request_id} is {req.state.value}, expected "
+                        f"one of ({', '.join(s.value for s in allowed)})"
+                    )

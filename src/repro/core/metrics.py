@@ -80,6 +80,27 @@ class MetricSummary:
         )
 
 
+def node_seconds(allocations: Iterable[tuple[float, float]]) -> float:
+    """Total node-seconds of ``(nodes, seconds)`` allocations."""
+    return float(sum(n * s for n, s in allocations))
+
+
+def waste_fraction(useful: float, wasted: float) -> float:
+    """Wasted work over all work consumed, in [0, 1].
+
+    The fault-regime headline: node-seconds burned by orphaned or
+    duplicate copies divided by everything the platform computed.
+    """
+    if useful < 0 or wasted < 0:
+        raise ValueError(
+            f"node-seconds must be >= 0, got useful={useful}, wasted={wasted}"
+        )
+    total = useful + wasted
+    if total == 0:
+        return 0.0
+    return wasted / total
+
+
 def relative(value: float, baseline: float) -> float:
     """Ratio ``value / baseline`` — "relative to the scheme using no
     redundant requests" in the paper's tables; below 1 means redundancy

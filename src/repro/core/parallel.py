@@ -31,7 +31,8 @@ from __future__ import annotations
 import itertools
 import math
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Callable, Optional, Sequence
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Optional, Sequence, Union
 
 from .cache import ResultCache, config_fingerprint
 from .config import ExperimentConfig
@@ -39,30 +40,126 @@ from .experiment import run_single
 from .results import ExperimentResult
 
 ProgressFn = Callable[[str], None]
+RunnerFn = Callable[[ExperimentConfig, int], ExperimentResult]
 
 #: soft cap on in-flight chunks per worker (bounds parent-side memory
 #: while keeping every worker busy)
 _INFLIGHT_PER_WORKER = 2
 
 
+class TaskError(RuntimeError):
+    """A grid task failed, identified by its ``(config, replication)``.
+
+    All constructor arguments flow through ``RuntimeError.__init__`` so
+    the exception survives the pickle round-trip from worker processes.
+    """
+
+    def __init__(self, description: str, replication: int, cause: str) -> None:
+        super().__init__(description, replication, cause)
+        self.description = description
+        self.replication = replication
+        self.cause = cause
+
+    def __str__(self) -> str:
+        return (
+            f"task ({self.description}, rep {self.replication}) "
+            f"failed: {self.cause}"
+        )
+
+
+class GridStats:
+    """Failure/retry accounting for grid runs (surfaces in bench JSON)."""
+
+    def __init__(self) -> None:
+        #: failure counts keyed by ``"<config.describe()> rep <r>"``
+        self.failures: dict[str, int] = {}
+        self.retries = 0
+
+    def record_failure(self, key: str) -> None:
+        self.failures[key] = self.failures.get(key, 0) + 1
+
+    @property
+    def total_failures(self) -> int:
+        return sum(self.failures.values())
+
+    def as_dict(self) -> dict:
+        return {
+            "task_failures": dict(self.failures),
+            "task_retries": self.retries,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GridStats({self.as_dict()})"
+
+
+def resolve_workers(
+    value: Union[str, int, None], source: str = "workers"
+) -> int:
+    """Normalise a worker-count setting from the CLI or environment.
+
+    ``None`` and empty/whitespace strings mean 1 (serial).  Anything
+    else must parse as an integer >= 1; garbage and non-positive counts
+    raise ``ValueError`` naming ``source`` instead of being silently
+    clamped (``REPRO_WORKERS=0`` used to mean serial by accident).
+    """
+    if value is None:
+        return 1
+    if isinstance(value, str):
+        value = value.strip()
+        if not value:
+            return 1
+    try:
+        n = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{source} must be an integer >= 1, got {value!r}"
+        ) from None
+    if n < 1:
+        raise ValueError(f"{source} must be >= 1, got {n}")
+    return n
+
+
+class _PoolBroken(Exception):
+    """Internal: the process pool died; ``suspects`` were in flight."""
+
+    def __init__(self, suspects: list[tuple[int, int]]) -> None:
+        super().__init__(suspects)
+        self.suspects = suspects
+
+
 # -- worker side ---------------------------------------------------------
 
 _WORKER_CONFIGS: Sequence[ExperimentConfig] = ()
+_WORKER_RUNNER: Optional[RunnerFn] = None
 
 
-def _init_worker(configs: Sequence[ExperimentConfig]) -> None:
+def _init_worker(
+    configs: Sequence[ExperimentConfig], runner: Optional[RunnerFn] = None
+) -> None:
     """Pool initializer: unpickle the unique-config table once per worker."""
-    global _WORKER_CONFIGS
+    global _WORKER_CONFIGS, _WORKER_RUNNER
     _WORKER_CONFIGS = configs
+    _WORKER_RUNNER = runner
 
 
 def _run_chunk(
     tasks: Sequence[tuple[int, int]],
 ) -> list[tuple[int, int, ExperimentResult]]:
-    """Run a chunk of ``(config_index, replication)`` tasks in one worker."""
-    return [
-        (ci, rep, run_single(_WORKER_CONFIGS[ci], rep)) for ci, rep in tasks
-    ]
+    """Run a chunk of ``(config_index, replication)`` tasks in one worker.
+
+    Any task exception is wrapped in :class:`TaskError` so the parent
+    learns *which* ``(config, replication)`` failed, not just that
+    something somewhere in the chunk raised.
+    """
+    fn = _WORKER_RUNNER if _WORKER_RUNNER is not None else run_single
+    out = []
+    for ci, rep in tasks:
+        cfg = _WORKER_CONFIGS[ci]
+        try:
+            out.append((ci, rep, fn(cfg, rep)))
+        except Exception as exc:
+            raise TaskError(cfg.describe(), rep, repr(exc)) from exc
+    return out
 
 
 # -- parent side ---------------------------------------------------------
@@ -82,12 +179,20 @@ def run_grid(
     cache: Optional[ResultCache] = None,
     chunksize: Optional[int] = None,
     progress: Optional[ProgressFn] = None,
+    runner: Optional[RunnerFn] = None,
+    stats: Optional[GridStats] = None,
 ) -> list[list[ExperimentResult]]:
     """Run every config for every replication; return results per config.
 
     The returned list is parallel to ``configs``; each inner list holds
     ``n_replications`` results ordered by replication index.  Duplicate
     configs are simulated once and their result lists shared by value.
+
+    A failing task is retried once (transient failures, crashed
+    workers); a second failure raises :class:`TaskError` naming the
+    ``(config, replication)``.  ``stats`` collects failure/retry
+    counts.  ``runner`` substitutes the per-task function (it must be a
+    picklable top-level callable; used by tests and benchmarks).
     """
     if n_replications < 1:
         raise ValueError(f"need >= 1 replication, got {n_replications}")
@@ -124,6 +229,10 @@ def run_grid(
 
     total = len(unique) * n_replications
     done = total - len(tasks)
+    if progress is not None and done > 0:
+        # Without this line a fully warm rerun would print nothing at
+        # all — per-task notes only cover freshly simulated work.
+        progress(f"[{done}/{total}] {done} task(s) resolved from cache")
 
     def note(ui: int, rep: int) -> None:
         if progress is not None:
@@ -142,10 +251,11 @@ def run_grid(
     # 4-5. Execute what is left: serial fast path, else one pool.
     if tasks:
         if n_workers <= 1 or len(tasks) == 1:
-            for ui, rep in tasks:
-                record(ui, rep, run_single(unique[ui], rep))
+            _run_serial(unique, tasks, record, runner, stats)
         else:
-            _run_parallel(unique, tasks, n_workers, chunksize, record)
+            _run_parallel(
+                unique, tasks, n_workers, chunksize, record, runner, stats
+            )
 
     # 6. Deterministic reassembly in (config, replication) order.
     per_unique = [
@@ -154,40 +264,160 @@ def run_grid(
     return [list(per_unique[ui]) for ui in slots]
 
 
+def _run_serial(
+    unique: Sequence[ExperimentConfig],
+    tasks: Sequence[tuple[int, int]],
+    record: Callable[[int, int, ExperimentResult], None],
+    runner: Optional[RunnerFn],
+    stats: Optional[GridStats],
+) -> None:
+    """In-process execution with the same retry-once semantics."""
+    for ui, rep in tasks:
+        # Late-bound module global so tests can monkeypatch run_single.
+        fn = runner if runner is not None else run_single
+        try:
+            result = fn(unique[ui], rep)
+        except Exception:
+            key = f"{unique[ui].describe()} rep {rep}"
+            if stats is not None:
+                stats.record_failure(key)
+                stats.retries += 1
+            try:
+                result = fn(unique[ui], rep)
+            except Exception as exc:
+                if stats is not None:
+                    stats.record_failure(key)
+                raise TaskError(
+                    unique[ui].describe(), rep, repr(exc)
+                ) from exc
+        record(ui, rep, result)
+
+
 def _run_parallel(
     unique: Sequence[ExperimentConfig],
     tasks: list[tuple[int, int]],
     n_workers: int,
     chunksize: Optional[int],
     record: Callable[[int, int, ExperimentResult], None],
+    runner: Optional[RunnerFn] = None,
+    stats: Optional[GridStats] = None,
 ) -> None:
-    """Fan a task list over one persistent pool, chunked, as-completed."""
+    """Fan a task list over one persistent pool, chunked, as-completed.
+
+    Failure handling, two tiers:
+
+    * a task raising inside a worker surfaces as :class:`TaskError`;
+      its chunk is retried once on the same (healthy) pool;
+    * a worker *crashing* breaks the whole pool and cannot tell us
+      which task did it — every in-flight task is a suspect.  The
+      remaining work is retried once on a fresh pool; a second crash
+      raises :class:`TaskError` naming the first suspect.
+    """
     n_workers = min(n_workers, len(tasks))
     if chunksize is None:
         chunksize = default_chunksize(len(tasks), n_workers)
-    chunks = [
-        tasks[k:k + chunksize] for k in range(0, len(tasks), chunksize)
-    ]
+    chunks = {
+        cid: tasks[k:k + chunksize]
+        for cid, k in enumerate(range(0, len(tasks), chunksize))
+    }
+    for attempt in (0, 1):
+        try:
+            _drain_pool(
+                unique, chunks, n_workers, record, runner, stats,
+                allow_chunk_retry=(attempt == 0),
+            )
+            return
+        except _PoolBroken as broken:
+            ci, rep = broken.suspects[0]
+            if stats is not None:
+                stats.record_failure(f"{unique[ci].describe()} rep {rep}")
+            if attempt == 1:
+                raise TaskError(
+                    unique[ci].describe(),
+                    rep,
+                    "worker process crashed (BrokenProcessPool); "
+                    f"{len(broken.suspects)} in-flight task(s) suspected",
+                ) from broken
+            if stats is not None:
+                stats.retries += 1
+
+
+def _drain_pool(
+    unique: Sequence[ExperimentConfig],
+    chunks: dict[int, list[tuple[int, int]]],
+    n_workers: int,
+    record: Callable[[int, int, ExperimentResult], None],
+    runner: Optional[RunnerFn],
+    stats: Optional[GridStats],
+    allow_chunk_retry: bool,
+) -> None:
+    """Run ``chunks`` on one pool, removing each as it completes.
+
+    On a pool crash, raises :class:`_PoolBroken` with every in-flight
+    task as a suspect; ``chunks`` still holds all unfinished work so the
+    caller can rerun it on a fresh pool.
+    """
+    retried: set[int] = set()
     with ProcessPoolExecutor(
         max_workers=n_workers,
         initializer=_init_worker,
-        initargs=(tuple(unique),),
+        initargs=(tuple(unique), runner),
     ) as pool:
-        backlog = iter(chunks)
-        pending = {
-            pool.submit(_run_chunk, chunk)
-            for chunk in itertools.islice(
-                backlog, n_workers * _INFLIGHT_PER_WORKER
-            )
-        }
-        while pending:
-            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+        backlog = iter(list(chunks.items()))
+        in_flight: dict = {}
+
+        def submit(cid: int, chunk: list[tuple[int, int]]) -> None:
+            try:
+                fut = pool.submit(_run_chunk, chunk)
+            except BrokenProcessPool:
+                # The pool died under us; surface every in-flight task
+                # (plus this one) as a suspect for the outer retry.
+                suspects = list(chunk)
+                for _, other in in_flight.values():
+                    suspects.extend(other)
+                raise _PoolBroken(suspects) from None
+            in_flight[fut] = (cid, chunk)
+
+        def submit_next() -> None:
+            item = next(backlog, None)
+            if item is not None:
+                submit(*item)
+
+        for _ in range(n_workers * _INFLIGHT_PER_WORKER):
+            submit_next()
+        while in_flight:
+            finished, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+            crashed: list[tuple[int, int]] = []
             for fut in finished:
-                for ci, rep, result in fut.result():
+                cid, chunk = in_flight.pop(fut)
+                try:
+                    results = fut.result()
+                except TaskError as err:
+                    if stats is not None:
+                        stats.record_failure(
+                            f"{err.description} rep {err.replication}"
+                        )
+                    if allow_chunk_retry and cid not in retried:
+                        retried.add(cid)
+                        if stats is not None:
+                            stats.retries += 1
+                        submit(cid, chunk)
+                        continue
+                    raise
+                except BrokenProcessPool:
+                    # Don't raise yet: sibling futures in this batch may
+                    # hold completed results worth keeping.
+                    crashed.extend(chunk)
+                    continue
+                for ci, rep, result in results:
                     record(ci, rep, result)
-                nxt = next(backlog, None)
-                if nxt is not None:
-                    pending.add(pool.submit(_run_chunk, nxt))
+                del chunks[cid]
+                submit_next()
+            if crashed:
+                suspects = crashed
+                for _, other in in_flight.values():
+                    suspects.extend(other)
+                raise _PoolBroken(suspects)
 
 
 class SweepEngine:
@@ -206,11 +436,13 @@ class SweepEngine:
         cache: Optional[ResultCache] = None,
         chunksize: Optional[int] = None,
         progress: Optional[ProgressFn] = None,
+        stats: Optional[GridStats] = None,
     ) -> None:
         self.n_workers = max(1, int(n_workers))
         self.cache = cache
         self.chunksize = chunksize
         self.progress = progress
+        self.stats = stats
 
     def run_grid(
         self,
@@ -226,6 +458,7 @@ class SweepEngine:
             cache=self.cache,
             chunksize=self.chunksize,
             progress=self.progress,
+            stats=self.stats,
         )
 
     def run_replications(

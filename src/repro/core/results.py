@@ -12,7 +12,13 @@ from typing import Iterable, Optional
 
 import numpy as np
 
-from .metrics import MetricSummary, bounded_slowdown, stretch
+from .metrics import (
+    MetricSummary,
+    bounded_slowdown,
+    node_seconds,
+    stretch,
+    waste_fraction,
+)
 
 
 @dataclass(frozen=True)
@@ -70,6 +76,8 @@ class ClusterOutcome:
     started: int
     completed: int
     max_queue_length: int
+    #: pending requests lost to a queue-dropping scheduler crash
+    dropped: int = 0
 
 
 @dataclass
@@ -90,6 +98,19 @@ class ExperimentResult:
     #: total requests submitted / cancelled across all queues
     total_requests: int = 0
     total_cancellations: int = 0
+    # -- fault accounting (all zero in a fault-free run) -------------------
+    #: cancellation messages that never reached their scheduler
+    lost_cancellations: int = 0
+    #: submissions rejected by a downed scheduler
+    failed_submissions: int = 0
+    #: copies successfully submitted again after an outage
+    resubmissions: int = 0
+    #: jobs that lost every copy to faults before any could start
+    abandoned_jobs: int = 0
+    #: scheduler outages that began during the run
+    outages: int = 0
+    #: node-seconds burned by non-winning copies that ran anyway
+    wasted_node_seconds: float = 0.0
     wall_time_s: float = 0.0
 
     # -- selections -------------------------------------------------------
@@ -162,6 +183,27 @@ class ExperimentResult:
         if not self.clusters:
             return float("nan")
         return float(np.mean([c.max_queue_length for c in self.clusters]))
+
+    # -- waste accounting (the fault-regime headline) -----------------------
+
+    @property
+    def useful_node_seconds(self) -> float:
+        """Node-seconds spent by winning copies of completed jobs."""
+        return node_seconds((j.nodes, j.runtime) for j in self.jobs)
+
+    @property
+    def wasted_work_fraction(self) -> float:
+        """Wasted node-seconds over all node-seconds consumed.
+
+        Zero in a perfect world; grows with lost/late cancellations as
+        orphaned copies run to completion beside their winners.
+        """
+        return waste_fraction(self.useful_node_seconds, self.wasted_node_seconds)
+
+    @property
+    def dropped_requests(self) -> int:
+        """Pending requests lost to queue-dropping crashes, all clusters."""
+        return sum(c.dropped for c in self.clusters)
 
     def remote_fraction(self) -> float:
         """Fraction of redundant jobs whose winner ran remotely."""

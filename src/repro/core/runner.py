@@ -25,7 +25,7 @@ import numpy as np
 from .cache import ResultCache
 from .config import ExperimentConfig
 from .metrics import mean_of_ratios
-from .parallel import run_grid
+from .parallel import GridStats, run_grid
 from .results import ExperimentResult
 
 
@@ -37,6 +37,7 @@ def run_replications(
     cache: Optional[ResultCache] = None,
     chunksize: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
+    stats: Optional[GridStats] = None,
 ) -> list[ExperimentResult]:
     """Run ``n_replications`` independent replications of ``config``."""
     [results] = run_grid(
@@ -47,6 +48,7 @@ def run_replications(
         cache=cache,
         chunksize=chunksize,
         progress=progress,
+        stats=stats,
     )
     return results
 
@@ -122,6 +124,7 @@ def paired_nonadopter_penalty(
     n_replications: int,
     n_workers: int = 1,
     cache: Optional[ResultCache] = None,
+    stats: Optional[GridStats] = None,
 ) -> float:
     """Figure 4's fairness effect, isolated by pairing.
 
@@ -141,7 +144,8 @@ def paired_nonadopter_penalty(
     cfg_p = base_config.with_(scheme=scheme, adoption_probability=adoption)
     cfg_0 = base_config.with_(scheme=scheme, adoption_probability=0.0)
     with_adoption, without = run_grid(
-        [cfg_p, cfg_0], n_replications, n_workers=n_workers, cache=cache
+        [cfg_p, cfg_0], n_replications, n_workers=n_workers, cache=cache,
+        stats=stats,
     )
     ratios = []
     for rp, r0 in zip(with_adoption, without):
@@ -161,6 +165,7 @@ def compare_schemes(
     progress: Optional[Callable[[str], None]] = None,
     cache: Optional[ResultCache] = None,
     chunksize: Optional[int] = None,
+    stats: Optional[GridStats] = None,
 ) -> SchemeComparison:
     """Run NONE plus every scheme in ``schemes`` on paired job streams.
 
@@ -188,6 +193,7 @@ def compare_schemes(
         n_workers=n_workers,
         cache=cache,
         chunksize=chunksize,
+        stats=stats,
     )
     comparison = SchemeComparison(
         base_config=base_config,

@@ -46,6 +46,16 @@ class SchedulerError(RuntimeError):
     """Raised on invalid scheduler API usage."""
 
 
+class SchedulerDownError(SchedulerError):
+    """Raised when a submit/cancel reaches a scheduler that is down.
+
+    Models the daemon-level failures of the paper's Section 4: a downed
+    batch scheduler rejects new submissions and silently loses
+    cancellation messages, while already-running jobs keep their nodes
+    (the daemon crashed, not the compute nodes).
+    """
+
+
 class QueueStats:
     """Running statistics about one batch queue."""
 
@@ -54,6 +64,9 @@ class QueueStats:
         self.cancelled = 0
         self.started = 0
         self.completed = 0
+        #: pending requests lost when the scheduler crashed with
+        #: ``drop_queue`` (distinct from user-issued cancellations)
+        self.dropped = 0
         self.max_queue_length = 0
         #: (time, queue_length) samples, recorded when ``trace_enabled``
         self.length_trace: list[tuple[float, int]] = []
@@ -86,6 +99,8 @@ class Scheduler(abc.ABC):
         self.queue: list[Request] = []   # pending requests, submit order
         self.running: list[Request] = []
         self.stats = QueueStats()
+        #: scheduler daemon availability (see :meth:`go_down`)
+        self.down = False
         self._start_callbacks: list[StartCallback] = []
         self._pass_pending = False
         self._pending_count = 0
@@ -118,6 +133,10 @@ class Scheduler(abc.ABC):
 
     def submit(self, request: Request) -> None:
         """Enqueue ``request`` at the current simulated time."""
+        if self.down:
+            raise SchedulerDownError(
+                f"{self.name}: scheduler is down, submission rejected"
+            )
         if request.state is not RequestState.CREATED:
             raise SchedulerError(
                 f"request {request.request_id} resubmitted (state={request.state})"
@@ -138,13 +157,21 @@ class Scheduler(abc.ABC):
         self._on_submit(request)
         self._request_pass()
 
-    def cancel(self, request: Request) -> None:
+    def cancel(self, request: Request, force: bool = False) -> None:
         """Remove a pending request from the queue.
 
         Only pending requests may be cancelled: the redundancy protocol
         cancels siblings the instant one copy starts, so a running copy
         is never a cancellation target.
+
+        ``force`` bypasses the downed-daemon rejection — used for
+        end-of-run bookkeeping (an operator purge outside the measured
+        window), never for in-simulation cancellations.
         """
+        if self.down and not force:
+            raise SchedulerDownError(
+                f"{self.name}: scheduler is down, cancellation lost"
+            )
         if request.cluster is not self:
             raise SchedulerError(
                 f"request {request.request_id} does not belong to {self.name}"
@@ -161,6 +188,44 @@ class Scheduler(abc.ABC):
         self._maybe_compact()
         self.stats.observe_queue(self.sim.now, self._pending_count)
         self._on_cancel(request)
+        self._request_pass()
+
+    # -- outages -----------------------------------------------------------
+
+    def go_down(self, drop_queue: bool = False) -> list[Request]:
+        """Take the scheduler daemon down.
+
+        While down, :meth:`submit` and :meth:`cancel` raise
+        :class:`SchedulerDownError` and scheduling passes are suspended;
+        running requests keep executing and finish normally.  With
+        ``drop_queue`` every pending request is lost (the crashed-server
+        scenario) and returned so the coordinator can resubmit or
+        abandon the affected copies.
+        """
+        if self.down:
+            raise SchedulerError(f"{self.name}: scheduler is already down")
+        self.down = True
+        dropped: list[Request] = []
+        if drop_queue:
+            for request in self.queue:
+                if request.is_pending:
+                    request.state = RequestState.CANCELLED
+                    request.cancelled_at = self.sim.now
+                    dropped.append(request)
+                    # Route through the cancel hook so subclasses release
+                    # per-request state (CBF reservations/profile windows).
+                    self._on_cancel(request)
+            self.queue = []
+            self._pending_count = 0
+            self.stats.dropped += len(dropped)
+            self.stats.observe_queue(self.sim.now, 0)
+        return dropped
+
+    def come_up(self) -> None:
+        """Bring the scheduler daemon back; resume scheduling."""
+        if not self.down:
+            raise SchedulerError(f"{self.name}: scheduler is not down")
+        self.down = False
         self._request_pass()
 
     # -- subclass hooks ----------------------------------------------------
@@ -215,6 +280,10 @@ class Scheduler(abc.ABC):
 
     def _run_pass(self) -> None:
         self._pass_pending = False
+        if self.down:
+            # A downed daemon starts nothing; come_up() requests a
+            # fresh pass, so suppressed passes are never lost.
+            return
         if not self._start_possible():
             return
         before = self.stats.started

@@ -22,13 +22,16 @@ TINY = Scale(
     churn_queue_sizes=(0, 20000),
     churn_duration=60.0,
     load_study_duration=600.0,
+    faults_p_loss=(0.0, 1.0),
+    faults_outage_rates=(0.0,),
 )
 
 
 class TestStructure:
     def test_all_paper_artifacts_registered(self):
         expected = {"fig1", "fig2", "fig3", "fig4", "fig5",
-                    "tab1", "tab2", "tab3", "tab4", "sec4", "sec312"}
+                    "tab1", "tab2", "tab3", "tab4", "sec4", "sec312",
+                    "faults"}
         assert expected == set(REGISTRY)
 
     def test_scales_defined(self):
@@ -120,4 +123,20 @@ class TestSmokeRuns:
     def test_sec312(self):
         rep = run_experiment("sec312", TINY)
         assert set(rep.data) == {0.0, 0.10, 0.50}
+        assert rep.render()
+
+    def test_faults(self):
+        rep = run_experiment("faults", TINY)
+        rel = rep.data["relative_avg_stretch"]
+        waste = rep.data["wasted_work_pct"]
+        assert set(rel) == {"R2", "HALF", "ALL"}
+        # Fault-free cell: zero-latency cancels, nothing runs to waste.
+        assert waste["ALL"]["p=0,λ=0/h"] == 0.0
+        # Every cancellation lost on ALL: nearly all copies are orphans
+        # (on a symmetric platform they mostly start before their delayed
+        # cancel even fires, so the waste shows up as duplicate starts).
+        assert waste["ALL"]["p=1,λ=0/h"] > 50.0
+        assert all(
+            v > 0 for row in rel.values() for v in row.values()
+        ), "relative stretch must be positive in every cell"
         assert rep.render()

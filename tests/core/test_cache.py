@@ -1,5 +1,6 @@
 """Tests for the content-addressed result cache."""
 
+import builtins
 import dataclasses
 import pickle
 
@@ -168,6 +169,29 @@ class TestCorruptionHandling:
         path.write_bytes(pickle.dumps(payload))
         cache.clear_memory()
         assert cache.get(cfg, 0) is None
+
+    def test_transient_io_error_leaves_file_alone(self, tmp_path, monkeypatch):
+        """An OSError (permissions, NFS hiccup) is a miss, not corruption:
+        the entry may be perfectly valid and must survive."""
+        cache = ResultCache(tmp_path)
+        cfg = tiny()
+        cache.put(cfg, 0, run_single(cfg, 0))
+        path = self._entry_path(cache, cfg, 0)
+        cache.clear_memory()
+        real_open = builtins.open
+
+        def denying_open(file, *args, **kwargs):
+            if str(file) == str(path):
+                raise PermissionError(13, "Permission denied", str(file))
+            return real_open(file, *args, **kwargs)
+
+        monkeypatch.setattr(builtins, "open", denying_open)
+        assert cache.get(cfg, 0) is None
+        monkeypatch.undo()
+        assert path.exists(), "a transient I/O failure must not delete entries"
+        assert cache.stats.discarded == 0
+        cached = cache.get(cfg, 0)  # readable again once the error clears
+        assert cached is not None
 
     def test_recovers_after_discard(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.cluster.platform import Platform
-from repro.core.coordinator import Coordinator
+from repro.core.coordinator import Coordinator, InvariantError
 from repro.sched.job import RequestState
 from repro.sim.engine import Simulator
 from repro.workload.stream import StreamJob
@@ -157,3 +157,62 @@ class TestCancellationLatency:
         platform = Platform(sim, [8])
         with pytest.raises(ValueError):
             Coordinator(sim, platform, cancellation_latency=-1.0)
+
+    def test_finalize_purges_losers_cancelled_past_horizon(self):
+        """Regression: a job winning inside the final latency window left
+        its losers PENDING forever (the cancel event lay past the horizon
+        of a non-drained run)."""
+        sim = Simulator()
+        platform = Platform(sim, [8, 8], algorithm="easy")
+        coord = Coordinator(sim, platform, cancellation_latency=2.0)
+        # Cluster 1 stays busy past the horizon so its copy is a real
+        # pending loser (not a same-instant duplicate start).
+        blocker = job(origin=1, nodes=8, runtime=50.0, redundant=False)
+        coord.schedule_job(blocker, [1])
+        j = job(origin=0, nodes=8, runtime=10.0)
+        coord.schedule_job(j, [0, 1])
+        sim.run(until=1.0)  # winner starts at t=0; cancel due at t=2
+        rj = coord.jobs[1]
+        loser = next(r for r in rj.requests if r is not rj.winner)
+        assert loser.state is RequestState.PENDING  # the bug's symptom
+        coord.finalize()
+        assert loser.state is RequestState.CANCELLED
+        coord.check_invariants()
+
+    def test_finalize_noop_at_zero_latency(self):
+        sim = Simulator()
+        platform = Platform(sim, [8, 8], algorithm="easy")
+        coord = Coordinator(sim, platform)
+        coord.schedule_job(job(origin=0, nodes=8), [0, 1])
+        sim.run()
+        cancellations = coord.total_cancellations
+        coord.finalize()
+        assert coord.total_cancellations == cancellations
+
+
+class TestInvariants:
+    def test_violation_raises_explicit_error(self, setup):
+        sim, platform, coord = setup
+        coord.schedule_job(job(origin=0, nodes=4), [0, 1])
+        sim.run()
+        rj = coord.jobs[0]
+        # Corrupt the protocol state: crown a cancelled loser.
+        rj.winner = next(
+            r for r in rj.requests if r.state is RequestState.CANCELLED
+        )
+        with pytest.raises(InvariantError, match="expected one of"):
+            coord.check_invariants()
+
+    def test_error_identifies_job_and_request(self, setup):
+        sim, platform, coord = setup
+        coord.schedule_job(job(origin=0, nodes=4), [0, 1])
+        sim.run()
+        rj = coord.jobs[0]
+        loser = next(r for r in rj.requests if r is not rj.winner)
+        rj.winner = loser
+        with pytest.raises(InvariantError, match=f"job {rj.job_id}"):
+            coord.check_invariants()
+
+    def test_invariant_error_is_an_assertion(self):
+        # Callers that caught AssertionError keep working.
+        assert issubclass(InvariantError, AssertionError)

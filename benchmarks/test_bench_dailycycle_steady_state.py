@@ -13,7 +13,7 @@ from repro.analysis.tables import Table
 from repro.cluster.platform import Platform
 from repro.core.coordinator import Coordinator
 from repro.core.schemes import TargetSelector, get_scheme
-from repro.core.tracing import (
+from repro.analysis.timelines import (
     peak,
     queue_length_timeline,
     system_request_timeline,

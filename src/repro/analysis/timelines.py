@@ -1,0 +1,167 @@
+"""Post-run timelines reconstructed from request lifecycles.
+
+Every request keeps its full lifecycle timestamps (submission, start,
+completion, cancellation), so system-level time series — live requests
+in the system, per-cluster queue length, per-cluster utilisation — can
+be reconstructed exactly after a run.  Section 4.1's queue-size
+arguments ("using redundant requests does not cause significantly more
+requests to be in the system") are statements about exactly these
+series.
+
+All functions take the coordinator's ``jobs`` list (live
+:class:`~repro.core.coordinator.RedundantJob` objects, i.e. use these
+before discarding the simulation) and return step functions as
+``(time, value)`` breakpoints.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..core.coordinator import RedundantJob
+from ..sched.job import Request
+
+
+def _step_series(deltas: list[tuple[float, int]]) -> list[tuple[float, int]]:
+    """Accumulate (time, +/-1) deltas into a (time, level) step series."""
+    if not deltas:
+        return []
+    deltas.sort(key=lambda d: d[0])
+    series: list[tuple[float, int]] = []
+    level = 0
+    i = 0
+    n = len(deltas)
+    while i < n:
+        t = deltas[i][0]
+        while i < n and deltas[i][0] == t:
+            level += deltas[i][1]
+            i += 1
+        series.append((t, level))
+    return series
+
+
+def _iter_requests(jobs: Iterable[RedundantJob]) -> Iterable[Request]:
+    for job in jobs:
+        yield from job.requests
+
+
+def system_request_timeline(
+    jobs: Iterable[RedundantJob],
+) -> list[tuple[float, int]]:
+    """Live requests (pending or running) across all queues over time.
+
+    A request is live from submission until it completes or is
+    cancelled; requests still live at the end of the simulation
+    contribute a rising tail.
+    """
+    deltas: list[tuple[float, int]] = []
+    for req in _iter_requests(jobs):
+        if req.submitted_at is None:
+            continue
+        deltas.append((req.submitted_at, +1))
+        if req.cancelled_at is not None:
+            deltas.append((req.cancelled_at, -1))
+        elif req.end_time is not None:
+            deltas.append((req.end_time, -1))
+    return _step_series(deltas)
+
+
+def queue_length_timeline(
+    jobs: Iterable[RedundantJob],
+    cluster_index: int,
+) -> list[tuple[float, int]]:
+    """Pending requests in one cluster's queue over time."""
+    deltas: list[tuple[float, int]] = []
+    for req in _iter_requests(jobs):
+        if req.submitted_at is None or req.cluster is None:
+            continue
+        if req.cluster.cluster.index != cluster_index:
+            continue
+        deltas.append((req.submitted_at, +1))
+        if req.start_time is not None:
+            deltas.append((req.start_time, -1))
+        elif req.cancelled_at is not None:
+            deltas.append((req.cancelled_at, -1))
+    return _step_series(deltas)
+
+
+def utilization_timeline(
+    jobs: Iterable[RedundantJob],
+    cluster_index: int,
+    total_nodes: int,
+) -> list[tuple[float, float]]:
+    """Fraction of one cluster's nodes busy over time."""
+    if total_nodes < 1:
+        raise ValueError(f"total_nodes must be >= 1, got {total_nodes}")
+    deltas: list[tuple[float, int]] = []
+    for req in _iter_requests(jobs):
+        if req.start_time is None or req.cluster is None:
+            continue
+        if req.cluster.cluster.index != cluster_index:
+            continue
+        deltas.append((req.start_time, +req.nodes))
+        if req.end_time is not None:
+            deltas.append((req.end_time, -req.nodes))
+    series = _step_series(deltas)
+    return [(t, level / total_nodes) for t, level in series]
+
+
+def peak(series: list[tuple[float, float]]) -> float:
+    """Maximum level of a step series (0 for an empty series)."""
+    return max((v for _, v in series), default=0.0)
+
+
+def level_at(series: list[tuple[float, float]], t: float) -> float:
+    """Value of a step series at time ``t`` (0 before the first step)."""
+    value = 0.0
+    for ts, v in series:
+        if ts > t:
+            break
+        value = v
+    return value
+
+
+def time_average(
+    series: list[tuple[float, float]],
+    t_start: float,
+    t_end: float,
+) -> float:
+    """Time-weighted mean level over ``[t_start, t_end]``."""
+    if t_end <= t_start:
+        raise ValueError(f"empty interval [{t_start}, {t_end}]")
+    if not series:
+        return 0.0
+    total = 0.0
+    current = level_at(series, t_start)
+    prev_t = t_start
+    for ts, v in series:
+        if ts <= t_start:
+            continue
+        if ts >= t_end:
+            break
+        total += current * (ts - prev_t)
+        current = v
+        prev_t = ts
+    total += current * (t_end - prev_t)
+    return total / (t_end - t_start)
+
+
+def growth_rate(
+    series: list[tuple[float, float]],
+    t_start: float,
+    t_end: float,
+) -> float:
+    """Least-squares slope of the series level over a window (per second).
+
+    Section 4.1's "queue grows by about 700 jobs per hour" is this slope
+    (x 3600) on the queue-length series under the peak-hour workload.
+    """
+    pts = [(t, v) for t, v in series if t_start <= t <= t_end]
+    if len(pts) < 2:
+        return 0.0
+    ts = np.array([p[0] for p in pts])
+    vs = np.array([p[1] for p in pts])
+    slope, _ = np.polyfit(ts, vs, 1)
+    return float(slope)

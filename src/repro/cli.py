@@ -8,12 +8,20 @@ Usage::
     repro run all --scale default   # everything, in order
     repro run fig1 --workers 8 --cache-dir ~/.cache/repro
     repro bench --json bench.json   # machine-readable sweep timings
+    repro trace record --out runs/r2 --schemes R2   # traced sweep
+    repro trace summary runs/r2/trace.jsonl
+    repro trace export-chrome runs/r2/trace.jsonl --out r2.trace.json
 
 Scales are defined in :mod:`repro.analysis.registry`; ``--workers``
 parallelises replications across processes.  ``--cache-dir`` persists
 simulation results on disk (content-addressed by config + replication),
 so reruns and figures sharing the paired NONE baseline skip simulation;
 ``--no-cache`` disables caching entirely.
+
+Output discipline: reports, JSON payloads and filtered trace lines go
+to **stdout**; all diagnostics flow through :mod:`repro.obs.log` to
+**stderr** (``-v`` for debug detail, ``-q`` for warnings only), so
+piped output stays machine-readable.
 """
 
 from __future__ import annotations
@@ -28,6 +36,10 @@ from typing import Optional, Sequence
 
 from .analysis.registry import REGISTRY, SCALES, run_experiment
 from .core.parallel import resolve_workers
+from .obs.log import get_logger, setup_logging
+from .obs.trace import EVENT_TYPES
+
+_log = get_logger("cli")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -37,6 +49,14 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'On the Harmfulness of Redundant Batch "
             "Requests' (Casanova, HPDC 2006)"
         ),
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="more diagnostics on stderr (repeatable)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true",
+        help="warnings and errors only",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -114,6 +134,65 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write machine-readable timings to PATH ('-' for stdout only)",
     )
+
+    trace = sub.add_parser(
+        "trace",
+        help="record and inspect lifecycle event traces",
+    )
+    tsub = trace.add_subparsers(dest="trace_command", required=True)
+
+    rec = tsub.add_parser(
+        "record",
+        help="run a traced sweep; write trace.jsonl + manifest.json",
+    )
+    rec.add_argument("--out", required=True, metavar="DIR",
+                     help="output directory for trace.jsonl + manifest.json")
+    rec.add_argument("--schemes", nargs="+", default=["ALL"],
+                     metavar="SCHEME", help="schemes to trace (default: ALL)")
+    rec.add_argument("--replications", type=int, default=1,
+                     help="replications per scheme (default 1)")
+    rec.add_argument("--workers", type=int, default=1,
+                     help="worker processes (traces stay byte-identical)")
+    rec.add_argument("--clusters", type=int, default=5,
+                     help="clusters in the platform (default 5)")
+    rec.add_argument("--nodes", type=int, default=32,
+                     help="nodes per cluster (default 32)")
+    rec.add_argument("--duration", type=float, default=900.0,
+                     help="submission window in seconds (default 900)")
+    rec.add_argument("--load", type=float, default=2.0,
+                     help="offered load rho (default 2.0)")
+    rec.add_argument("--algorithm", default="easy",
+                     help="scheduler algorithm (default easy)")
+    rec.add_argument("--seed", type=int, default=20060619,
+                     help="master seed (default 20060619)")
+
+    summ = tsub.add_parser("summary", help="aggregate view of a trace")
+    summ.add_argument("trace", metavar="TRACE", help="path to trace.jsonl")
+
+    exp = tsub.add_parser(
+        "export-chrome",
+        help="convert a trace to Chrome trace_event JSON (chrome://tracing)",
+    )
+    exp.add_argument("trace", metavar="TRACE", help="path to trace.jsonl")
+    exp.add_argument("--out", required=True, metavar="PATH",
+                     help="output .json path")
+
+    filt = tsub.add_parser(
+        "filter",
+        help="print matching trace events as JSONL on stdout",
+    )
+    filt.add_argument("trace", metavar="TRACE", help="path to trace.jsonl")
+    filt.add_argument("--type", dest="types", action="append",
+                      choices=EVENT_TYPES, metavar="TYPE",
+                      help=f"event type (repeatable): {', '.join(EVENT_TYPES)}")
+    filt.add_argument("--cluster", type=int, default=None)
+    filt.add_argument("--job", type=int, default=None)
+    filt.add_argument("--request", type=int, default=None)
+    filt.add_argument("--config", type=int, default=None,
+                      help="config index within the trace")
+    filt.add_argument("--rep", type=int, default=None)
+    filt.add_argument("--t-min", type=float, default=None)
+    filt.add_argument("--t-max", type=float, default=None)
     return parser
 
 
@@ -149,23 +228,20 @@ def cmd_run(
                 resolve_workers(workers, source="--workers")
             )
         except ValueError as exc:
-            print(str(exc), file=sys.stderr)
+            _log.error("%s", exc)
             return 2
     _apply_cache_flags(cache_dir, no_cache)
     ids = sorted(REGISTRY) if experiment == "all" else [experiment]
     many = len(ids) > 1
     for exp_id in ids:
         if exp_id not in REGISTRY:
-            print(
-                f"unknown experiment {exp_id!r}; run 'repro list'",
-                file=sys.stderr,
-            )
+            _log.error("unknown experiment %r; run 'repro list'", exp_id)
             return 2
         t0 = time.perf_counter()
         report = run_experiment(exp_id)
         elapsed = time.perf_counter() - t0
         print(report.render())
-        print(f"[{exp_id} took {elapsed:.1f}s]\n")
+        _log.info("%s took %.1fs", exp_id, elapsed)
         if json_path is not None:
             from .analysis.export import report_to_json
 
@@ -175,7 +251,7 @@ def cmd_run(
                     f"{target.stem}_{exp_id}{target.suffix or '.json'}"
                 )
             report_to_json(report, target)
-            print(f"[wrote {target}]")
+            _log.info("wrote %s", target)
         if csv_dir is not None:
             from .analysis.export import table_to_csv
 
@@ -184,7 +260,7 @@ def cmd_run(
             for i, table in enumerate(report.tables):
                 path = directory / f"{exp_id}_table{i}.csv"
                 table_to_csv(table, path)
-                print(f"[wrote {path}]")
+                _log.info("wrote %s", path)
     return 0
 
 
@@ -202,6 +278,11 @@ def cmd_bench(
     * ``parallel`` — fresh run, ``--workers`` processes, no cache;
     * ``cold``/``warm`` — disk-cached runs into a temp directory; the
       warm rerun must hit the cache for every task.
+
+    The payload folds in a :class:`~repro.obs.metrics.MetricsRegistry`
+    snapshot (simulation counters summed over the serial sweep plus the
+    engine's cache accounting) and a run manifest, so a bench artifact
+    records what produced it.
     """
     import tempfile
 
@@ -209,11 +290,13 @@ def cmd_bench(
     from .core.parallel import GridStats
     from .core.runner import compare_schemes
     from .core.schemes import PAPER_SCHEME_ORDER
+    from .obs.manifest import build_manifest
+    from .obs.metrics import MetricsRegistry, aggregate_results
 
     try:
         workers = resolve_workers(workers, source="--workers")
     except ValueError as exc:
-        print(str(exc), file=sys.stderr)
+        _log.error("%s", exc)
         return 2
     schemes = list(schemes) if schemes else list(PAPER_SCHEME_ORDER)
     from .core.config import ExperimentConfig
@@ -223,24 +306,29 @@ def cmd_bench(
         offered_load=2.0, drain=True, seed=20060619,
     )
     n_tasks = (len(schemes) + 1) * replications
-    print(
-        f"[bench] {len(schemes)} schemes x {replications} replications "
-        f"(+ baseline) = {n_tasks} simulations; workers={workers}"
+    _log.info(
+        "bench: %d schemes x %d replications (+ baseline) = %d simulations; "
+        "workers=%d", len(schemes), replications, n_tasks, workers,
     )
 
     stats = GridStats()
-    t0 = time.perf_counter()
-    serial = compare_schemes(cfg, schemes, replications, n_workers=1,
-                             stats=stats)
-    t_serial = time.perf_counter() - t0
-    print(f"[bench] serial:   {t_serial:.2f}s")
+    metrics = MetricsRegistry()
+    t_wall = time.perf_counter()
+    with metrics.timer("bench_serial_s"):
+        t0 = time.perf_counter()
+        serial = compare_schemes(cfg, schemes, replications, n_workers=1,
+                                 stats=stats, metrics=metrics)
+        t_serial = time.perf_counter() - t0
+    _log.info("bench serial:   %.2fs", t_serial)
 
-    t0 = time.perf_counter()
-    parallel = compare_schemes(cfg, schemes, replications, n_workers=workers,
-                               stats=stats)
-    t_parallel = time.perf_counter() - t0
-    print(f"[bench] parallel: {t_parallel:.2f}s "
-          f"(speedup {t_serial / t_parallel:.2f}x)")
+    with metrics.timer("bench_parallel_s"):
+        t0 = time.perf_counter()
+        parallel = compare_schemes(cfg, schemes, replications,
+                                   n_workers=workers, stats=stats,
+                                   metrics=metrics)
+        t_parallel = time.perf_counter() - t0
+    _log.info("bench parallel: %.2fs (speedup %.2fx)",
+              t_parallel, t_serial / t_parallel)
 
     identical = all(
         serial.relative(s) == parallel.relative(s) for s in schemes
@@ -248,21 +336,45 @@ def cmd_bench(
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
         cache = ResultCache(tmp)
-        t0 = time.perf_counter()
-        compare_schemes(cfg, schemes, replications, n_workers=workers,
-                        cache=cache, stats=stats)
-        t_cold = time.perf_counter() - t0
+        with metrics.timer("bench_cold_cache_s"):
+            t0 = time.perf_counter()
+            compare_schemes(cfg, schemes, replications, n_workers=workers,
+                            cache=cache, stats=stats, metrics=metrics)
+            t_cold = time.perf_counter() - t0
         cache.clear_memory()  # force the warm run through the disk layer
         warm_start_hits = cache.stats.hits
-        t0 = time.perf_counter()
-        warm = compare_schemes(cfg, schemes, replications, n_workers=workers,
-                               cache=cache, stats=stats)
-        t_warm = time.perf_counter() - t0
+        with metrics.timer("bench_warm_cache_s"):
+            t0 = time.perf_counter()
+            warm = compare_schemes(cfg, schemes, replications,
+                                   n_workers=workers, cache=cache,
+                                   stats=stats, metrics=metrics)
+            t_warm = time.perf_counter() - t0
         warm_hits = cache.stats.hits - warm_start_hits
-    print(f"[bench] cold cache: {t_cold:.2f}s; warm cache: {t_warm:.2f}s "
-          f"({warm_hits}/{n_tasks} tasks from cache)")
+    _log.info("bench cold cache: %.2fs; warm cache: %.2fs "
+              "(%d/%d tasks from cache)", t_cold, t_warm, warm_hits, n_tasks)
     identical = identical and all(
         serial.relative(s) == warm.relative(s) for s in schemes
+    )
+
+    # Simulation counters from the serial sweep only (the other three
+    # sweeps rerun/cache the same grid; counting them would triple up).
+    aggregate_results(
+        [r for r in serial.baseline]
+        + [r for results in serial.per_scheme.values() for r in results],
+        metrics,
+    )
+
+    bench_configs = [cfg.with_(scheme="NONE")] + [
+        cfg.with_(scheme=s) for s in schemes
+    ]
+    manifest = build_manifest(
+        bench_configs,
+        n_replications=replications,
+        n_workers=workers,
+        wall_time_s=time.perf_counter() - t_wall,
+        grid_stats=stats.as_dict(),
+        command=["repro", "bench"],
+        extra={"bench": "parallel_sweep"},
     )
 
     payload = {
@@ -285,19 +397,100 @@ def cmd_bench(
         "warm_cache_hits": warm_hits,
         "warm_cache_complete": warm_hits == n_tasks,
         "results_identical": identical,
+        "metrics": metrics.snapshot(),
+        "manifest": manifest.to_dict(),
         **stats.as_dict(),
     }
     text = json.dumps(payload, indent=2, sort_keys=True)
     if json_path and json_path != "-":
         Path(json_path).write_text(text + "\n")
-        print(f"[wrote {json_path}]")
+        _log.info("wrote %s", json_path)
     else:
         print(text)
     return 0 if identical else 1
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Dispatch the ``repro trace`` sub-subcommands."""
+    from .obs.trace import filter_events, read_trace, summarize_trace
+
+    if args.trace_command == "record":
+        from .core.config import ExperimentConfig
+        from .obs.trace import MANIFEST_FILENAME, TRACE_FILENAME, record_sweep
+
+        try:
+            workers = resolve_workers(args.workers, source="--workers")
+        except ValueError as exc:
+            _log.error("%s", exc)
+            return 2
+        configs = [
+            ExperimentConfig(
+                scheme=scheme,
+                algorithm=args.algorithm,
+                n_clusters=args.clusters,
+                nodes_per_cluster=args.nodes,
+                duration=args.duration,
+                offered_load=args.load,
+                drain=True,
+                seed=args.seed,
+            )
+            for scheme in args.schemes
+        ]
+        _log.info(
+            "recording traced sweep: %d config(s) x %d replication(s), "
+            "workers=%d", len(configs), args.replications, workers,
+        )
+        _, manifest = record_sweep(
+            configs,
+            args.replications,
+            args.out,
+            n_workers=workers,
+            command=["repro", "trace", "record"],
+        )
+        out = Path(args.out)
+        _log.info("wrote %s (%d events) and %s",
+                  out / TRACE_FILENAME,
+                  manifest.extra.get("n_trace_events", 0),
+                  out / MANIFEST_FILENAME)
+        return 0
+
+    if args.trace_command == "summary":
+        _, events = read_trace(args.trace)
+        print(json.dumps(summarize_trace(events), indent=2, sort_keys=True))
+        return 0
+
+    if args.trace_command == "export-chrome":
+        from .obs.chrome import export_chrome
+
+        _, events = read_trace(args.trace)
+        out = export_chrome(events, args.out)
+        _log.info("wrote %s", out)
+        return 0
+
+    if args.trace_command == "filter":
+        _, events = read_trace(args.trace)
+        for ev in filter_events(
+            events,
+            types=args.types,
+            cluster=args.cluster,
+            job=args.job,
+            request=args.request,
+            config=args.config,
+            rep=args.rep,
+            t_min=args.t_min,
+            t_max=args.t_max,
+        ):
+            print(json.dumps(ev, sort_keys=True, separators=(",", ":")))
+        return 0
+
+    raise AssertionError(
+        f"unhandled trace command {args.trace_command}"
+    )  # pragma: no cover
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    setup_logging(verbosity=-1 if args.quiet else args.verbose)
     if args.command == "list":
         return cmd_list()
     if args.command == "run":
@@ -306,6 +499,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "bench":
         return cmd_bench(args.workers, args.schemes, args.replications,
                          args.json)
+    if args.command == "trace":
+        return cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

@@ -71,6 +71,17 @@ class Platform:
         """Indices of clusters on which a ``nodes``-node request can run."""
         return [c.index for c in self.clusters if c.can_ever_fit(nodes)]
 
+    # -- observability -----------------------------------------------------
+
+    def attach_tracer(self, tracer) -> None:
+        """Attach a lifecycle-event recorder to every scheduler.
+
+        ``tracer`` is a :class:`~repro.obs.trace.TraceRecorder` (or any
+        object with its ``emit`` signature); ``None`` detaches.
+        """
+        for sched in self.schedulers:
+            sched.tracer = tracer
+
     # -- outages -----------------------------------------------------------
 
     def begin_outage(self, index: int, drop_queue: bool = False):

@@ -30,15 +30,6 @@ from .metrics import (
     stretch,
 )
 from .results import ClusterOutcome, ExperimentResult, JobOutcome, merge_results
-from .tracing import (
-    growth_rate,
-    level_at,
-    peak,
-    queue_length_timeline,
-    system_request_timeline,
-    time_average,
-    utilization_timeline,
-)
 from .parallel import SweepEngine, run_grid
 from .runner import (
     RelativeMetrics,
@@ -90,11 +81,4 @@ __all__ = [
     "get_scheme",
     "geometric_bias_weights",
     "paired_nonadopter_penalty",
-    "system_request_timeline",
-    "queue_length_timeline",
-    "utilization_timeline",
-    "growth_rate",
-    "time_average",
-    "peak",
-    "level_at",
 ]

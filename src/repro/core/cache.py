@@ -45,7 +45,9 @@ from .results import ExperimentResult
 #: bump whenever simulator/scheduler changes alter results for an
 #: unchanged config — every older on-disk entry then misses
 #: (2: fault-injection fields on ExperimentConfig/ExperimentResult)
-CACHE_SCHEMA_VERSION = 2
+#: (3: observability fields — backfilled, events_executed,
+#:  heap_compactions, phase_timings — on ClusterOutcome/ExperimentResult)
+CACHE_SCHEMA_VERSION = 3
 
 #: default bound on the in-process LRU layer (entries, i.e. replications)
 DEFAULT_MEMORY_ENTRIES = 128

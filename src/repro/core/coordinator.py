@@ -93,6 +93,12 @@ class Coordinator:
         and submissions rejected by a downed scheduler are retried or
         abandoned per its policy.  ``None`` (the default) keeps the
         perfect-world protocol bit-identical to the fault-free code.
+    tracer:
+        Optional :class:`~repro.obs.trace.TraceRecorder`.  When
+        attached, the coordinator emits the protocol-side lifecycle
+        events (``submit``, ``cancel_sent``, ``cancel_lost``); the
+        schedulers emit the queue-side ones.  ``None`` (the default)
+        records nothing and costs one attribute check per event site.
     """
 
     def __init__(
@@ -102,6 +108,7 @@ class Coordinator:
         cancellation_latency: float = 0.0,
         remote_inflation: float = 0.0,
         fault_injector: Optional[FaultInjector] = None,
+        tracer=None,
     ) -> None:
         if cancellation_latency < 0:
             raise ValueError(
@@ -116,6 +123,7 @@ class Coordinator:
         self.cancellation_latency = cancellation_latency
         self.remote_inflation = remote_inflation
         self.fault_injector = fault_injector
+        self.tracer = tracer
         self.jobs: list[RedundantJob] = []
         #: requests that started despite a sibling winning first (late
         #: or lost cancellations); their node-seconds are pure waste
@@ -163,6 +171,10 @@ class Coordinator:
                 group=job,
                 name=f"job{job.job_id}@{target}",
             )
+            if self.tracer is not None:
+                self.tracer.emit(
+                    self.sim.now, "submit", target, req.request_id, job.job_id
+                )
             try:
                 self.platform.scheduler_at(target).submit(req)
             except SchedulerDownError:
@@ -235,16 +247,35 @@ class Coordinator:
         """
         if request.state is not RequestState.PENDING:
             return  # already started (duplicate), dropped, or cancelled
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                self.sim.now, "cancel_sent",
+                request.cluster.cluster.index,
+                request.request_id, job.job_id,
+            )
         injector = self.fault_injector
         if not force and injector is not None and injector.cancel_lost():
             # The qdel never arrives; the orphan stays queued and will
             # run to completion as pure waste if it ever starts.
             self.lost_cancellations += 1
+            if tracer is not None:
+                tracer.emit(
+                    self.sim.now, "cancel_lost",
+                    request.cluster.cluster.index,
+                    request.request_id, job.job_id,
+                )
             return
         try:
             request.cluster.cancel(request, force=force)
         except SchedulerDownError:
             self.lost_cancellations += 1
+            if tracer is not None:
+                tracer.emit(
+                    self.sim.now, "cancel_lost",
+                    request.cluster.cluster.index,
+                    request.request_id, job.job_id,
+                )
             return
         self._total_cancellations += 1
 
@@ -271,6 +302,10 @@ class Coordinator:
     ) -> None:
         if job.winner is not None:
             return  # a sibling already started; don't add churn
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.sim.now, "submit", target, request.request_id, job.job_id
+            )
         try:
             self.platform.scheduler_at(target).submit(request)
         except SchedulerDownError:
@@ -315,6 +350,11 @@ class Coordinator:
             return
         scheduler = lost.cluster
         fresh = lost.copy_spec()
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.sim.now, "submit",
+                scheduler.cluster.index, fresh.request_id, job.job_id,
+            )
         try:
             scheduler.submit(fresh)
         except SchedulerDownError:

@@ -112,11 +112,18 @@ def run_single(
     config: ExperimentConfig,
     replication: int = 0,
     check_invariants: bool = False,
+    tracer=None,
 ) -> ExperimentResult:
     """Run one replication of ``config`` and return its outcomes.
 
     ``check_invariants`` additionally audits node accounting and the
     first-start-wins protocol after the run (used by tests).
+
+    ``tracer`` optionally attaches a lifecycle-event recorder (see
+    :class:`repro.obs.trace.TraceRecorder`) to every scheduler and the
+    coordinator.  The default ``None`` keeps tracing a strict no-op:
+    no recorder is allocated, no RNG draws are added, and the simulated
+    trajectory is bit-identical to an untraced run.
     """
     t0 = time.perf_counter()
     factory = RngFactory(config.seed)
@@ -125,6 +132,8 @@ def run_single(
     platform = Platform(
         sim, node_counts, config.algorithm, config.scheduler_kwargs
     )
+    if tracer is not None:
+        platform.attach_tracer(tracer)
     params = _resolve_workload_params(config, factory, replication, node_counts)
     estimate_model = make_estimate_model(config.estimates)
     streams = generate_platform_streams(
@@ -159,12 +168,14 @@ def run_single(
         cancellation_latency=config.cancellation_latency,
         remote_inflation=config.remote_inflation,
         fault_injector=injector,
+        tracer=tracer,
     )
     if injector is not None:
         # Outages can only *begin* inside the submission window; an
         # outage near the edge may extend past it (and resolve during a
         # drain).
         injector.install(sim, platform, coordinator, horizon=config.duration)
+    t_generated = time.perf_counter()
     for spec in merge_streams(streams):
         targets = selector.choose(spec.origin, spec.nodes, spec.uses_redundancy)
         coordinator.schedule_job(spec, targets)
@@ -175,6 +186,7 @@ def run_single(
     # Purge losers whose delayed cancellation was scheduled past the
     # horizon (a no-op at zero latency without faults).
     coordinator.finalize()
+    t_simulated = time.perf_counter()
 
     if check_invariants:
         platform.check_invariants()
@@ -213,6 +225,7 @@ def run_single(
                 completed=s.stats.completed,
                 max_queue_length=s.stats.max_queue_length,
                 dropped=s.stats.dropped,
+                backfilled=s.stats.backfilled,
             )
             for c, s in zip(platform.clusters, platform.schedulers)
         ],
@@ -225,5 +238,12 @@ def run_single(
         outages=injector.outages_started if injector is not None else 0,
         wasted_node_seconds=coordinator.wasted_node_seconds(sim.now),
         wall_time_s=time.perf_counter() - t0,
+        events_executed=sim.events_executed,
+        heap_compactions=sim.compactions,
+        phase_timings={
+            "generate_s": t_generated - t0,
+            "simulate_s": t_simulated - t_generated,
+            "aggregate_s": time.perf_counter() - t_simulated,
+        },
     )
     return result

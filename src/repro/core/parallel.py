@@ -29,7 +29,9 @@ the invariant that makes 2, 3 and 6 sound.
 from __future__ import annotations
 
 import itertools
+import logging
 import math
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Optional, Sequence, Union
@@ -38,6 +40,10 @@ from .cache import ResultCache, config_fingerprint
 from .config import ExperimentConfig
 from .experiment import run_single
 from .results import ExperimentResult
+
+# Plain stdlib logger under the shared namespace: repro.obs.log owns
+# configuration (handler/level), so core stays import-independent of obs.
+_log = logging.getLogger("repro.core.parallel")
 
 ProgressFn = Callable[[str], None]
 RunnerFn = Callable[[ExperimentConfig, int], ExperimentResult]
@@ -140,6 +146,12 @@ def _init_worker(
     global _WORKER_CONFIGS, _WORKER_RUNNER
     _WORKER_CONFIGS = configs
     _WORKER_RUNNER = runner
+    # Spawned workers inherit no handler state; mirror the parent's
+    # logging setup from the environment (deferred import: obs imports
+    # this module at its own import time).
+    from ..obs.log import setup_worker_logging
+
+    setup_worker_logging()
 
 
 def _run_chunk(
@@ -181,6 +193,7 @@ def run_grid(
     progress: Optional[ProgressFn] = None,
     runner: Optional[RunnerFn] = None,
     stats: Optional[GridStats] = None,
+    metrics=None,
 ) -> list[list[ExperimentResult]]:
     """Run every config for every replication; return results per config.
 
@@ -193,6 +206,11 @@ def run_grid(
     ``(config, replication)``.  ``stats`` collects failure/retry
     counts.  ``runner`` substitutes the per-task function (it must be a
     picklable top-level callable; used by tests and benchmarks).
+
+    ``metrics`` optionally receives engine accounting — an
+    :class:`~repro.obs.metrics.MetricsRegistry` (or anything with its
+    ``inc``/``add_time``): cache hit/miss counters, tasks executed, and
+    wall-clock spent resolving/storing cache entries.
     """
     if n_replications < 1:
         raise ValueError(f"need >= 1 replication, got {n_replications}")
@@ -214,6 +232,7 @@ def run_grid(
     grid: list[dict[int, ExperimentResult]] = [{} for _ in unique]
 
     # 3. Resolve cache hits before scheduling any work.
+    t_resolve = time.perf_counter()
     fingerprints = [config_fingerprint(cfg) for cfg in unique]
     tasks: list[tuple[int, int]] = []
     for ui, fp in enumerate(fingerprints):
@@ -229,6 +248,16 @@ def run_grid(
 
     total = len(unique) * n_replications
     done = total - len(tasks)
+    if metrics is not None:
+        metrics.add_time("cache_resolve_s", time.perf_counter() - t_resolve)
+        if cache is not None:
+            metrics.inc("cache_hits", done)
+            metrics.inc("cache_misses", len(tasks))
+        metrics.inc("tasks_executed", len(tasks))
+    _log.debug(
+        "grid: %d config(s) x %d rep(s) = %d task(s), %d from cache",
+        len(unique), n_replications, total, done,
+    )
     if progress is not None and done > 0:
         # Without this line a fully warm rerun would print nothing at
         # all — per-task notes only cover freshly simulated work.
@@ -244,7 +273,12 @@ def run_grid(
         nonlocal done
         grid[ui][rep] = result
         if cache is not None:
+            t_store = time.perf_counter()
             cache.put(unique[ui], rep, result, fingerprint=fingerprints[ui])
+            if metrics is not None:
+                metrics.add_time(
+                    "cache_store_s", time.perf_counter() - t_store
+                )
         done += 1
         note(ui, rep)
 
@@ -277,8 +311,9 @@ def _run_serial(
         fn = runner if runner is not None else run_single
         try:
             result = fn(unique[ui], rep)
-        except Exception:
+        except Exception as first:
             key = f"{unique[ui].describe()} rep {rep}"
+            _log.warning("task %s failed (%r); retrying once", key, first)
             if stats is not None:
                 stats.record_failure(key)
                 stats.retries += 1
@@ -329,6 +364,12 @@ def _run_parallel(
             return
         except _PoolBroken as broken:
             ci, rep = broken.suspects[0]
+            _log.warning(
+                "worker pool crashed with %d task(s) in flight "
+                "(first suspect: %s rep %d)%s",
+                len(broken.suspects), unique[ci].describe(), rep,
+                "" if attempt == 1 else "; rerunning on a fresh pool",
+            )
             if stats is not None:
                 stats.record_failure(f"{unique[ci].describe()} rep {rep}")
             if attempt == 1:
@@ -393,6 +434,7 @@ def _drain_pool(
                 try:
                     results = fut.result()
                 except TaskError as err:
+                    _log.warning("worker task failed: %s", err)
                     if stats is not None:
                         stats.record_failure(
                             f"{err.description} rep {err.replication}"
@@ -437,12 +479,14 @@ class SweepEngine:
         chunksize: Optional[int] = None,
         progress: Optional[ProgressFn] = None,
         stats: Optional[GridStats] = None,
+        metrics=None,
     ) -> None:
         self.n_workers = max(1, int(n_workers))
         self.cache = cache
         self.chunksize = chunksize
         self.progress = progress
         self.stats = stats
+        self.metrics = metrics
 
     def run_grid(
         self,
@@ -459,6 +503,7 @@ class SweepEngine:
             chunksize=self.chunksize,
             progress=self.progress,
             stats=self.stats,
+            metrics=self.metrics,
         )
 
     def run_replications(

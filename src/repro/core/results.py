@@ -78,6 +78,8 @@ class ClusterOutcome:
     max_queue_length: int
     #: pending requests lost to a queue-dropping scheduler crash
     dropped: int = 0
+    #: starts that jumped the queue order (EASY backfill, CBF early start)
+    backfilled: int = 0
 
 
 @dataclass
@@ -112,6 +114,13 @@ class ExperimentResult:
     #: node-seconds burned by non-winning copies that ran anyway
     wasted_node_seconds: float = 0.0
     wall_time_s: float = 0.0
+    # -- kernel/driver observability (metrics registry feedstock) ----------
+    #: simulator events executed by this run
+    events_executed: int = 0
+    #: lazy-cancellation heap compaction sweeps performed
+    heap_compactions: int = 0
+    #: wall-clock per driver phase (generate/simulate/aggregate), seconds
+    phase_timings: dict = field(default_factory=dict)
 
     # -- selections -------------------------------------------------------
 
@@ -204,6 +213,11 @@ class ExperimentResult:
     def dropped_requests(self) -> int:
         """Pending requests lost to queue-dropping crashes, all clusters."""
         return sum(c.dropped for c in self.clusters)
+
+    @property
+    def total_backfills(self) -> int:
+        """Out-of-order starts (backfill decisions) across all clusters."""
+        return sum(c.backfilled for c in self.clusters)
 
     def remote_fraction(self) -> float:
         """Fraction of redundant jobs whose winner ran remotely."""

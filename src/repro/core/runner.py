@@ -17,10 +17,13 @@ task), optional result caching, and deterministic reassembly so
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 import numpy as np
+
+_log = logging.getLogger("repro.core.runner")
 
 from .cache import ResultCache
 from .config import ExperimentConfig
@@ -38,6 +41,7 @@ def run_replications(
     chunksize: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
     stats: Optional[GridStats] = None,
+    metrics=None,
 ) -> list[ExperimentResult]:
     """Run ``n_replications`` independent replications of ``config``."""
     [results] = run_grid(
@@ -49,6 +53,7 @@ def run_replications(
         chunksize=chunksize,
         progress=progress,
         stats=stats,
+        metrics=metrics,
     )
     return results
 
@@ -166,6 +171,7 @@ def compare_schemes(
     cache: Optional[ResultCache] = None,
     chunksize: Optional[int] = None,
     stats: Optional[GridStats] = None,
+    metrics=None,
 ) -> SchemeComparison:
     """Run NONE plus every scheme in ``schemes`` on paired job streams.
 
@@ -174,7 +180,8 @@ def compare_schemes(
     with ``n_workers > 1`` baseline and scheme replications interleave
     across the pool instead of synchronising per scheme.  ``progress``
     receives a short message per grid entry (hook for CLI/bench
-    reporting).
+    reporting); ``metrics`` receives the engine's cache/task accounting
+    (see :func:`~repro.core.parallel.run_grid`).
     """
     def note(msg: str) -> None:
         if progress is not None:
@@ -182,6 +189,10 @@ def compare_schemes(
 
     baseline_cfg = base_config.with_(scheme="NONE")
     note(f"running baseline: {baseline_cfg.describe()}")
+    _log.debug(
+        "comparing %d scheme(s) against NONE, %d replication(s)",
+        len(schemes), n_replications,
+    )
     scheme_cfgs = []
     for scheme in schemes:
         cfg = base_config.with_(scheme=scheme)
@@ -194,6 +205,7 @@ def compare_schemes(
         cache=cache,
         chunksize=chunksize,
         stats=stats,
+        metrics=metrics,
     )
     comparison = SchemeComparison(
         base_config=base_config,

@@ -33,6 +33,7 @@ is bit-identical to the perfect-world model.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from functools import partial
 from math import inf
@@ -41,6 +42,8 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 from .sim.events import EventPriority
+
+_log = logging.getLogger("repro.faults")
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from .cluster.platform import Platform
@@ -251,6 +254,11 @@ class FaultInjector:
             index, drop_queue=self.config.outage_drop_queue
         )
         self.outages_started += 1
+        _log.debug(
+            "outage: cluster %d down at t=%.1f until t=%.1f "
+            "(%d pending request(s) dropped)",
+            index, sim.now, end, len(dropped),
+        )
         coordinator.on_requests_dropped(dropped, resume_time=end)
         sim.at(
             end, partial(platform.end_outage, index), EventPriority.CANCEL

@@ -1,0 +1,66 @@
+"""Observability: event tracing, metrics, run manifests, logging.
+
+The simulator's default posture is *silent speed*: nothing is recorded
+beyond the final :class:`~repro.core.results.ExperimentResult`.  This
+package adds the instrumentation layer on top — strictly opt-in, and a
+strict no-op when disabled:
+
+``repro.obs.trace``
+    Typed per-request lifecycle events (``submit`` → ``queue`` →
+    ``start`` → ``complete``, with the cancellation and outage paths in
+    between), recorded by a :class:`TraceRecorder` hooked into the
+    scheduler base and the coordinator, written to schema-versioned
+    JSONL, bit-identical between serial and parallel sweeps.
+``repro.obs.metrics``
+    A counters/gauges/timings registry snapshotted per run and
+    aggregated across sweeps into the ``repro bench --json`` payload.
+``repro.obs.manifest``
+    A run manifest (config fingerprints, RNG seed derivation, package
+    version, platform, wall-clock) written alongside every traced
+    sweep, so any result is reproducible from its artifact.
+``repro.obs.chrome``
+    Exporter from the JSONL trace to Chrome ``trace_event`` JSON for
+    chrome://tracing / Perfetto visualisation.
+``repro.obs.log``
+    Structured ``logging`` setup shared by the CLI and the worker
+    processes of the parallel sweep engine.
+"""
+
+from .chrome import export_chrome, to_chrome_trace
+from .log import get_logger, setup_logging, worker_log_level
+from .manifest import MANIFEST_SCHEMA_VERSION, RunManifest, build_manifest
+from .metrics import MetricsRegistry, aggregate_results, run_counters
+from .trace import (
+    EVENT_TYPES,
+    TRACE_SCHEMA_VERSION,
+    TraceRecorder,
+    filter_events,
+    read_trace,
+    record_sweep,
+    run_single_traced,
+    summarize_trace,
+    write_trace,
+)
+
+__all__ = [
+    "EVENT_TYPES",
+    "TRACE_SCHEMA_VERSION",
+    "TraceRecorder",
+    "filter_events",
+    "read_trace",
+    "record_sweep",
+    "run_single_traced",
+    "summarize_trace",
+    "write_trace",
+    "MetricsRegistry",
+    "aggregate_results",
+    "run_counters",
+    "RunManifest",
+    "build_manifest",
+    "MANIFEST_SCHEMA_VERSION",
+    "to_chrome_trace",
+    "export_chrome",
+    "get_logger",
+    "setup_logging",
+    "worker_log_level",
+]

@@ -1,0 +1,148 @@
+"""Export JSONL traces to Chrome ``trace_event`` JSON.
+
+The output loads directly in chrome://tracing or https://ui.perfetto.dev:
+each ``(config, replication, cluster)`` becomes a named process row,
+each job a thread within it; a request's queued interval
+(``queue`` → ``start``/``cancel_applied``) and running interval
+(``start`` → ``complete``) become complete-events (``ph: "X"``), and
+point-in-time protocol actions (``submit``, ``cancel_sent``,
+``cancel_lost``, ``outage_down``, ``outage_up``) become instants
+(``ph: "i"``).  Sim-time seconds map to trace microseconds.
+
+The exporter is deterministic — identical input events produce
+byte-identical JSON (a golden file in ``tests/obs/test_chrome.py``
+locks the format).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+from .trace import TRACE_SCHEMA_VERSION
+
+#: event types rendered as instants rather than folded into spans
+_INSTANT_TYPES = ("submit", "cancel_sent", "cancel_lost", "outage_down", "outage_up")
+
+
+def _us(t: float) -> float:
+    """Sim-time seconds to trace microseconds."""
+    return t * 1_000_000.0
+
+
+def to_chrome_trace(events: Iterable[dict]) -> dict:
+    """Convert event records (see :mod:`repro.obs.trace`) to trace JSON."""
+    trace_events: list[dict] = []
+    #: (config, rep, cluster) -> pid, assigned in first-seen order
+    pids: dict[tuple, int] = {}
+    #: (config, rep, request) -> (queue_time, pid, tid, job)
+    queued: dict[tuple, tuple] = {}
+    #: (config, rep, request) -> (start_time, pid, tid, job)
+    running: dict[tuple, tuple] = {}
+    t_last = 0.0
+
+    def pid_for(ev: dict) -> int:
+        key = (ev.get("config", 0), ev.get("rep", 0), ev.get("cluster", -1))
+        pid = pids.get(key)
+        if pid is None:
+            pid = pids[key] = len(pids) + 1
+            trace_events.append({
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {
+                    "name": (
+                        f"cfg{key[0]} rep{key[1]} cluster{key[2]}"
+                        + (f" [{ev['scheme']}]" if ev.get("scheme") else "")
+                    )
+                },
+            })
+        return pid
+
+    def span(name: str, t0: float, t1: float, pid: int, tid: int,
+             args: dict) -> None:
+        trace_events.append({
+            "name": name,
+            "ph": "X",
+            "ts": _us(t0),
+            "dur": _us(max(0.0, t1 - t0)),
+            "pid": pid,
+            "tid": tid,
+            "args": args,
+        })
+
+    for ev in events:
+        etype = ev.get("type", "?")
+        t = float(ev.get("t", 0.0))
+        t_last = max(t_last, t)
+        pid = pid_for(ev)
+        job = ev.get("job", -1)
+        request = ev.get("request", -1)
+        tid = job if job >= 0 else 0
+        key = (ev.get("config", 0), ev.get("rep", 0), request)
+        args = {"request": request, "job": job}
+        if ev.get("scheme"):
+            args["scheme"] = ev["scheme"]
+
+        if etype == "queue":
+            queued[key] = (t, pid, tid, args)
+        elif etype == "start":
+            q = queued.pop(key, None)
+            if q is not None:
+                span(f"queued req {request}", q[0], t, q[1], q[2], q[3])
+            running[key] = (t, pid, tid, args)
+        elif etype == "cancel_applied":
+            q = queued.pop(key, None)
+            if q is not None:
+                span(
+                    f"queued req {request} (cancelled)",
+                    q[0], t, q[1], q[2], {**q[3], "cancelled": True},
+                )
+            trace_events.append({
+                "name": etype, "ph": "i", "ts": _us(t), "pid": pid,
+                "tid": tid, "s": "t", "args": args,
+            })
+        elif etype == "complete":
+            r = running.pop(key, None)
+            if r is not None:
+                span(f"running req {request}", r[0], t, r[1], r[2], r[3])
+        elif etype in _INSTANT_TYPES:
+            trace_events.append({
+                "name": etype, "ph": "i", "ts": _us(t), "pid": pid,
+                "tid": tid, "s": "t", "args": args,
+            })
+        # Unknown types are ignored: a newer trace may carry event kinds
+        # this exporter predates, and a viewer artifact beats a crash.
+
+    # Requests still queued or running when the trace ends: emit the
+    # span up to the last observed instant, marked truncated.
+    for key, (t0, pid, tid, args) in sorted(queued.items()):
+        span(f"queued req {key[2]}", t0, t_last, pid, tid,
+             {**args, "truncated": True})
+    for key, (t0, pid, tid, args) in sorted(running.items()):
+        span(f"running req {key[2]}", t0, t_last, pid, tid,
+             {**args, "truncated": True})
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs.chrome",
+            "trace_schema": TRACE_SCHEMA_VERSION,
+        },
+    }
+
+
+def export_chrome(
+    events: Iterable[dict], path: Union[str, Path], indent: int = 2
+) -> Path:
+    """Write the Chrome trace JSON for ``events`` to ``path``."""
+    path = Path(path)
+    payload = to_chrome_trace(events)
+    path.write_text(
+        json.dumps(payload, indent=indent, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path

@@ -1,0 +1,133 @@
+"""Run manifests: everything needed to reproduce a sweep from its artifact.
+
+A manifest answers, months later, "what exactly produced this trace /
+bench payload?": the content-addressed fingerprint of every config, the
+master seed and the RNG derivation rule, the package and cache schema
+versions, the platform it ran on, and how long it took.  Together with
+the determinism guarantees of the sweep engine (results and traces are
+pure functions of ``(config, replication)``), a manifest plus the repo
+at the recorded version regenerates the artifact bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform as _platform
+import sys
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from ..core.cache import CACHE_SCHEMA_VERSION, config_fingerprint
+from ..core.config import ExperimentConfig
+
+#: bump when the manifest layout changes incompatibly
+MANIFEST_SCHEMA_VERSION = 1
+
+#: one-line statement of how every random stream is derived; recorded
+#: verbatim so an artifact is interpretable without reading the code
+RNG_DERIVATION = (
+    "numpy SeedSequence([master_seed, *sha256(key)]) per component key; "
+    "replication r of a config uses keys ('rep', r, <component>) only"
+)
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Reproducibility record written alongside every traced sweep."""
+
+    schema: int
+    created_unix: float
+    created_iso: str
+    repro_version: str
+    python: str
+    platform: str
+    cpu_count: Optional[int]
+    cache_schema_version: int
+    rng_derivation: str
+    configs: list[dict]
+    n_replications: int
+    first_replication: int
+    n_workers: int
+    wall_time_s: float
+    grid_stats: dict = field(default_factory=dict)
+    command: Optional[list[str]] = None
+    extra: dict = field(default_factory=dict)
+
+    # -- serialisation ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"kind": "repro-manifest", **asdict(self)}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def write(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json() + "\n", encoding="utf-8")
+        return path
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunManifest":
+        if payload.get("kind") != "repro-manifest":
+            raise ValueError("not a repro manifest (bad 'kind')")
+        if payload.get("schema") != MANIFEST_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported manifest schema {payload.get('schema')!r} "
+                f"(this build reads {MANIFEST_SCHEMA_VERSION})"
+            )
+        fields = {k: v for k, v in payload.items() if k != "kind"}
+        return cls(**fields)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "RunManifest":
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def describe_config(config: ExperimentConfig, index: int = 0) -> dict:
+    """The manifest entry for one config: identity plus content address."""
+    return {
+        "index": index,
+        "scheme": config.scheme,
+        "algorithm": config.algorithm,
+        "seed": config.seed,
+        "describe": config.describe(),
+        "fingerprint": config_fingerprint(config),
+    }
+
+
+def build_manifest(
+    configs: Sequence[ExperimentConfig],
+    n_replications: int,
+    first_replication: int = 0,
+    n_workers: int = 1,
+    wall_time_s: float = 0.0,
+    grid_stats: Optional[dict] = None,
+    command: Optional[list[str]] = None,
+    extra: Optional[dict] = None,
+) -> RunManifest:
+    """Assemble a manifest for a sweep over ``configs``."""
+    from .. import __version__
+
+    now = time.time()
+    return RunManifest(
+        schema=MANIFEST_SCHEMA_VERSION,
+        created_unix=now,
+        created_iso=time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime(now)),
+        repro_version=__version__,
+        python=sys.version.split()[0],
+        platform=_platform.platform(),
+        cpu_count=os.cpu_count(),
+        cache_schema_version=CACHE_SCHEMA_VERSION,
+        rng_derivation=RNG_DERIVATION,
+        configs=[describe_config(cfg, i) for i, cfg in enumerate(configs)],
+        n_replications=n_replications,
+        first_replication=first_replication,
+        n_workers=n_workers,
+        wall_time_s=wall_time_s,
+        grid_stats=dict(grid_stats) if grid_stats is not None else {},
+        command=command,
+        extra=dict(extra) if extra is not None else {},
+    )

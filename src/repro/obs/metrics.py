@@ -1,0 +1,149 @@
+"""Counters, gauges and phase timings for runs and sweeps.
+
+A :class:`MetricsRegistry` is a deliberately small, dependency-free
+accumulator: integer/float counters (monotonic), gauges (last value
+wins) and named wall-clock timings.  One registry is snapshotted per
+run or per sweep and folded into the ``repro bench --json`` payload,
+which is how "how many cancellations, backfill decisions, heap
+compactions, cache hits did this sweep perform?" becomes a
+machine-readable artifact instead of a print statement.
+
+:func:`run_counters` maps one :class:`~repro.core.results
+.ExperimentResult` onto the standard counter names;
+:func:`aggregate_results` sums them across a sweep.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterable, Iterator, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.results import ExperimentResult
+
+Number = Union[int, float]
+
+#: counter names every run contributes (order fixed for stable output)
+RUN_COUNTER_NAMES = (
+    "jobs_submitted",
+    "jobs_completed",
+    "submissions",
+    "cancellations",
+    "lost_cancellations",
+    "failed_submissions",
+    "resubmissions",
+    "backfills",
+    "heap_compactions",
+    "events_executed",
+    "outages",
+    "dropped_requests",
+    "wasted_node_seconds",
+)
+
+
+class MetricsRegistry:
+    """Accumulating counters / gauges / timings with a stable snapshot."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Number] = {}
+        self._gauges: dict[str, Number] = {}
+        self._timings: dict[str, float] = {}
+
+    # -- counters --------------------------------------------------------
+
+    def inc(self, name: str, value: Number = 1) -> None:
+        """Add ``value`` (default 1) to counter ``name``."""
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def counter(self, name: str) -> Number:
+        return self._counters.get(name, 0)
+
+    # -- gauges ----------------------------------------------------------
+
+    def set_gauge(self, name: str, value: Number) -> None:
+        self._gauges[name] = value
+
+    def gauge(self, name: str) -> Number:
+        return self._gauges.get(name, 0)
+
+    # -- timings ---------------------------------------------------------
+
+    def add_time(self, phase: str, seconds: float) -> None:
+        """Accumulate ``seconds`` of wall-clock into phase ``phase``."""
+        self._timings[phase] = self._timings.get(phase, 0.0) + float(seconds)
+
+    @contextmanager
+    def timer(self, phase: str) -> Iterator[None]:
+        """Time a ``with`` block into phase ``phase`` (accumulating)."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(phase, time.perf_counter() - t0)
+
+    def timing(self, phase: str) -> float:
+        return self._timings.get(phase, 0.0)
+
+    # -- aggregation -----------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (counters and timings add,
+        gauges take the other's value)."""
+        for name, value in other._counters.items():
+            self.inc(name, value)
+        for name, value in other._timings.items():
+            self.add_time(name, value)
+        self._gauges.update(other._gauges)
+
+    def snapshot(self) -> dict:
+        """Sorted, JSON-ready view of everything recorded so far."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "timings_s": dict(sorted(self._timings.items())),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MetricsRegistry({self.snapshot()})"
+
+
+def run_counters(result: "ExperimentResult") -> dict[str, Number]:
+    """The standard per-run counters extracted from one result."""
+    return {
+        "jobs_submitted": result.n_submitted_jobs,
+        "jobs_completed": result.n_jobs,
+        "submissions": result.total_requests,
+        "cancellations": result.total_cancellations,
+        "lost_cancellations": result.lost_cancellations,
+        "failed_submissions": result.failed_submissions,
+        "resubmissions": result.resubmissions,
+        "backfills": result.total_backfills,
+        "heap_compactions": result.heap_compactions,
+        "events_executed": result.events_executed,
+        "outages": result.outages,
+        "dropped_requests": result.dropped_requests,
+        "wasted_node_seconds": result.wasted_node_seconds,
+    }
+
+
+def aggregate_results(
+    results: Iterable["ExperimentResult"],
+    registry: MetricsRegistry | None = None,
+) -> MetricsRegistry:
+    """Sum the per-run counters and phase timings of many results.
+
+    Counts every run it is handed; deduplicating shared baselines is
+    the caller's job (``ExperimentResult`` objects may be shared by
+    reference across sweep slots).
+    """
+    registry = registry if registry is not None else MetricsRegistry()
+    n = 0
+    for result in results:
+        n += 1
+        for name, value in run_counters(result).items():
+            registry.inc(name, value)
+        for phase, seconds in result.phase_timings.items():
+            registry.add_time(phase, seconds)
+    registry.inc("runs", n)
+    return registry

@@ -12,7 +12,12 @@ Each scheduler manages a single queue with no request priorities
   runs at :data:`~repro.sim.events.EventPriority.SCHEDULE` priority,
   i.e. after all cancellations/finishes/submissions at that instant;
 * start notification callbacks (used by the redundancy coordinator to
-  cancel sibling requests) and per-queue statistics.
+  cancel sibling requests) and per-queue statistics;
+* optional lifecycle tracing: when a
+  :class:`~repro.obs.trace.TraceRecorder` is attached (``tracer``
+  attribute), every queue/start/cancel/complete/outage transition is
+  emitted as a typed event.  With no recorder attached (the default)
+  each hook site costs one attribute check and nothing else.
 
 Performance note: the paper's workload is an *overloaded* peak-hour
 stream (queues grow by ~700 requests/hour, Section 4.1), so queues reach
@@ -64,6 +69,9 @@ class QueueStats:
         self.cancelled = 0
         self.started = 0
         self.completed = 0
+        #: starts that jumped the queue order (EASY backfill slots, CBF
+        #: early starts) — the "backfill decisions" observability counter
+        self.backfilled = 0
         #: pending requests lost when the scheduler crashed with
         #: ``drop_queue`` (distinct from user-issued cancellations)
         self.dropped = 0
@@ -101,6 +109,9 @@ class Scheduler(abc.ABC):
         self.stats = QueueStats()
         #: scheduler daemon availability (see :meth:`go_down`)
         self.down = False
+        #: optional lifecycle-event recorder (``None`` = tracing off;
+        #: see :mod:`repro.obs.trace`)
+        self.tracer = None
         self._start_callbacks: list[StartCallback] = []
         self._pass_pending = False
         self._pending_count = 0
@@ -115,6 +126,21 @@ class Scheduler(abc.ABC):
     def add_start_callback(self, cb: StartCallback) -> None:
         """Register ``cb(request, time)`` invoked whenever a request starts."""
         self._start_callbacks.append(cb)
+
+    # -- tracing ---------------------------------------------------------
+
+    def _emit(self, etype: str, request: "Request | None" = None) -> None:
+        """Record one lifecycle event (callers have checked ``tracer``)."""
+        if request is None:
+            self.tracer.emit(self.sim.now, etype, self.cluster.index)
+        else:
+            self.tracer.emit(
+                self.sim.now,
+                etype,
+                self.cluster.index,
+                request.request_id,
+                getattr(request.group, "job_id", -1),
+            )
 
     # -- public API ------------------------------------------------------
 
@@ -154,6 +180,8 @@ class Scheduler(abc.ABC):
         self._min_nodes_lb = min(self._min_nodes_lb, request.nodes)
         self.stats.submitted += 1
         self.stats.observe_queue(self.sim.now, self._pending_count)
+        if self.tracer is not None:
+            self._emit("queue", request)
         self._on_submit(request)
         self._request_pass()
 
@@ -187,6 +215,8 @@ class Scheduler(abc.ABC):
         self.stats.cancelled += 1
         self._maybe_compact()
         self.stats.observe_queue(self.sim.now, self._pending_count)
+        if self.tracer is not None:
+            self._emit("cancel_applied", request)
         self._on_cancel(request)
         self._request_pass()
 
@@ -205,6 +235,8 @@ class Scheduler(abc.ABC):
         if self.down:
             raise SchedulerError(f"{self.name}: scheduler is already down")
         self.down = True
+        if self.tracer is not None:
+            self._emit("outage_down")
         dropped: list[Request] = []
         if drop_queue:
             for request in self.queue:
@@ -212,6 +244,8 @@ class Scheduler(abc.ABC):
                     request.state = RequestState.CANCELLED
                     request.cancelled_at = self.sim.now
                     dropped.append(request)
+                    if self.tracer is not None:
+                        self._emit("cancel_applied", request)
                     # Route through the cancel hook so subclasses release
                     # per-request state (CBF reservations/profile windows).
                     self._on_cancel(request)
@@ -226,6 +260,8 @@ class Scheduler(abc.ABC):
         if not self.down:
             raise SchedulerError(f"{self.name}: scheduler is not down")
         self.down = False
+        if self.tracer is not None:
+            self._emit("outage_up")
         self._request_pass()
 
     # -- subclass hooks ----------------------------------------------------
@@ -310,6 +346,8 @@ class Scheduler(abc.ABC):
         self._pending_count -= 1
         self.running.append(request)
         self.stats.started += 1
+        if self.tracer is not None:
+            self._emit("start", request)
         self.sim.at(
             self.sim.now + request.runtime,
             partial(self._finish, request),
@@ -331,6 +369,8 @@ class Scheduler(abc.ABC):
         self.running.remove(request)
         self.cluster.release(request.nodes)
         self.stats.completed += 1
+        if self.tracer is not None:
+            self._emit("complete", request)
         self._on_finish(request)
         self._request_pass()
 

@@ -178,6 +178,7 @@ class CBFScheduler(Scheduler):
         self._profile.adjust(now, now + d, -request.nodes)
         request.reserved_start = now
         self._start(request)
+        self.stats.backfilled += 1
 
     # -- reservation timer -------------------------------------------------
 

@@ -95,6 +95,7 @@ class EASYScheduler(Scheduler):
                 within_extra = req.nodes <= extra
                 if finishes_in_time or within_extra:
                     self._start(req)
+                    self.stats.backfilled += 1
                     started = True
                     break
             if not started:

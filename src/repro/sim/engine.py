@@ -58,6 +58,9 @@ class Simulator:
         #: :meth:`cancel`; direct ``Event.cancel`` calls are untracked
         #: and merely surface lazily as before)
         self._tombstones: int = 0
+        #: heap compaction sweeps performed (observability counter; the
+        #: metrics registry surfaces it per run)
+        self.compactions: int = 0
 
     # -- clock ----------------------------------------------------------
 
@@ -142,6 +145,7 @@ class Simulator:
         heap[:] = [ev for ev in heap if not ev.cancelled]
         heapq.heapify(heap)
         self._tombstones = 0
+        self.compactions += 1
 
     def _note_popped_tombstone(self) -> None:
         if self._tombstones > 0:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.cluster.platform import Platform
 from repro.core.coordinator import Coordinator
-from repro.core.tracing import (
+from repro.analysis.timelines import (
     growth_rate,
     level_at,
     peak,
@@ -93,6 +93,20 @@ class TestSeriesHelpers:
 
     def test_growth_rate_too_few_points(self):
         assert growth_rate([(0.0, 1.0)], 0.0, 10.0) == 0.0
+
+
+class TestDeprecatedShim:
+    def test_core_tracing_warns_and_reexports(self):
+        import importlib
+        import sys
+
+        sys.modules.pop("repro.core.tracing", None)
+        with pytest.warns(DeprecationWarning, match="analysis.timelines"):
+            shim = importlib.import_module("repro.core.tracing")
+        from repro.analysis import timelines
+
+        assert shim.queue_length_timeline is timelines.queue_length_timeline
+        assert shim.peak is timelines.peak
 
 
 class TestQueueGrowthReconstruction:

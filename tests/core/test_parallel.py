@@ -22,6 +22,7 @@ def tiny(**kw):
 def strip_wall(result):
     d = dataclasses.asdict(result)
     d.pop("wall_time_s")
+    d.pop("phase_timings")
     return d
 
 

@@ -1,0 +1,100 @@
+"""Tests for the Chrome trace_event exporter, including a golden file."""
+
+import json
+from pathlib import Path
+
+from repro.obs.chrome import export_chrome, to_chrome_trace
+from repro.obs.trace import run_single_traced
+
+GOLDEN = Path(__file__).parent / "data" / "chrome_golden.json"
+
+
+def ev(t, etype, cluster, request=-1, job=-1, config=0, rep=0, scheme="R2"):
+    return {"t": t, "type": etype, "cluster": cluster, "request": request,
+            "job": job, "config": config, "rep": rep, "scheme": scheme}
+
+
+#: a tiny hand-written lifecycle: one redundant job, copy on cluster 1
+#: wins, the queued copy on cluster 0 is cancelled; an outage blips.
+FIXTURE_EVENTS = [
+    ev(0.0, "submit", 0, request=1, job=0),
+    ev(0.0, "queue", 0, request=1, job=0),
+    ev(0.0, "submit", 1, request=2, job=0),
+    ev(0.0, "queue", 1, request=2, job=0),
+    ev(2.0, "start", 1, request=2, job=0),
+    ev(2.0, "cancel_sent", 0, request=1, job=0),
+    ev(2.5, "cancel_applied", 0, request=1, job=0),
+    ev(4.0, "outage_down", 0),
+    ev(6.0, "outage_up", 0),
+    ev(12.0, "complete", 1, request=2, job=0),
+]
+
+
+class TestConversion:
+    def test_span_pairing(self):
+        doc = to_chrome_trace(FIXTURE_EVENTS)
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        names = sorted(s["name"] for s in spans)
+        assert names == [
+            "queued req 1 (cancelled)", "queued req 2", "running req 2",
+        ]
+        running = next(s for s in spans if s["name"] == "running req 2")
+        assert running["ts"] == 2.0 * 1e6
+        assert running["dur"] == 10.0 * 1e6
+
+    def test_instants_and_metadata(self):
+        doc = to_chrome_trace(FIXTURE_EVENTS)
+        instants = {e["name"] for e in doc["traceEvents"] if e["ph"] == "i"}
+        assert {"submit", "cancel_sent", "cancel_applied",
+                "outage_down", "outage_up"} <= instants
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert "cfg0 rep0 cluster0 [R2]" in names
+        assert "cfg0 rep0 cluster1 [R2]" in names
+
+    def test_truncated_spans_flushed(self):
+        doc = to_chrome_trace(FIXTURE_EVENTS[:5])  # no complete/cancel
+        truncated = [
+            e for e in doc["traceEvents"]
+            if e["ph"] == "X" and e["args"].get("truncated")
+        ]
+        # req 1 still queued, req 2 still running at the cut
+        assert len(truncated) == 2
+
+    def test_real_trace_is_valid_chrome_json(self, tmp_path):
+        from repro.core.config import ExperimentConfig
+        from repro.obs.trace import _event_record
+
+        cfg = ExperimentConfig(
+            scheme="R2", n_clusters=2, nodes_per_cluster=16,
+            duration=200.0, drain=True, seed=3,
+        )
+        traced = run_single_traced(cfg)
+        events = [_event_record(e, 0, 0, cfg.scheme) for e in traced.events]
+        path = export_chrome(events, tmp_path / "out.json")
+        doc = json.loads(path.read_text())
+        assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+        assert doc["displayTimeUnit"] == "ms"
+        for entry in doc["traceEvents"]:
+            assert entry["ph"] in ("X", "i", "M")
+            if entry["ph"] == "X":
+                assert entry["dur"] >= 0.0
+
+
+class TestGoldenFile:
+    def test_export_matches_golden(self, tmp_path):
+        """Byte-exact lock on the exporter's output format.
+
+        Regenerate after an intentional format change with::
+
+            PYTHONPATH=src python -c "
+            from tests.obs.test_chrome import regenerate_golden
+            regenerate_golden()"
+        """
+        out = export_chrome(FIXTURE_EVENTS, tmp_path / "chrome.json")
+        assert out.read_bytes() == GOLDEN.read_bytes()
+
+
+def regenerate_golden() -> None:  # pragma: no cover - maintenance hook
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    export_chrome(FIXTURE_EVENTS, GOLDEN)

@@ -1,0 +1,196 @@
+"""Tests for the lifecycle trace recorder and traced sweeps."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.config import ExperimentConfig
+from repro.core.experiment import run_single
+from repro.obs.trace import (
+    EVENT_TYPES,
+    TRACE_SCHEMA_VERSION,
+    TraceRecorder,
+    filter_events,
+    read_trace,
+    record_sweep,
+    run_single_traced,
+    summarize_trace,
+    write_trace,
+)
+
+
+def small_config(**overrides):
+    defaults = dict(
+        scheme="ALL", algorithm="easy", n_clusters=3, nodes_per_cluster=16,
+        duration=300.0, drain=True, seed=42,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+class TestRecorder:
+    def test_emit_appends_tuples(self):
+        rec = TraceRecorder()
+        rec.emit(1.5, "submit", 0, 7, 3)
+        rec.emit(2.0, "outage_down", 1)
+        assert rec.events == [
+            (1.5, "submit", 0, 7, 3),
+            (2.0, "outage_down", 1, -1, -1),
+        ]
+        assert len(rec) == 2
+        rec.clear()
+        assert len(rec) == 0
+
+
+class TestTracedRun:
+    def test_events_cover_lifecycle(self):
+        traced = run_single_traced(small_config())
+        types = {e[1] for e in traced.events}
+        assert {"submit", "queue", "start", "complete"} <= types
+        # The ALL scheme cancels losers.
+        assert "cancel_sent" in types and "cancel_applied" in types
+        for e in traced.events:
+            assert e[1] in EVENT_TYPES
+
+    def test_event_counts_match_result(self):
+        traced = run_single_traced(small_config())
+        by_type = {}
+        for e in traced.events:
+            by_type[e[1]] = by_type.get(e[1], 0) + 1
+        r = traced.result
+        assert by_type["submit"] == r.total_requests
+        assert by_type["queue"] == r.total_requests
+        assert by_type["complete"] == sum(c.completed for c in r.clusters)
+        assert by_type.get("cancel_applied", 0) == r.total_cancellations
+
+    def test_tracing_does_not_change_results(self):
+        """The strict no-op guarantee: traced == untraced trajectories."""
+        cfg = small_config()
+        plain = run_single(cfg, 0)
+        traced = run_single_traced(cfg, 0).result
+        assert [dataclasses.astuple(j) for j in plain.jobs] == [
+            dataclasses.astuple(j) for j in traced.jobs
+        ]
+        assert plain.clusters == traced.clusters
+        assert plain.total_cancellations == traced.total_cancellations
+
+    def test_untraced_run_attaches_no_recorder(self):
+        """run_single with the default tracer leaves every hook dark."""
+        from repro.cluster.platform import Platform
+        from repro.sim.engine import Simulator
+
+        platform = Platform(Simulator(), [8], algorithm="easy")
+        assert all(s.tracer is None for s in platform.schedulers)
+
+    def test_outage_events_recorded(self):
+        from repro.faults import FaultConfig
+
+        cfg = small_config(
+            faults=FaultConfig(outage_rate=24.0, outage_duration=30.0),
+        )
+        traced = run_single_traced(cfg)
+        types = {e[1] for e in traced.events}
+        if traced.result.outages:
+            assert "outage_down" in types and "outage_up" in types
+
+
+class TestJsonlRoundTrip:
+    def test_write_read(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        records = [
+            {"t": 0.0, "type": "submit", "cluster": 0, "request": 1,
+             "job": 0, "config": 0, "rep": 0, "scheme": "R2"},
+            {"t": 1.0, "type": "start", "cluster": 0, "request": 1,
+             "job": 0, "config": 0, "rep": 0, "scheme": "R2"},
+        ]
+        n = write_trace(path, {"note": "x"}, records)
+        assert n == 2
+        header, events = read_trace(path)
+        assert header["kind"] == "repro-trace"
+        assert header["schema"] == TRACE_SCHEMA_VERSION
+        assert header["note"] == "x"
+        assert events == records
+
+    def test_read_rejects_foreign_file(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text('{"hello": 1}\n')
+        with pytest.raises(ValueError, match="not a repro trace"):
+            read_trace(path)
+
+    def test_read_rejects_future_schema(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text(
+            json.dumps({"kind": "repro-trace", "schema": 999}) + "\n"
+        )
+        with pytest.raises(ValueError, match="unsupported trace schema"):
+            read_trace(path)
+
+    def test_read_rejects_empty(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_trace(path)
+
+
+class TestFilterAndSummary:
+    EVENTS = [
+        {"t": 0.0, "type": "submit", "cluster": 0, "request": 1, "job": 0,
+         "config": 0, "rep": 0, "scheme": "R2"},
+        {"t": 0.0, "type": "submit", "cluster": 1, "request": 2, "job": 0,
+         "config": 0, "rep": 0, "scheme": "R2"},
+        {"t": 5.0, "type": "start", "cluster": 1, "request": 2, "job": 0,
+         "config": 0, "rep": 0, "scheme": "R2"},
+        {"t": 5.0, "type": "cancel_sent", "cluster": 0, "request": 1,
+         "job": 0, "config": 0, "rep": 1, "scheme": "R2"},
+    ]
+
+    def test_filter_by_type(self):
+        got = list(filter_events(self.EVENTS, types=["submit"]))
+        assert len(got) == 2
+
+    def test_filter_by_cluster_and_time(self):
+        got = list(filter_events(self.EVENTS, cluster=1, t_min=1.0))
+        assert got == [self.EVENTS[2]]
+
+    def test_filter_by_rep(self):
+        got = list(filter_events(self.EVENTS, rep=1))
+        assert got == [self.EVENTS[3]]
+
+    def test_summary(self):
+        s = summarize_trace(self.EVENTS)
+        assert s["n_events"] == 4
+        assert s["by_type"] == {"cancel_sent": 1, "start": 1, "submit": 2}
+        assert s["n_jobs"] == 2  # (config 0, rep 0) and (config 0, rep 1)
+        assert s["n_requests"] == 3
+        assert s["t_first"] == 0.0 and s["t_last"] == 5.0
+
+
+class TestRecordSweepDeterminism:
+    def test_parallel_trace_byte_identical_to_serial(self, tmp_path):
+        """The headline guarantee: --workers N never changes the bytes."""
+        cfgs = [small_config(scheme="R2"), small_config(scheme="R3")]
+        record_sweep(cfgs, 2, tmp_path / "serial", n_workers=1)
+        record_sweep(cfgs, 2, tmp_path / "parallel", n_workers=2)
+        serial = (tmp_path / "serial" / "trace.jsonl").read_bytes()
+        parallel = (tmp_path / "parallel" / "trace.jsonl").read_bytes()
+        assert serial == parallel
+
+    def test_results_and_manifest(self, tmp_path):
+        cfgs = [small_config(scheme="R2")]
+        results, manifest = record_sweep(cfgs, 2, tmp_path)
+        assert len(results) == 1 and len(results[0]) == 2
+        assert (tmp_path / "trace.jsonl").exists()
+        assert (tmp_path / "manifest.json").exists()
+        assert manifest.n_replications == 2
+        assert manifest.extra["n_trace_events"] > 0
+        header, events = read_trace(tmp_path / "trace.jsonl")
+        assert header["configs"][0]["scheme"] == "R2"
+        assert len(events) == manifest.extra["n_trace_events"]
+
+    def test_duplicate_configs_collapse(self, tmp_path):
+        cfg = small_config(scheme="R2")
+        results, manifest = record_sweep([cfg, cfg], 1, tmp_path)
+        assert len(results) == 2
+        assert results[0] == results[1]
+        assert len(manifest.configs) == 1

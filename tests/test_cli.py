@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -26,6 +28,30 @@ class TestParser:
     def test_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_verbosity_flags(self):
+        args = build_parser().parse_args(["-vv", "list"])
+        assert args.verbose == 2 and not args.quiet
+        args = build_parser().parse_args(["-q", "list"])
+        assert args.quiet
+
+    def test_trace_record_defaults(self):
+        args = build_parser().parse_args(
+            ["trace", "record", "--out", "d"]
+        )
+        assert args.trace_command == "record"
+        assert args.schemes == ["ALL"]
+        assert args.replications == 1
+
+    def test_trace_filter_rejects_bad_type(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["trace", "filter", "t.jsonl", "--type", "nonsense"]
+            )
+
+    def test_trace_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
 
 
 class TestMain:
@@ -62,3 +88,78 @@ class TestMain:
         assert payload["exp_id"] == "fig5"
         csvs = list(csv_dir.glob("fig5_table*.csv"))
         assert len(csvs) >= 2
+
+    def test_run_diagnostics_on_stderr_not_stdout(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert main(["run", "sec4"]) == 0
+        captured = capsys.readouterr()
+        assert "took" not in captured.out  # timing line moved to stderr
+        assert "took" in captured.err
+
+
+class TestTraceCommand:
+    RECORD = ["trace", "record", "--schemes", "R2", "--replications", "1",
+              "--clusters", "2", "--nodes", "16", "--duration", "200"]
+
+    @pytest.fixture(scope="class")
+    def trace_dir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("trace")
+        assert main(self.RECORD + ["--out", str(out)]) == 0
+        return out
+
+    def test_record_writes_artifacts(self, trace_dir):
+        assert (trace_dir / "trace.jsonl").exists()
+        assert (trace_dir / "manifest.json").exists()
+        manifest = json.loads((trace_dir / "manifest.json").read_text())
+        assert manifest["kind"] == "repro-manifest"
+        assert manifest["extra"]["n_trace_events"] > 0
+
+    def test_summary(self, trace_dir, capsys):
+        assert main(["trace", "summary",
+                     str(trace_dir / "trace.jsonl")]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["n_events"] > 0
+        assert "submit" in summary["by_type"]
+
+    def test_export_chrome(self, trace_dir, tmp_path, capsys):
+        out = tmp_path / "chrome.json"
+        assert main(["trace", "export-chrome",
+                     str(trace_dir / "trace.jsonl"),
+                     "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+
+    def test_filter_outputs_jsonl(self, trace_dir, capsys):
+        assert main(["trace", "filter", str(trace_dir / "trace.jsonl"),
+                     "--type", "start", "--cluster", "0"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        for line in lines:
+            ev = json.loads(line)
+            assert ev["type"] == "start" and ev["cluster"] == 0
+
+    def test_record_parallel_identical(self, trace_dir, tmp_path):
+        out = tmp_path / "parallel"
+        assert main(self.RECORD + ["--out", str(out),
+                                   "--workers", "2"]) == 0
+        assert (out / "trace.jsonl").read_bytes() == (
+            trace_dir / "trace.jsonl"
+        ).read_bytes()
+
+
+class TestBenchCommand:
+    def test_bench_payload_keys(self, capsys):
+        assert main(["-q", "bench", "--replications", "1",
+                     "--schemes", "R2", "--workers", "2",
+                     "--json", "-"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["results_identical"] is True
+        assert payload["manifest"]["kind"] == "repro-manifest"
+        counters = payload["metrics"]["counters"]
+        assert counters["runs"] == 2  # baseline + R2, one replication each
+        assert counters["submissions"] > 0
+        assert counters["cache_hits"] >= 2  # the warm sweep hit every task
+        timings = payload["metrics"]["timings_s"]
+        for phase in ("generate_s", "simulate_s", "aggregate_s",
+                      "bench_serial_s", "bench_parallel_s"):
+            assert phase in timings

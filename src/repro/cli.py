@@ -8,6 +8,9 @@ Usage::
     repro run all --scale default   # everything, in order
     repro run fig1 --workers 8 --cache-dir ~/.cache/repro
     repro bench --json bench.json   # machine-readable sweep timings
+    repro check --quick             # runtime invariant audit (CI smoke)
+    repro check --fuzz 50           # full audit + 50 fuzz cases
+    repro check --config '{"algorithm": "cbf", "scheme": "R2"}'
     repro trace record --out runs/r2 --schemes R2   # traced sweep
     repro trace summary runs/r2/trace.jsonl
     repro trace export-chrome runs/r2/trace.jsonl --out r2.trace.json
@@ -133,6 +136,32 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write machine-readable timings to PATH ('-' for stdout only)",
+    )
+
+    check = sub.add_parser(
+        "check",
+        help="run the runtime sanitizer (invariant audit + differential "
+        "oracle + fuzz)",
+    )
+    check.add_argument(
+        "--quick",
+        action="store_true",
+        help="small platforms and fuzz budget (the CI smoke posture)",
+    )
+    check.add_argument(
+        "--fuzz",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fuzz cases to run (default: 8 quick / 25 full; 0 disables)",
+    )
+    check.add_argument(
+        "--config",
+        default=None,
+        metavar="JSON",
+        help="audit one configuration instead of the suite: an inline "
+        "JSON object of ExperimentConfig fields, or a path to a JSON "
+        "file (skips the oracle and fuzz stages)",
     )
 
     trace = sub.add_parser(
@@ -410,6 +439,29 @@ def cmd_bench(
     return 0 if identical else 1
 
 
+def cmd_check(
+    quick: bool, fuzz: Optional[int], config_spec: Optional[str]
+) -> int:
+    """Run the sanitizer; exit 0 iff every audited invariant held.
+
+    The report (violations with obs-layer trace context, oracle
+    relations, fuzz outcomes) goes to stdout; per-stage progress flows
+    to stderr like every other diagnostic.
+    """
+    from .sanitize import run_check
+
+    t0 = time.perf_counter()
+    report = run_check(
+        quick=quick,
+        fuzz_cases=fuzz,
+        config_spec=config_spec,
+        progress=lambda msg: _log.info("%s", msg),
+    )
+    print(report.render())
+    _log.info("check took %.1fs", time.perf_counter() - t0)
+    return 0 if report.ok else 1
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Dispatch the ``repro trace`` sub-subcommands."""
     from .obs.trace import filter_events, read_trace, summarize_trace
@@ -499,6 +551,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "bench":
         return cmd_bench(args.workers, args.schemes, args.replications,
                          args.json)
+    if args.command == "check":
+        return cmd_check(args.quick, args.fuzz, args.config)
     if args.command == "trace":
         return cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

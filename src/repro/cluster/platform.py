@@ -82,6 +82,16 @@ class Platform:
         for sched in self.schedulers:
             sched.tracer = tracer
 
+    def attach_auditor(self, auditor) -> None:
+        """Attach a runtime invariant auditor to every scheduler.
+
+        ``auditor`` is a :class:`~repro.sanitize.auditor.InvariantAuditor`
+        (or any object with its scheduler-hook signatures); ``None``
+        detaches.
+        """
+        for sched in self.schedulers:
+            sched.auditor = auditor
+
     # -- outages -----------------------------------------------------------
 
     def begin_outage(self, index: int, drop_queue: bool = False):

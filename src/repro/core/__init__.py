@@ -24,10 +24,12 @@ from .experiment import run_single
 from .metrics import (
     BOUNDED_SLOWDOWN_TAU,
     MetricSummary,
+    RatioSummary,
     bounded_slowdown,
     mean_of_ratios,
     relative,
     stretch,
+    summarize_ratios,
 )
 from .results import ClusterOutcome, ExperimentResult, JobOutcome, merge_results
 from .parallel import SweepEngine, run_grid
@@ -73,6 +75,8 @@ __all__ = [
     "bounded_slowdown",
     "relative",
     "mean_of_ratios",
+    "RatioSummary",
+    "summarize_ratios",
     "BOUNDED_SLOWDOWN_TAU",
     "RedundancyScheme",
     "TargetSelector",

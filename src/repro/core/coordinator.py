@@ -109,6 +109,7 @@ class Coordinator:
         remote_inflation: float = 0.0,
         fault_injector: Optional[FaultInjector] = None,
         tracer=None,
+        auditor=None,
     ) -> None:
         if cancellation_latency < 0:
             raise ValueError(
@@ -124,6 +125,11 @@ class Coordinator:
         self.remote_inflation = remote_inflation
         self.fault_injector = fault_injector
         self.tracer = tracer
+        #: optional :class:`~repro.sanitize.auditor.InvariantAuditor`;
+        #: fed the protocol-side facts (lost cancellations, duplicate
+        #: starts) it needs to judge cancellation consistency.  ``None``
+        #: (the default) costs one attribute check per site.
+        self.auditor = auditor
         self.jobs: list[RedundantJob] = []
         #: requests that started despite a sibling winning first (late
         #: or lost cancellations); their node-seconds are pure waste
@@ -209,6 +215,8 @@ class Coordinator:
             # completes (we cannot cancel running jobs), but it
             # contributes nothing to the job's metrics.
             self.duplicate_starts.append(request)
+            if self.auditor is not None:
+                self.auditor.on_duplicate_start(self, job, request)
             return
         job.winner = request
         injector = self.fault_injector
@@ -265,6 +273,8 @@ class Coordinator:
                     request.cluster.cluster.index,
                     request.request_id, job.job_id,
                 )
+            if self.auditor is not None:
+                self.auditor.note_cancel_lost(request)
             return
         try:
             request.cluster.cancel(request, force=force)
@@ -276,6 +286,8 @@ class Coordinator:
                     request.cluster.cluster.index,
                     request.request_id, job.job_id,
                 )
+            if self.auditor is not None:
+                self.auditor.note_cancel_lost(request)
             return
         self._total_cancellations += 1
 

@@ -113,6 +113,7 @@ def run_single(
     replication: int = 0,
     check_invariants: bool = False,
     tracer=None,
+    auditor=None,
 ) -> ExperimentResult:
     """Run one replication of ``config`` and return its outcomes.
 
@@ -124,6 +125,12 @@ def run_single(
     coordinator.  The default ``None`` keeps tracing a strict no-op:
     no recorder is allocated, no RNG draws are added, and the simulated
     trajectory is bit-identical to an untraced run.
+
+    ``auditor`` optionally attaches a runtime invariant auditor (see
+    :class:`repro.sanitize.auditor.InvariantAuditor`) to the kernel,
+    every scheduler and the coordinator, and runs its end-of-run audit
+    after :meth:`~repro.core.coordinator.Coordinator.finalize`.  Same
+    strict-no-op discipline as ``tracer`` when ``None``.
     """
     t0 = time.perf_counter()
     factory = RngFactory(config.seed)
@@ -134,6 +141,9 @@ def run_single(
     )
     if tracer is not None:
         platform.attach_tracer(tracer)
+    if auditor is not None:
+        sim.auditor = auditor
+        platform.attach_auditor(auditor)
     params = _resolve_workload_params(config, factory, replication, node_counts)
     estimate_model = make_estimate_model(config.estimates)
     streams = generate_platform_streams(
@@ -169,6 +179,7 @@ def run_single(
         remote_inflation=config.remote_inflation,
         fault_injector=injector,
         tracer=tracer,
+        auditor=auditor,
     )
     if injector is not None:
         # Outages can only *begin* inside the submission window; an
@@ -188,6 +199,8 @@ def run_single(
     coordinator.finalize()
     t_simulated = time.perf_counter()
 
+    if auditor is not None:
+        auditor.final_check(platform, coordinator)
     if check_invariants:
         platform.check_invariants()
         coordinator.check_invariants()

@@ -14,10 +14,13 @@
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
+
+_log = logging.getLogger("repro.core.metrics")
 
 #: conventional bounded-slowdown threshold (Feitelson et al.)
 BOUNDED_SLOWDOWN_TAU = 10.0
@@ -110,15 +113,51 @@ def relative(value: float, baseline: float) -> float:
     return value / baseline
 
 
-def mean_of_ratios(pairs: Sequence[tuple[float, float]]) -> float:
-    """Average of per-experiment ratios (the paper's averaging order).
+@dataclass(frozen=True)
+class RatioSummary:
+    """Mean of paired ratios plus the accounting the mean alone hides."""
+
+    #: mean of the finite per-replication ratios (NaN when none survive)
+    mean: float
+    #: ratios that entered the mean
+    used: int
+    #: non-finite ratios (zero or NaN baselines) silently excluded before
+    #: this accounting existed
+    dropped: int
+
+
+def summarize_ratios(pairs: Sequence[tuple[float, float]]) -> RatioSummary:
+    """Mean of per-experiment ratios with explicit dropped-pair accounting.
 
     Each replication contributes ``scheme_metric / baseline_metric``;
     the figures report the mean of those paired ratios over 50
-    experiments, not the ratio of means.
+    experiments, not the ratio of means.  Pairs whose ratio is not
+    finite (a zero or NaN baseline) cannot enter the mean; they are
+    *counted* instead of vanishing, so a run where, say, half the
+    baselines degenerated cannot masquerade as a clean average.
     """
     ratios = [relative(v, b) for v, b in pairs]
     clean = [r for r in ratios if np.isfinite(r)]
-    if not clean:
-        return float("nan")
-    return float(np.mean(clean))
+    dropped = len(ratios) - len(clean)
+    mean = float(np.mean(clean)) if clean else float("nan")
+    return RatioSummary(mean=mean, used=len(clean), dropped=dropped)
+
+
+def mean_of_ratios(pairs: Sequence[tuple[float, float]]) -> float:
+    """Average of per-experiment ratios (the paper's averaging order).
+
+    Thin wrapper over :func:`summarize_ratios` that warns (on the
+    ``repro`` logger namespace) whenever non-finite ratios were dropped,
+    instead of silently filtering them.  Callers that need the counts
+    should use :func:`summarize_ratios` directly.
+    """
+    summary = summarize_ratios(pairs)
+    if summary.dropped:
+        _log.warning(
+            "mean_of_ratios: dropped %d of %d ratio(s) with zero or NaN "
+            "baselines; the mean covers the remaining %d pair(s)",
+            summary.dropped,
+            summary.dropped + summary.used,
+            summary.used,
+        )
+    return summary.mean

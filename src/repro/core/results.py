@@ -228,12 +228,19 @@ class ExperimentResult:
 
 
 def merge_results(results: Iterable[ExperimentResult]) -> list[ExperimentResult]:
-    """Materialise and sanity-check a replication collection."""
+    """Materialise and sanity-check a replication collection.
+
+    Rejects mixed configurations *and* duplicated replications: feeding
+    the same replication twice (a retry that was also kept, a cache
+    layer double-counting) would silently bias every mean the sweep
+    reports, so it is an error rather than a statistic.
+    """
     out = list(results)
     if not out:
         raise ValueError("no results to merge")
     first = out[0]
-    for r in out[1:]:
+    seen: set[tuple] = set()
+    for r in out:
         if (r.scheme, r.algorithm, r.n_clusters) != (
             first.scheme, first.algorithm, first.n_clusters
         ):
@@ -242,4 +249,12 @@ def merge_results(results: Iterable[ExperimentResult]) -> list[ExperimentResult]
                 f"{(r.scheme, r.algorithm, r.n_clusters)} vs "
                 f"{(first.scheme, first.algorithm, first.n_clusters)}"
             )
+        key = (r.scheme, r.algorithm, r.n_clusters, r.replication)
+        if key in seen:
+            raise ValueError(
+                f"duplicate replication in merge: (scheme={r.scheme}, "
+                f"algorithm={r.algorithm}, n_clusters={r.n_clusters}, "
+                f"replication={r.replication}) appears more than once"
+            )
+        seen.add(key)
     return out

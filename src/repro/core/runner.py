@@ -27,7 +27,7 @@ _log = logging.getLogger("repro.core.runner")
 
 from .cache import ResultCache
 from .config import ExperimentConfig
-from .metrics import mean_of_ratios
+from .metrics import summarize_ratios
 from .parallel import GridStats, run_grid
 from .results import ExperimentResult
 
@@ -80,6 +80,10 @@ class RelativeMetrics:
     worst_avg_stretch: float
     #: standard deviation of the per-replication stretch ratios
     avg_stretch_ratio_std: float
+    #: paired ratios excluded from the means because the baseline value
+    #: was zero or NaN (summed over the four ratio metrics; 0 = every
+    #: replication contributed everywhere)
+    dropped_ratios: int = 0
 
 
 @dataclass
@@ -98,24 +102,35 @@ class SchemeComparison:
         ratios = [
             r.avg_stretch / b.avg_stretch for r, b in zip(results, base)
         ]
+        avg = summarize_ratios(
+            [(r.avg_stretch, b.avg_stretch) for r, b in zip(results, base)]
+        )
+        cv = summarize_ratios(
+            [(r.cv_stretch, b.cv_stretch) for r, b in zip(results, base)]
+        )
+        mx = summarize_ratios(
+            [(r.max_stretch, b.max_stretch) for r, b in zip(results, base)]
+        )
+        turnaround = summarize_ratios(
+            [(r.avg_turnaround, b.avg_turnaround) for r, b in zip(results, base)]
+        )
+        dropped = avg.dropped + cv.dropped + mx.dropped + turnaround.dropped
+        if dropped:
+            _log.warning(
+                "scheme %s: %d paired ratio(s) had zero/NaN baselines and "
+                "were excluded from the relative metrics", scheme, dropped,
+            )
         return RelativeMetrics(
             scheme=scheme,
             n_replications=len(results),
-            avg_stretch=mean_of_ratios(
-                [(r.avg_stretch, b.avg_stretch) for r, b in zip(results, base)]
-            ),
-            cv_stretch=mean_of_ratios(
-                [(r.cv_stretch, b.cv_stretch) for r, b in zip(results, base)]
-            ),
-            max_stretch=mean_of_ratios(
-                [(r.max_stretch, b.max_stretch) for r, b in zip(results, base)]
-            ),
-            avg_turnaround=mean_of_ratios(
-                [(r.avg_turnaround, b.avg_turnaround) for r, b in zip(results, base)]
-            ),
+            avg_stretch=avg.mean,
+            cv_stretch=cv.mean,
+            max_stretch=mx.mean,
+            avg_turnaround=turnaround.mean,
             win_fraction=float(np.mean([r < 1.0 for r in ratios])),
             worst_avg_stretch=float(np.max(ratios)),
             avg_stretch_ratio_std=float(np.std(ratios)),
+            dropped_ratios=dropped,
         )
 
     def all_relative(self) -> dict[str, RelativeMetrics]:

@@ -73,6 +73,19 @@ MANIFEST_FILENAME = "manifest.json"
 RawEvent = "tuple[float, str, int, int, int]"
 
 
+def format_event(event: "tuple[float, str, int, int, int]") -> str:
+    """One aligned, human-readable line for a raw event tuple.
+
+    Shared by trace summaries and the sanitizer's violation reports so
+    trace context renders identically everywhere.
+    """
+    t, etype, cluster, request, job = event
+    return (
+        f"t={t:<12.3f} {etype:<14} cluster={cluster} "
+        f"request={request} job={job}"
+    )
+
+
 class TraceRecorder:
     """Collects lifecycle events for one simulated run.
 

@@ -1,0 +1,232 @@
+"""The ``repro check`` orchestrator: audit, differentiate, fuzz, report.
+
+Three stages, each independently reportable:
+
+1. **audited suite** — the seed registry's configuration space (all
+   three algorithms x redundancy schemes, a faults environment matching
+   the ``faults`` experiment, positive cancellation latency, and — at
+   full scale — heterogeneous platforms and eager CBF compression) runs
+   with the invariant auditor armed in collect mode;
+2. **differential oracle** — FCFS/EASY/CBF cross-checks on >= 3 seeds
+   (:mod:`repro.sanitize.oracle`);
+3. **fuzz** — randomized small scenarios (:mod:`repro.sanitize.fuzz`),
+   budget-bounded for CI via ``--quick`` / ``--fuzz N``.
+
+Violations are rendered with the obs-layer trace context captured at
+the offending event, so a red check pinpoints *what the simulation was
+doing*, not just which invariant tripped.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+from ..core.config import ExperimentConfig
+from ..faults import FaultConfig
+from ..obs.log import get_logger
+from .auditor import Violation, run_single_audited
+from .fuzz import DEFAULT_FUZZ_SEED, FuzzReport, run_fuzz
+from .oracle import OracleReport, run_differential_oracle
+
+_log = get_logger("sanitize.check")
+
+#: fuzz budgets when ``--fuzz`` is not given
+QUICK_FUZZ_CASES = 8
+FULL_FUZZ_CASES = 25
+
+#: the faults environment audited by the suite — the same shape as the
+#: registry ``faults`` experiment's non-trivial cells (loss + delay +
+#: queue-dropping outages)
+SUITE_FAULTS = FaultConfig(
+    p_cancel_loss=0.3,
+    cancel_delay_mean=30.0,
+    cancel_delay_distribution="exponential",
+    outage_rate=2.0,
+    outage_duration=300.0,
+    outage_drop_queue=True,
+    resubmit_policy="resubmit",
+)
+
+
+def suite_configs(quick: bool) -> list[ExperimentConfig]:
+    """The audited configuration suite (a compressed registry cross-section)."""
+    base = ExperimentConfig(
+        n_clusters=3 if quick else 5,
+        nodes_per_cluster=16 if quick else 32,
+        duration=300.0 if quick else 900.0,
+        offered_load=2.0,
+        drain=True,
+        seed=20060619,
+    )
+    schemes = ("NONE", "R2") if quick else ("NONE", "R2", "ALL")
+    configs = [
+        base.with_(algorithm=algorithm, scheme=scheme)
+        for algorithm in ("fcfs", "easy", "cbf")
+        for scheme in schemes
+    ]
+    # The faults experiment's environment, and the latency ablation.
+    configs.append(base.with_(scheme="R2", faults=SUITE_FAULTS))
+    configs.append(base.with_(scheme="R2", cancellation_latency=30.0))
+    if not quick:
+        configs.append(
+            base.with_(algorithm="cbf", scheme="ALL", faults=SUITE_FAULTS)
+        )
+        configs.append(base.with_(scheme="R2", heterogeneous=True))
+        configs.append(
+            base.with_(
+                algorithm="cbf", scheme="R2", cbf_compress_interval=0.0
+            )
+        )
+        configs.append(base.with_(scheme="R2", estimates="phi"))
+    return configs
+
+
+def config_from_spec(spec: str) -> ExperimentConfig:
+    """Build a config from an inline JSON object or a JSON file path.
+
+    Keys are :class:`~repro.core.config.ExperimentConfig` fields; a
+    ``faults`` object is converted to a
+    :class:`~repro.faults.FaultConfig`.  Unspecified fields take the
+    audited suite's defaults (small drained platform, calibrated load).
+    """
+    text = spec.strip()
+    if not text.startswith(("{", "[")):
+        text = Path(spec).read_text()
+    overrides = json.loads(text)
+    if not isinstance(overrides, dict):
+        raise ValueError(f"--config must be a JSON object, got {spec!r}")
+    if isinstance(overrides.get("faults"), dict):
+        overrides["faults"] = FaultConfig(**overrides["faults"])
+    if isinstance(overrides.get("nodes_per_cluster"), list):
+        overrides["nodes_per_cluster"] = tuple(overrides["nodes_per_cluster"])
+    defaults = dict(
+        n_clusters=3,
+        nodes_per_cluster=16,
+        duration=300.0,
+        offered_load=2.0,
+        drain=True,
+        seed=20060619,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+@dataclass(frozen=True)
+class SuiteFailure:
+    """One audited-suite config that violated an invariant (or crashed)."""
+
+    config: str
+    error: Optional[str]
+    violations: tuple = ()
+
+    def describe(self) -> str:
+        if self.error is not None:
+            return f"{self.config}\n  crashed: {self.error}"
+        lines = [self.config]
+        lines.extend(
+            "  " + v.describe().replace("\n", "\n  ") for v in self.violations
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class CheckReport:
+    """Everything ``repro check`` found, ready to render or inspect."""
+
+    quick: bool
+    suite_size: int = 0
+    suite_failures: list[SuiteFailure] = field(default_factory=list)
+    oracle: Optional[OracleReport] = None
+    fuzz: Optional[FuzzReport] = None
+    #: individual auditor checks evaluated across every stage
+    checks: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.suite_failures
+            and (self.oracle is None or self.oracle.ok)
+            and (self.fuzz is None or self.fuzz.ok)
+        )
+
+    def render(self) -> str:
+        lines = [
+            f"repro check ({'quick' if self.quick else 'full'}): "
+            f"{self.checks} invariant checks"
+        ]
+        lines.append(
+            f"audited suite: {self.suite_size} config(s), "
+            f"{len(self.suite_failures)} failure(s)"
+        )
+        for failure in self.suite_failures:
+            lines.append("  " + failure.describe().replace("\n", "\n  "))
+        if self.oracle is not None:
+            lines.append(self.oracle.render())
+        if self.fuzz is not None:
+            lines.append(self.fuzz.render())
+        lines.append("PASS" if self.ok else "FAIL")
+        return "\n".join(lines)
+
+
+def run_check(
+    quick: bool = False,
+    fuzz_cases: Optional[int] = None,
+    config_spec: Optional[str] = None,
+    fuzz_seed: int = DEFAULT_FUZZ_SEED,
+    progress: Optional[Callable[[str], None]] = None,
+) -> CheckReport:
+    """Run the sanitizer (suite + oracle + fuzz) and report.
+
+    ``config_spec`` (inline JSON or a JSON file path) replaces the
+    audited suite with that single configuration — the debugging entry
+    point; the oracle and fuzz stages are skipped.  ``fuzz_cases=0``
+    skips fuzzing.
+    """
+    note = progress if progress is not None else (lambda msg: _log.info("%s", msg))
+    report = CheckReport(quick=quick)
+
+    if config_spec is not None:
+        configs = [config_from_spec(config_spec)]
+    else:
+        configs = suite_configs(quick)
+    report.suite_size = len(configs)
+    for cfg in configs:
+        note(f"auditing: {cfg.describe()}")
+        try:
+            _, auditor = run_single_audited(cfg, mode="collect")
+        except Exception as exc:  # noqa: BLE001 - a crash is a finding
+            report.suite_failures.append(
+                SuiteFailure(config=cfg.describe(), error=repr(exc))
+            )
+            continue
+        report.checks += auditor.checks
+        if not auditor.ok:
+            report.suite_failures.append(SuiteFailure(
+                config=cfg.describe(),
+                error=None,
+                violations=tuple(auditor.violations),
+            ))
+    if config_spec is not None:
+        return report
+
+    oracle_base = ExperimentConfig(
+        n_clusters=3,
+        nodes_per_cluster=16,
+        duration=300.0 if quick else 600.0,
+        offered_load=1.5,
+        drain=True,
+    )
+    report.oracle = run_differential_oracle(oracle_base, progress=progress)
+    report.checks += report.oracle.checks
+
+    if fuzz_cases is None:
+        fuzz_cases = QUICK_FUZZ_CASES if quick else FULL_FUZZ_CASES
+    if fuzz_cases > 0:
+        report.fuzz = run_fuzz(
+            fuzz_cases, master_seed=fuzz_seed, progress=progress
+        )
+        report.checks += report.fuzz.checks
+    return report

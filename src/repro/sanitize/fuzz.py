@@ -1,0 +1,151 @@
+"""Seeded fuzzing: random small scenarios swept with the auditor armed.
+
+Each fuzz case is a deterministic function of ``(master_seed, index)``:
+a small random platform (1-4 clusters, 8-32 nodes), a random algorithm,
+scheme, load, estimate regime, cancellation latency and — in a third of
+the cases — a random fault environment.  Every case runs to completion
+with the :class:`~repro.sanitize.auditor.InvariantAuditor` in collect
+mode; any violation (or crash) is reported with enough detail to replay
+the exact case: ``fuzz_case_config(master_seed, index)`` rebuilds it.
+
+The ``hypothesis``-driven twin of this harness lives in
+``tests/sanitize/`` — this module is dependency-free so ``repro check``
+can fuzz in environments without hypothesis installed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..core.config import ExperimentConfig
+from ..faults import FaultConfig
+from .auditor import Violation, run_single_audited
+
+#: default master seed for ``repro check`` fuzzing
+DEFAULT_FUZZ_SEED = 20060619
+
+
+def fuzz_case_config(master_seed: int, index: int) -> ExperimentConfig:
+    """Build fuzz case ``index`` — a pure function of the two seeds."""
+    rng = np.random.default_rng([master_seed, index])
+    n_clusters = int(rng.integers(1, 5))
+    nodes = tuple(int(rng.choice((8, 16, 32))) for _ in range(n_clusters))
+    algorithm = str(rng.choice(("fcfs", "easy", "cbf")))
+    schemes = ("NONE",) if n_clusters == 1 else ("NONE", "R2", "R3", "ALL")
+    scheme = str(rng.choice(schemes))
+    faults = None
+    if rng.random() < 1 / 3:
+        faults = FaultConfig(
+            p_cancel_loss=float(rng.choice((0.0, 0.1, 0.3))),
+            cancel_delay_mean=float(rng.choice((0.0, 20.0))),
+            outage_rate=float(rng.choice((0.0, 2.0, 6.0))),
+            outage_duration=120.0,
+            outage_drop_queue=bool(rng.integers(0, 2)),
+            resubmit_policy=str(rng.choice(("resubmit", "abandon"))),
+        )
+        if not faults.enabled:
+            faults = None
+    compress = None
+    if algorithm == "cbf":
+        compress = [None, None, 0.0, 120.0][int(rng.integers(0, 4))]
+    return ExperimentConfig(
+        n_clusters=n_clusters,
+        nodes_per_cluster=nodes,
+        algorithm=algorithm,
+        scheme=scheme,
+        adoption_probability=float(rng.choice((1.0, 0.5))),
+        duration=float(rng.uniform(150.0, 600.0)),
+        drain=True,
+        # Discrete load levels so the memoised load calibration is shared
+        # across cases (a continuous draw would refit per case).
+        offered_load=float(rng.choice((0.8, 1.2, 1.6, 2.0, 2.5))),
+        estimates=str(rng.choice(("exact", "phi"))),
+        cancellation_latency=float(rng.choice((0.0, 0.0, 5.0, 30.0))),
+        faults=faults,
+        cbf_compress_interval=compress,
+        seed=int(rng.integers(0, 2**31)),
+    )
+
+
+@dataclass(frozen=True)
+class FuzzFailure:
+    """One fuzz case that violated an invariant (or crashed)."""
+
+    index: int
+    config: str
+    #: exception text when the run itself crashed, else ``None``
+    error: Optional[str]
+    violations: tuple = ()
+
+    def describe(self) -> str:
+        head = f"case {self.index}: {self.config}"
+        if self.error is not None:
+            return f"{head}\n  crashed: {self.error}"
+        lines = [head]
+        lines.extend(
+            "  " + v.describe().replace("\n", "\n  ") for v in self.violations
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one fuzz sweep."""
+
+    master_seed: int
+    n_cases: int
+    failures: list[FuzzFailure] = field(default_factory=list)
+    #: individual auditor checks evaluated across all cases
+    checks: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        lines = [
+            f"fuzz: {self.n_cases} case(s), master seed {self.master_seed}, "
+            f"{self.checks} auditor checks"
+        ]
+        if self.ok:
+            lines.append("  no violations")
+        else:
+            lines.append(f"  {len(self.failures)} failing case(s):")
+            lines.extend(
+                "  " + f.describe().replace("\n", "\n  ")
+                for f in self.failures
+            )
+        return "\n".join(lines)
+
+
+def run_fuzz(
+    n_cases: int,
+    master_seed: int = DEFAULT_FUZZ_SEED,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Run ``n_cases`` auditor-armed fuzz cases; report every failure."""
+    report = FuzzReport(master_seed=master_seed, n_cases=n_cases)
+    for index in range(n_cases):
+        config = fuzz_case_config(master_seed, index)
+        if progress is not None:
+            progress(f"fuzz case {index + 1}/{n_cases}: {config.describe()}")
+        try:
+            _, auditor = run_single_audited(config, mode="collect")
+        except Exception as exc:  # noqa: BLE001 - any crash is a finding
+            report.failures.append(FuzzFailure(
+                index=index, config=config.describe(), error=repr(exc),
+            ))
+            continue
+        report.checks += auditor.checks
+        if not auditor.ok:
+            violations: tuple[Violation, ...] = tuple(auditor.violations)
+            report.failures.append(FuzzFailure(
+                index=index,
+                config=config.describe(),
+                error=None,
+                violations=violations,
+            ))
+    return report

@@ -1,0 +1,177 @@
+"""Differential scheduler oracle: cross-check FCFS, EASY and CBF.
+
+The auditor (:mod:`repro.sanitize.auditor`) checks each scheduler
+against its *own* rules; the oracle checks the three algorithms against
+*each other*.  The same seeded workload (common random numbers — the
+job stream depends only on ``(seed, replication, cluster)``, never on
+the algorithm) is run under FCFS, EASY and CBF with no redundancy, and
+these relations must hold:
+
+``completed-set``
+    With ``drain=True`` and no redundancy, every algorithm must
+    complete exactly the same set of jobs (scheduling changes *when*
+    jobs run, never *whether* they run).
+``easy-wait-le-fcfs``
+    EASY is FCFS plus backfilling into slots FCFS provably leaves idle
+    (the head request is protected by its shadow reservation), so the
+    average queue wait under EASY must not exceed FCFS's.
+``cbf-prediction``
+    CBF's at-submit reservation is a guaranteed *latest* start: no job
+    may start after its predicted wait (backfilling and compression
+    only move starts earlier).
+
+Every run also executes with the invariant auditor armed, so a
+violation of the per-scheduler rules surfaces here too (as
+``auditor:<kind>`` findings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..core.config import ExperimentConfig
+from ..core.results import ExperimentResult
+from .auditor import run_single_audited
+
+#: master seeds the oracle sweeps by default (>= 3 independent workloads)
+DEFAULT_ORACLE_SEEDS = (20060619, 777, 424242)
+
+#: the algorithms under differential test, in comparison order
+ORACLE_ALGORITHMS = ("fcfs", "easy", "cbf")
+
+#: relative + absolute slack for cross-algorithm float comparisons
+_REL_EPS = 1e-9
+_ABS_EPS = 1e-6
+
+
+@dataclass(frozen=True)
+class OracleFinding:
+    """One violated cross-scheduler relation (or forwarded audit hit)."""
+
+    seed: int
+    relation: str
+    message: str
+
+    def describe(self) -> str:
+        return f"[{self.relation}] seed={self.seed}: {self.message}"
+
+
+@dataclass
+class OracleReport:
+    """Outcome of one differential-oracle sweep."""
+
+    seeds: tuple
+    findings: list[OracleFinding] = field(default_factory=list)
+    #: per-(seed, algorithm) summary rows: (seed, algorithm, jobs, avg_wait)
+    runs: list[tuple] = field(default_factory=list)
+    #: individual auditor checks evaluated across all runs
+    checks: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def render(self) -> str:
+        lines = [
+            f"differential oracle: {len(self.seeds)} seed(s) x "
+            f"{len(ORACLE_ALGORITHMS)} algorithms, "
+            f"{self.checks} auditor checks"
+        ]
+        for seed, algorithm, jobs, avg_wait in self.runs:
+            lines.append(
+                f"  seed={seed:<10} {algorithm:<5} jobs={jobs:<5} "
+                f"avg_wait={avg_wait:.1f}s"
+            )
+        if self.ok:
+            lines.append("  all cross-scheduler relations hold")
+        else:
+            lines.append(f"  {len(self.findings)} violation(s):")
+            lines.extend(f"  {f.describe()}" for f in self.findings)
+        return "\n".join(lines)
+
+
+def _avg_wait(result: ExperimentResult) -> float:
+    waits = [j.start_time - j.submit_time for j in result.jobs]
+    return sum(waits) / len(waits) if waits else 0.0
+
+
+def run_differential_oracle(
+    base_config: Optional[ExperimentConfig] = None,
+    seeds: Sequence[int] = DEFAULT_ORACLE_SEEDS,
+    progress: Optional[Callable[[str], None]] = None,
+) -> OracleReport:
+    """Run the oracle over ``seeds`` and return what (if anything) broke.
+
+    ``base_config`` supplies the platform/workload shape; the oracle
+    forces the relations' preconditions (``scheme="NONE"``,
+    ``drain=True``, no faults, zero cancellation latency) and sweeps
+    ``algorithm`` itself.
+    """
+    if base_config is None:
+        base_config = ExperimentConfig(
+            n_clusters=3,
+            nodes_per_cluster=16,
+            duration=600.0,
+            offered_load=1.5,
+            drain=True,
+        )
+    base_config = base_config.with_(
+        scheme="NONE", drain=True, faults=None, cancellation_latency=0.0
+    )
+    report = OracleReport(seeds=tuple(seeds))
+    for seed in seeds:
+        results: dict[str, ExperimentResult] = {}
+        for algorithm in ORACLE_ALGORITHMS:
+            cfg = base_config.with_(seed=seed, algorithm=algorithm)
+            if progress is not None:
+                progress(f"oracle: seed={seed} algorithm={algorithm}")
+            result, auditor = run_single_audited(cfg, mode="collect")
+            report.checks += auditor.checks
+            for v in auditor.violations:
+                report.findings.append(
+                    OracleFinding(seed, f"auditor:{v.kind}", v.describe())
+                )
+            results[algorithm] = result
+            report.runs.append(
+                (seed, algorithm, len(result.jobs), _avg_wait(result))
+            )
+
+        # completed-set: same jobs complete under every algorithm.
+        reference = {j.job_id for j in results["fcfs"].jobs}
+        for algorithm in ORACLE_ALGORITHMS[1:]:
+            completed = {j.job_id for j in results[algorithm].jobs}
+            if completed != reference:
+                only_ref = sorted(reference - completed)[:5]
+                only_alg = sorted(completed - reference)[:5]
+                report.findings.append(OracleFinding(
+                    seed,
+                    "completed-set",
+                    f"fcfs and {algorithm} completed different job sets "
+                    f"(fcfs-only: {only_ref}, {algorithm}-only: {only_alg})",
+                ))
+
+        # easy-wait-le-fcfs: backfilling must not hurt the average wait.
+        fcfs_wait = _avg_wait(results["fcfs"])
+        easy_wait = _avg_wait(results["easy"])
+        if easy_wait > fcfs_wait * (1 + _REL_EPS) + _ABS_EPS:
+            report.findings.append(OracleFinding(
+                seed,
+                "easy-wait-le-fcfs",
+                f"EASY average wait {easy_wait:.3f}s exceeds FCFS's "
+                f"{fcfs_wait:.3f}s",
+            ))
+
+        # cbf-prediction: no start later than the at-submit guarantee.
+        for job in results["cbf"].jobs:
+            if job.predicted_wait_local is None:
+                continue
+            actual_wait = job.start_time - job.submit_time
+            if actual_wait > job.predicted_wait_local + _ABS_EPS:
+                report.findings.append(OracleFinding(
+                    seed,
+                    "cbf-prediction",
+                    f"job {job.job_id} waited {actual_wait:.3f}s, past its "
+                    f"predicted {job.predicted_wait_local:.3f}s",
+                ))
+    return report

@@ -17,7 +17,12 @@ Each scheduler manages a single queue with no request priorities
   :class:`~repro.obs.trace.TraceRecorder` is attached (``tracer``
   attribute), every queue/start/cancel/complete/outage transition is
   emitted as a typed event.  With no recorder attached (the default)
-  each hook site costs one attribute check and nothing else.
+  each hook site costs one attribute check and nothing else;
+* optional runtime auditing: an attached
+  :class:`~repro.sanitize.auditor.InvariantAuditor` (``auditor``
+  attribute) re-derives and checks capacity, ordering and reservation
+  invariants after every transition, under the same
+  zero-overhead-when-off discipline.
 
 Performance note: the paper's workload is an *overloaded* peak-hour
 stream (queues grow by ~700 requests/hour, Section 4.1), so queues reach
@@ -112,6 +117,10 @@ class Scheduler(abc.ABC):
         #: optional lifecycle-event recorder (``None`` = tracing off;
         #: see :mod:`repro.obs.trace`)
         self.tracer = None
+        #: optional invariant auditor (``None`` = auditing off; see
+        #: :mod:`repro.sanitize.auditor`) — same zero-overhead hook
+        #: discipline as ``tracer``
+        self.auditor = None
         self._start_callbacks: list[StartCallback] = []
         self._pass_pending = False
         self._pending_count = 0
@@ -183,6 +192,8 @@ class Scheduler(abc.ABC):
         if self.tracer is not None:
             self._emit("queue", request)
         self._on_submit(request)
+        if self.auditor is not None:
+            self.auditor.after_submit(self, request)
         self._request_pass()
 
     def cancel(self, request: Request, force: bool = False) -> None:
@@ -218,6 +229,8 @@ class Scheduler(abc.ABC):
         if self.tracer is not None:
             self._emit("cancel_applied", request)
         self._on_cancel(request)
+        if self.auditor is not None:
+            self.auditor.after_cancel(self, request)
         self._request_pass()
 
     # -- outages -----------------------------------------------------------
@@ -237,6 +250,8 @@ class Scheduler(abc.ABC):
         self.down = True
         if self.tracer is not None:
             self._emit("outage_down")
+        if self.auditor is not None:
+            self.auditor.note_outage(self)
         dropped: list[Request] = []
         if drop_queue:
             for request in self.queue:
@@ -249,6 +264,8 @@ class Scheduler(abc.ABC):
                     # Route through the cancel hook so subclasses release
                     # per-request state (CBF reservations/profile windows).
                     self._on_cancel(request)
+                    if self.auditor is not None:
+                        self.auditor.after_cancel(self, request)
             self.queue = []
             self._pending_count = 0
             self.stats.dropped += len(dropped)
@@ -328,6 +345,8 @@ class Scheduler(abc.ABC):
             # Nothing started: tighten the guard so the next no-op
             # instants are skipped in O(1).
             self._tighten_min_nodes()
+        if self.auditor is not None:
+            self.auditor.after_pass(self)
         self.stats.observe_queue(self.sim.now, self._pending_count)
 
     def _start(self, request: Request) -> None:
@@ -348,6 +367,8 @@ class Scheduler(abc.ABC):
         self.stats.started += 1
         if self.tracer is not None:
             self._emit("start", request)
+        if self.auditor is not None:
+            self.auditor.after_start(self, request)
         self.sim.at(
             self.sim.now + request.runtime,
             partial(self._finish, request),
@@ -372,6 +393,8 @@ class Scheduler(abc.ABC):
         if self.tracer is not None:
             self._emit("complete", request)
         self._on_finish(request)
+        if self.auditor is not None:
+            self.auditor.after_finish(self, request)
         self._request_pass()
 
     # -- invariants (exercised heavily by tests) -----------------------------

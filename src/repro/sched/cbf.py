@@ -28,8 +28,10 @@ may legally reserve ahead of older, later reservations.  This matches
 deployed conservative schedulers, keeps every operation O(local profile
 scan) in the paper's heavily overloaded regime, and can only make
 requests start *earlier* than their guaranteed reservation.  An optional
-``compress_interval`` restores periodic full recomputation for
-ablations (exact textbook CBF at ``compress_interval=0``).
+``compress_interval`` restores periodic compression for ablations
+(textbook CBF with eager compression at ``compress_interval=0``);
+compression re-places each reservation with all others held fixed, so
+it too can only move starts earlier.
 """
 
 from __future__ import annotations
@@ -86,6 +88,11 @@ class CBFScheduler(Scheduler):
         self._last_compress = sim.now
         self.compressions = 0
 
+    @property
+    def profile(self) -> Profile:
+        """The availability profile (read-only view for audit tooling)."""
+        return self._profile
+
     # -- event hooks -----------------------------------------------------
 
     def _on_submit(self, request: Request) -> None:
@@ -135,7 +142,10 @@ class CBFScheduler(Scheduler):
             if start > now:
                 break
             heapq.heappop(self._due)
-            self._start_at_reservation(req)
+            if start == now:
+                self._start_at_reservation(req)
+            else:
+                self._restore_overdue(req)
 
         # 2. Backfill: submit-order scan over pending requests, starting
         #    any that provably delay no reservation.
@@ -167,6 +177,35 @@ class CBFScheduler(Scheduler):
         # The reservation window becomes the running hold verbatim; the
         # profile does not change.
         self._start(request)
+
+    def _restore_overdue(self, request: Request) -> None:
+        """Re-place a reservation that came due while the daemon was down.
+
+        Passes are suspended during an outage, so a reservation can be
+        strictly in the past by the time the daemon recovers.  Starting
+        it verbatim would create a hold ending at ``now + requested``
+        while the profile only accounts for ``reserved_start +
+        requested`` — the difference silently oversubscribes the profile
+        tail and later surfaces as a "profile leak".  Instead the stale
+        window is released and the request re-placed at its earliest
+        feasible time (starting immediately when that is ``now``).
+        """
+        now = self.sim.now
+        rs = request.reserved_start
+        d = request.requested_time
+        if rs + d > now:
+            # Only the future part matters: queries never look back and
+            # trim() discards the past remainder.
+            self._profile.adjust(now, rs + d, +request.nodes)
+        start = self._profile.find_start(request.nodes, d, now)
+        if start == now:
+            self._profile.adjust(now, now + d, -request.nodes)
+            request.reserved_start = now
+            self._start(request)
+        else:
+            self._profile.reserve(start, d, request.nodes)
+            request.reserved_start = start
+            heapq.heappush(self._due, (start, request.request_id, request))
 
     def _start_early(self, request: Request) -> None:
         """Start a request before its reservation (backfill)."""
@@ -206,7 +245,17 @@ class CBFScheduler(Scheduler):
             # Tracked cancellation: the engine counts the tombstone and
             # compacts the heap when dead timers start to dominate.
             self.sim.cancel(self._timer)
-        self._timer = self.sim.at(t, self._request_pass, EventPriority.CONTROL)
+        self._timer = self.sim.at(t, self._timer_fired, EventPriority.CONTROL)
+
+    def _timer_fired(self) -> None:
+        # Drop the handle before requesting the pass: a fired event is
+        # never marked ``cancelled``, so keeping it would make every
+        # later ``_arm_timer`` call see a "pending" wake-up at a time in
+        # the past and suppress re-arming — after the first firing, due
+        # reservations would then only start when an unrelated
+        # finish/submit/cancel happened to trigger a pass (i.e. late).
+        self._timer = None
+        self._request_pass()
 
     # -- base-class guard ----------------------------------------------------
 
@@ -229,27 +278,38 @@ class CBFScheduler(Scheduler):
         )
 
     def compress(self) -> None:
-        """Recompute all reservations from scratch in submission order.
+        """Move reservations earlier where freed capacity allows.
 
-        Order-preserving re-insertion can only move reservations earlier,
-        so no request is ever delayed relative to its guarantee.
+        Each pending request is removed from the live profile and
+        re-inserted at its earliest feasible time, in submission order,
+        while every *other* reservation stays in place.  Because a
+        request's own window is freed before the search, its old slot is
+        always still feasible, so a reservation can only move earlier —
+        the at-submit guarantee survives compression.
+
+        (A from-scratch greedy rebuild does *not* have this property:
+        re-placing an earlier-submitted request into a freed gap can
+        consume the very window a later request's reservation sat in,
+        pushing the later request past its guaranteed start.)
         """
         now = self.sim.now
-        total = self.cluster.total_nodes
-        prof = Profile(now, total, total)
-        for run in self.running:
-            end = run.expected_end
-            if end > now:
-                prof.adjust(now, end, -run.nodes)
-        self._due = []
+        origin = self._profile.times[0]
         for req in self.queue:
             if not req.is_pending:
                 continue
-            start = prof.find_start(req.nodes, req.requested_time, now)
-            prof.reserve(start, req.requested_time, req.nodes)
-            req.reserved_start = start
-            heapq.heappush(self._due, (start, req.request_id, req))
-        self._profile = prof
+            rs = req.reserved_start
+            d = req.requested_time
+            release_from = rs if rs > origin else origin
+            if rs + d > release_from:
+                self._profile.adjust(release_from, rs + d, +req.nodes)
+            # With rs >= now the freed slot guarantees find_start <= rs;
+            # rs < now only after an outage, where the request is simply
+            # re-placed from now (its guarantee is already void).
+            start = self._profile.find_start(req.nodes, d, now)
+            self._profile.reserve(start, d, req.nodes)
+            if start != rs:
+                req.reserved_start = start
+                heapq.heappush(self._due, (start, req.request_id, req))
         self._dirty = False
         self._last_compress = now
         self.compressions += 1

@@ -96,6 +96,12 @@ class EASYScheduler(Scheduler):
                 if finishes_in_time or within_extra:
                     self._start(req)
                     self.stats.backfilled += 1
+                    if self.auditor is not None:
+                        # Legality: recomputed from the post-start state,
+                        # the head's shadow time must not have moved later.
+                        self.auditor.check_easy_backfill(
+                            self, head, req, shadow
+                        )
                     started = True
                     break
             if not started:

@@ -27,3 +27,12 @@ class FCFSScheduler(Scheduler):
                 break
             self.queue.pop(0)
             self._start(head)
+
+    def check_invariants(self) -> None:
+        super().check_invariants()
+        # FCFS never reorders: the pending queue must remain sorted by
+        # (submission time, request id).
+        keys = [
+            (r.submitted_at, r.request_id) for r in self.queue if r.is_pending
+        ]
+        assert keys == sorted(keys), f"{self.name}: queue out of FCFS order"

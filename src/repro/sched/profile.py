@@ -209,19 +209,22 @@ class Profile:
         j = i
         while j < n and (j == i or self.times[j] < end):
             seg_start = start if j == i else self.times[j]
-            avail = self.free[j]
-            if bonus is not None:
+            seg_end = self.times[j + 1] if j + 1 < n else math.inf
+            win_end = seg_end if seg_end < end else end
+            if self.free[j] < nodes:
+                # The base profile is short over [seg_start, win_end);
+                # only the bonus window can bridge the deficit, and only
+                # where it applies.  Splitting the sub-window at the
+                # bonus edges, every uncovered piece keeps the base
+                # availability — so feasibility requires the bonus to
+                # cover the *whole* sub-window and to be large enough.
+                if bonus is None:
+                    return False
                 b_start, b_end, b_nodes = bonus
-                seg_end = self.times[j + 1] if j + 1 < n else math.inf
-                # The bonus applies where the segment overlaps the window.
-                if b_start < min(seg_end, end) and b_end > seg_start:
-                    if b_start <= seg_start and b_end >= min(seg_end, end):
-                        avail += b_nodes
-                    else:
-                        # Partial overlap: be conservative, no bonus.
-                        pass
-            if avail < nodes:
-                return False
+                if b_start > seg_start or b_end < win_end:
+                    return False
+                if self.free[j] + b_nodes < nodes:
+                    return False
             j += 1
         return True
 
@@ -272,10 +275,28 @@ class Profile:
         return list(zip(self.times, self.free))
 
     def check_invariants(self) -> None:
-        """Assert representation invariants (used by tests)."""
-        assert len(self.times) == len(self.free)
-        assert all(a < b for a, b in zip(self.times, self.times[1:])), "times sorted"
-        assert all(0 <= f <= self.total_nodes for f in self.free), "bounds"
+        """Verify representation invariants; raise on any breakage.
+
+        Explicit raises rather than ``assert`` so the runtime auditor
+        (which calls this on every CBF pass) keeps its teeth under
+        ``python -O``.
+        """
+        if len(self.times) != len(self.free):
+            raise ProfileError(
+                f"times/free length mismatch: {len(self.times)} != "
+                f"{len(self.free)}"
+            )
+        for a, b in zip(self.times, self.times[1:]):
+            if not a < b:
+                raise ProfileError(
+                    f"breakpoints not strictly increasing: {a} >= {b}"
+                )
+        for t, f in zip(self.times, self.free):
+            if not 0 <= f <= self.total_nodes:
+                raise ProfileError(
+                    f"availability {f} at t={t} outside "
+                    f"[0, {self.total_nodes}]"
+                )
 
     def __len__(self) -> int:
         return len(self.times)

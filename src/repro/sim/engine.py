@@ -61,6 +61,10 @@ class Simulator:
         #: heap compaction sweeps performed (observability counter; the
         #: metrics registry surfaces it per run)
         self.compactions: int = 0
+        #: optional invariant auditor (``None`` = auditing off; see
+        #: :mod:`repro.sanitize.auditor`).  With no auditor attached the
+        #: event loop pays one attribute load per event and nothing else.
+        self.auditor = None
 
     # -- clock ----------------------------------------------------------
 
@@ -165,6 +169,8 @@ class Simulator:
             if ev.cancelled:
                 self._note_popped_tombstone()
                 continue
+            if self.auditor is not None:
+                self.auditor.on_event(self, ev)
             self._now = ev.time
             self._executed += 1
             ev.callback()
@@ -200,6 +206,8 @@ class Simulator:
                     self._now = max(self._now, until)
                     return
                 heappop(heap)
+                if self.auditor is not None:
+                    self.auditor.on_event(self, ev)
                 self._now = ev.time
                 self._executed += 1
                 ev.callback()

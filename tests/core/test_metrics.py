@@ -9,10 +9,12 @@ from hypothesis import strategies as st
 
 from repro.core.metrics import (
     MetricSummary,
+    RatioSummary,
     bounded_slowdown,
     mean_of_ratios,
     relative,
     stretch,
+    summarize_ratios,
 )
 
 
@@ -102,3 +104,42 @@ class TestRelative:
 
     def test_mean_of_ratios_all_bad(self):
         assert math.isnan(mean_of_ratios([(1.0, 0.0)]))
+
+
+class TestSummarizeRatios:
+    def test_counts_used_and_dropped(self):
+        s = summarize_ratios([(1.0, 2.0), (3.0, 0.0), (float("nan"), 1.0)])
+        assert isinstance(s, RatioSummary)
+        assert s.mean == pytest.approx(0.5)
+        assert s.used == 1
+        assert s.dropped == 2
+
+    def test_nothing_dropped_on_clean_pairs(self):
+        s = summarize_ratios([(1.0, 2.0), (4.0, 2.0)])
+        assert s.dropped == 0
+        assert s.used == 2
+        assert s.mean == pytest.approx(1.25)
+
+    def test_all_dropped_is_nan_not_crash(self):
+        s = summarize_ratios([(1.0, 0.0)])
+        assert math.isnan(s.mean)
+        assert (s.used, s.dropped) == (0, 1)
+
+    def test_empty(self):
+        s = summarize_ratios([])
+        assert math.isnan(s.mean)
+        assert (s.used, s.dropped) == (0, 0)
+
+    def test_mean_matches_mean_of_ratios(self):
+        pairs = [(1.0, 2.0), (9.0, 3.0), (2.0, 0.0)]
+        assert summarize_ratios(pairs).mean == mean_of_ratios(pairs)
+
+    def test_mean_of_ratios_warns_when_dropping(self, caplog):
+        with caplog.at_level("WARNING", logger="repro.core.metrics"):
+            mean_of_ratios([(1.0, 0.0), (2.0, 4.0)])
+        assert any("dropped 1 of 2" in r.getMessage() for r in caplog.records)
+
+    def test_mean_of_ratios_silent_when_clean(self, caplog):
+        with caplog.at_level("WARNING", logger="repro.core.metrics"):
+            mean_of_ratios([(2.0, 4.0)])
+        assert not caplog.records

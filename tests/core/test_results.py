@@ -132,3 +132,23 @@ class TestMerge:
     def test_merge_empty_rejected(self):
         with pytest.raises(ValueError):
             merge_results([])
+
+    def test_merge_rejects_duplicate_replication(self):
+        """A replication fed twice (kept retry, cache double-count) would
+        silently bias every sweep mean — it must be an error."""
+        a = result([outcome()], replication=3)
+        b = result([outcome()], replication=3)
+        with pytest.raises(ValueError, match="duplicate replication"):
+            merge_results([a, b])
+
+    def test_merge_duplicate_error_names_the_cell(self):
+        a = result([outcome()], replication=7)
+        with pytest.raises(ValueError, match=r"replication=7"):
+            merge_results([a, a])
+
+    def test_merge_same_replication_index_needs_same_config_first(self):
+        """Config mixing is reported before duplication (first wins)."""
+        a = result([outcome()], replication=0)
+        b = result([outcome()], scheme="ALL", replication=0)
+        with pytest.raises(ValueError, match="different configurations"):
+            merge_results([a, b])

@@ -66,3 +66,50 @@ class TestCompareSchemes:
         cmp_ = compare_schemes(tiny(), ["R2", "R3"], 1)
         rel = cmp_.all_relative()
         assert set(rel) == {"R2", "R3"}
+
+
+class TestDroppedRatios:
+    """Degenerate baselines are counted, not silently skipped."""
+
+    @staticmethod
+    def _result(replication, jobs):
+        from repro.core.results import ExperimentResult, JobOutcome
+
+        outcomes = [
+            JobOutcome(
+                job_id=i, origin=0, winner_cluster=0, nodes=1,
+                runtime=10.0, requested_time=10.0, submit_time=0.0,
+                start_time=float(5 * i), end_time=float(5 * i) + 10.0,
+                uses_redundancy=False, n_copies=1,
+            )
+            for i in range(jobs)
+        ]
+        return ExperimentResult(
+            scheme="R2", algorithm="easy", n_clusters=1,
+            replication=replication, jobs=outcomes,
+        )
+
+    def _comparison(self, baseline_jobs):
+        from repro.core.runner import SchemeComparison
+
+        cmp_ = SchemeComparison(
+            base_config=tiny(), n_replications=2,
+            baseline=[self._result(r, jobs) for r, jobs in
+                      enumerate(baseline_jobs)],
+        )
+        cmp_.per_scheme["R2"] = [self._result(r, 3) for r in range(2)]
+        return cmp_
+
+    def test_clean_comparison_drops_nothing(self):
+        rel = self._comparison([3, 3]).relative("R2")
+        assert rel.dropped_ratios == 0
+
+    def test_nan_baseline_counted_across_all_four_metrics(self, caplog):
+        # Replication 1's baseline completed no jobs: all four paired
+        # ratios for it are NaN and must be counted, with a warning.
+        with caplog.at_level("WARNING", logger="repro.core.runner"):
+            rel = self._comparison([3, 0]).relative("R2")
+        assert rel.dropped_ratios == 4
+        assert 0 < rel.avg_stretch  # the surviving replication still averages
+        assert any("4 paired ratio(s)" in r.getMessage()
+                   for r in caplog.records)

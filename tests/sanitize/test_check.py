@@ -1,0 +1,105 @@
+"""Tests for the ``repro check`` orchestrator and CLI entry point."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import ExperimentConfig
+from repro.faults import FaultConfig
+from repro.sanitize import run_check
+from repro.sanitize.check import (
+    CheckReport,
+    SuiteFailure,
+    config_from_spec,
+    suite_configs,
+)
+
+
+class TestSuiteConfigs:
+    def test_quick_is_a_subset_size(self):
+        quick = suite_configs(quick=True)
+        full = suite_configs(quick=False)
+        assert len(quick) < len(full)
+
+    def test_covers_all_algorithms_and_faults(self):
+        for quick in (True, False):
+            configs = suite_configs(quick)
+            assert {c.algorithm for c in configs} == {"fcfs", "easy", "cbf"}
+            assert any(c.faults is not None for c in configs)
+            assert any(c.cancellation_latency > 0 for c in configs)
+
+    def test_full_includes_eager_compression(self):
+        assert any(
+            c.cbf_compress_interval == 0.0 for c in suite_configs(False)
+        )
+
+
+class TestConfigFromSpec:
+    def test_inline_json(self):
+        cfg = config_from_spec('{"algorithm": "cbf", "scheme": "R2"}')
+        assert isinstance(cfg, ExperimentConfig)
+        assert cfg.algorithm == "cbf"
+        assert cfg.scheme == "R2"
+        assert cfg.drain  # audited-suite default
+
+    def test_json_file_path(self, tmp_path):
+        spec = tmp_path / "case.json"
+        spec.write_text(json.dumps({"algorithm": "easy", "duration": 120.0}))
+        cfg = config_from_spec(str(spec))
+        assert cfg.algorithm == "easy"
+        assert cfg.duration == 120.0
+
+    def test_faults_object_converted(self):
+        cfg = config_from_spec('{"faults": {"p_cancel_loss": 0.25}}')
+        assert isinstance(cfg.faults, FaultConfig)
+        assert cfg.faults.p_cancel_loss == 0.25
+
+    def test_heterogeneous_nodes_list(self):
+        cfg = config_from_spec('{"n_clusters": 2, "nodes_per_cluster": [8, 16]}')
+        assert cfg.nodes_per_cluster == (8, 16)
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ValueError, match="JSON object"):
+            config_from_spec("[1, 2]")
+
+
+class TestRunCheck:
+    def test_single_config_spec_skips_oracle_and_fuzz(self):
+        report = run_check(
+            config_spec='{"algorithm": "cbf", "scheme": "R2", '
+            '"duration": 150.0}'
+        )
+        assert report.ok, report.render()
+        assert report.suite_size == 1
+        assert report.oracle is None
+        assert report.fuzz is None
+        assert report.checks > 0
+
+    def test_render_ends_with_verdict(self):
+        report = run_check(config_spec='{"duration": 100.0}')
+        text = report.render()
+        assert text.splitlines()[-1] == "PASS"
+        assert "audited suite: 1 config(s), 0 failure(s)" in text
+
+    def test_failure_flips_report(self):
+        report = CheckReport(quick=True)
+        assert report.ok
+        report.suite_failures.append(
+            SuiteFailure(config="cfg", error="RuntimeError('x')")
+        )
+        assert not report.ok
+        assert report.render().splitlines()[-1] == "FAIL"
+        assert "crashed" in report.suite_failures[0].describe()
+
+
+class TestCheckCLI:
+    def test_check_config_exits_zero(self, capsys):
+        rc = main([
+            "-q", "check",
+            "--config", '{"algorithm": "easy", "duration": 150.0}',
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert out.strip().endswith("PASS")
+        assert "invariant checks" in out

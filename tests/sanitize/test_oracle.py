@@ -1,0 +1,61 @@
+"""Tests for the FCFS/EASY/CBF differential oracle."""
+
+from repro.core.config import ExperimentConfig
+from repro.sanitize import run_differential_oracle
+from repro.sanitize.oracle import ORACLE_ALGORITHMS, OracleFinding, OracleReport
+
+
+def oracle_base():
+    return ExperimentConfig(
+        n_clusters=2,
+        nodes_per_cluster=16,
+        duration=200.0,
+        offered_load=1.5,
+        drain=True,
+    )
+
+
+class TestOracle:
+    def test_relations_hold_on_seeded_workload(self):
+        report = run_differential_oracle(oracle_base(), seeds=(20060619,))
+        assert report.ok, report.render()
+        assert report.checks > 0
+        # One run per algorithm, each with a non-trivial workload.
+        assert [alg for _, alg, _, _ in report.runs] == list(ORACLE_ALGORITHMS)
+        assert all(jobs > 0 for _, _, jobs, _ in report.runs)
+
+    def test_forces_relation_preconditions(self):
+        """Redundancy/faults in the base config must not break the oracle:
+        it re-derives a NONE, fault-free, drained configuration itself."""
+        from repro.faults import FaultConfig
+
+        base = oracle_base().with_(
+            scheme="ALL",
+            cancellation_latency=60.0,
+            faults=FaultConfig(p_cancel_loss=0.5),
+        )
+        report = run_differential_oracle(base, seeds=(777,))
+        assert report.ok, report.render()
+
+    def test_deterministic(self):
+        a = run_differential_oracle(oracle_base(), seeds=(424242,))
+        b = run_differential_oracle(oracle_base(), seeds=(424242,))
+        assert a.runs == b.runs
+        assert a.findings == b.findings
+        assert a.checks == b.checks
+
+    def test_render_mentions_each_seed(self):
+        report = run_differential_oracle(oracle_base(), seeds=(20060619,))
+        text = report.render()
+        assert "20060619" in text
+        assert "all cross-scheduler relations hold" in text
+
+
+class TestOracleReport:
+    def test_findings_flip_ok(self):
+        report = OracleReport(seeds=(1,))
+        assert report.ok
+        report.findings.append(OracleFinding(1, "completed-set", "differs"))
+        assert not report.ok
+        assert "[completed-set] seed=1" in report.findings[0].describe()
+        assert "1 violation(s)" in report.render()

@@ -11,6 +11,8 @@ Usage::
     repro check --quick             # runtime invariant audit (CI smoke)
     repro check --fuzz 50           # full audit + 50 fuzz cases
     repro check --config '{"algorithm": "cbf", "scheme": "R2"}'
+    repro lint src/ --baseline lint-baseline.json   # static determinism gate
+    repro lint src/ --format json --rule DET001     # one rule, JSON report
     repro trace record --out runs/r2 --schemes R2   # traced sweep
     repro trace summary runs/r2/trace.jsonl
     repro trace export-chrome runs/r2/trace.jsonl --out r2.trace.json
@@ -222,6 +224,10 @@ def build_parser() -> argparse.ArgumentParser:
     filt.add_argument("--rep", type=int, default=None)
     filt.add_argument("--t-min", type=float, default=None)
     filt.add_argument("--t-max", type=float, default=None)
+
+    from .lint.cli import add_lint_parser
+
+    add_lint_parser(sub)
     return parser
 
 
@@ -555,6 +561,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_check(args.quick, args.fuzz, args.config)
     if args.command == "trace":
         return cmd_trace(args)
+    if args.command == "lint":
+        from .lint.cli import cmd_lint
+
+        return cmd_lint(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

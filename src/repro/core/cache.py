@@ -263,9 +263,13 @@ def shared_cache() -> Optional[ResultCache]:
     if cache_dir:
         cache = _DISK_CACHES.get(cache_dir)
         if cache is None:
+            # repro-lint: disable=PAR001 -- parent-process memoisation of
+            # cache handles; workers never call shared_cache(), and a
+            # per-process duplicate would only cost memory, not results
             cache = _DISK_CACHES[cache_dir] = ResultCache(cache_dir)
         return cache
     global _MEMORY_CACHE
     if _MEMORY_CACHE is None:
+        # repro-lint: disable=PAR001 -- same parent-only memoisation
         _MEMORY_CACHE = ResultCache(None)
     return _MEMORY_CACHE

@@ -150,7 +150,7 @@ class ExperimentConfig:
                 )
             object.__setattr__(self, "nodes_per_cluster", counts)
 
-    def with_(self, **changes) -> "ExperimentConfig":
+    def with_(self, **changes: object) -> "ExperimentConfig":
         """Derive a modified configuration (dataclass replace)."""
         return dataclasses.replace(self, **changes)
 

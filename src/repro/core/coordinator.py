@@ -18,7 +18,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
+
+if TYPE_CHECKING:  # typing-only: obs/sanitize import core at runtime
+    from ..obs.trace import TraceRecorder
+    from ..sanitize.auditor import InvariantAuditor
 
 from ..cluster.platform import Platform
 from ..faults import FaultInjector
@@ -108,8 +112,8 @@ class Coordinator:
         cancellation_latency: float = 0.0,
         remote_inflation: float = 0.0,
         fault_injector: Optional[FaultInjector] = None,
-        tracer=None,
-        auditor=None,
+        tracer: Optional[TraceRecorder] = None,
+        auditor: Optional[InvariantAuditor] = None,
     ) -> None:
         if cancellation_latency < 0:
             raise ValueError(

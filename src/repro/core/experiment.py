@@ -14,8 +14,17 @@ The protocol follows Section 3.3 of the paper exactly:
 
 from __future__ import annotations
 
+# repro-lint: disable-file=DET001 -- perf_counter here only stamps the
+# generate/simulate/aggregate phase timings (wall_time_s metrics); no
+# host time ever reaches the simulated trajectory
 import time
+from typing import TYPE_CHECKING, Optional
+
 import numpy as np
+
+if TYPE_CHECKING:  # typing-only: obs/sanitize import core at runtime
+    from ..obs.trace import TraceRecorder
+    from ..sanitize.auditor import InvariantAuditor
 
 from ..cluster.platform import HETEROGENEOUS_NODE_CHOICES, Platform
 from ..faults import FaultInjector
@@ -112,8 +121,8 @@ def run_single(
     config: ExperimentConfig,
     replication: int = 0,
     check_invariants: bool = False,
-    tracer=None,
-    auditor=None,
+    tracer: Optional[TraceRecorder] = None,
+    auditor: Optional[InvariantAuditor] = None,
 ) -> ExperimentResult:
     """Run one replication of ``config`` and return its outcomes.
 

@@ -28,13 +28,19 @@ the invariant that makes 2, 3 and 6 sound.
 
 from __future__ import annotations
 
-import itertools
+# repro-lint: disable-file=DET001 -- perf_counter here only feeds the
+# cache_resolve_s/cache_store_s engine metrics; task results are keyed
+# and reassembled by (config, replication), never by host time
+
 import logging
 import math
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # typing-only: obs imports core at runtime
+    from ..obs.metrics import MetricsRegistry
 
 from .cache import ResultCache, config_fingerprint
 from .config import ExperimentConfig
@@ -144,7 +150,11 @@ def _init_worker(
 ) -> None:
     """Pool initializer: unpickle the unique-config table once per worker."""
     global _WORKER_CONFIGS, _WORKER_RUNNER
+    # repro-lint: disable=PAR001 -- the pool initializer installs the
+    # per-process config table exactly once, before any task runs; this
+    # is the mechanism that *avoids* per-task state shipping
     _WORKER_CONFIGS = configs
+    # repro-lint: disable=PAR001 -- same single-shot initializer install
     _WORKER_RUNNER = runner
     # Spawned workers inherit no handler state; mirror the parent's
     # logging setup from the environment (deferred import: obs imports
@@ -193,7 +203,7 @@ def run_grid(
     progress: Optional[ProgressFn] = None,
     runner: Optional[RunnerFn] = None,
     stats: Optional[GridStats] = None,
-    metrics=None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> list[list[ExperimentResult]]:
     """Run every config for every replication; return results per config.
 
@@ -479,7 +489,7 @@ class SweepEngine:
         chunksize: Optional[int] = None,
         progress: Optional[ProgressFn] = None,
         stats: Optional[GridStats] = None,
-        metrics=None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.n_workers = max(1, int(n_workers))
         self.cache = cache

@@ -19,7 +19,10 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+if TYPE_CHECKING:  # typing-only: obs imports core at runtime
+    from ..obs.metrics import MetricsRegistry
 
 import numpy as np
 
@@ -41,7 +44,7 @@ def run_replications(
     chunksize: Optional[int] = None,
     progress: Optional[Callable[[str], None]] = None,
     stats: Optional[GridStats] = None,
-    metrics=None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> list[ExperimentResult]:
     """Run ``n_replications`` independent replications of ``config``."""
     [results] = run_grid(
@@ -186,7 +189,7 @@ def compare_schemes(
     cache: Optional[ResultCache] = None,
     chunksize: Optional[int] = None,
     stats: Optional[GridStats] = None,
-    metrics=None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> SchemeComparison:
     """Run NONE plus every scheme in ``schemes`` on paired job streams.
 

@@ -28,6 +28,7 @@ from ..sched.easy import EASYScheduler
 from ..sched.job import Request, RequestState
 from ..sim.engine import Simulator
 from ..sim.events import EventPriority
+from ..sim.rng import RngFactory
 from ..workload.stream import StreamJob
 
 
@@ -199,7 +200,9 @@ def run_option_iii_study(
         sim = Simulator()
         sched = MultiQueueScheduler(sim, Cluster(0, nodes), queues)
         coord = MultiQueueCoordinator(sim, sched)
-        rng = np.random.default_rng(seed)
+        # Re-derived per strategy from the same key: every strategy sees
+        # identical background traffic (common random numbers).
+        rng = RngFactory(seed).generator("multiqueue", "background")
         tracked: list[BilledJob] = []
         for spec in jobs:
             background = rng.random() < premium_fraction

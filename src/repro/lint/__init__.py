@@ -1,0 +1,49 @@
+"""Static determinism & reproducibility linter (``repro lint``).
+
+A dependency-free, :mod:`ast`-based analysis framework with a pluggable
+rule registry.  Where the sanitizer (:mod:`repro.sanitize`) audits
+invariants *at runtime* and the trace layer (:mod:`repro.obs`) proves
+byte-identity *after* a run, this package rejects determinism hazards
+*before* one: wall-clock reads, unseeded randomness, hash-order
+iteration, worker-shared module state, invariant-swallowing handlers
+and typing gaps in the public simulation API.
+
+Public surface:
+
+* :func:`run_lint` / :class:`LintResult` — programmatic entry point;
+* :class:`Finding` / :class:`Severity` — the unit of output;
+* :func:`~repro.lint.rules.catalogue` — the rule table;
+* ``# repro-lint: disable=RULE -- why`` pragmas and a checked-in
+  baseline file (see :mod:`repro.lint.pragmas` / ``lint-baseline.json``)
+  for sanctioned exceptions.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline
+from .engine import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    LintResult,
+    LintUsageError,
+    lint_file,
+    run_lint,
+)
+from .findings import Finding, Severity
+from .rules import all_rules, catalogue
+
+__all__ = [
+    "Baseline",
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_USAGE",
+    "Finding",
+    "LintResult",
+    "LintUsageError",
+    "Severity",
+    "all_rules",
+    "catalogue",
+    "lint_file",
+    "run_lint",
+]

@@ -1,0 +1,93 @@
+"""Checked-in baseline: grandfathered findings that don't fail the run.
+
+The baseline is a JSON file mapping finding fingerprints (rule + path +
+offending line content — line numbers excluded so pure line shifts
+don't invalidate entries) to the count of occurrences tolerated.  The
+engine marks matching findings ``baselined``; anything beyond the
+recorded count (a *new* violation, even of a grandfathered kind) still
+fails.  ``repro lint --write-baseline`` snapshots the current findings.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable
+
+from .findings import Finding
+
+BASELINE_SCHEMA_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Malformed baseline file."""
+
+
+class Baseline:
+    """Fingerprint multiset with match bookkeeping."""
+
+    def __init__(self, entries: dict[str, int] | None = None) -> None:
+        self.entries: Counter[str] = Counter(entries or {})
+        self._remaining: Counter[str] = Counter(self.entries)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != BASELINE_SCHEMA_VERSION
+            or not isinstance(payload.get("findings"), list)
+        ):
+            raise BaselineError(
+                f"baseline {path} is not a schema-v{BASELINE_SCHEMA_VERSION} "
+                f"repro-lint baseline"
+            )
+        entries: Counter[str] = Counter()
+        for item in payload["findings"]:
+            if not isinstance(item, dict) or "fingerprint" not in item:
+                raise BaselineError(
+                    f"baseline {path}: entry without fingerprint: {item!r}"
+                )
+            entries[str(item["fingerprint"])] += int(item.get("count", 1))
+        return cls(dict(entries))
+
+    @classmethod
+    def snapshot(cls, findings: Iterable[Finding]) -> "Baseline":
+        """Baseline tolerating exactly the given unwaived findings."""
+        return cls(
+            dict(Counter(f.fingerprint() for f in findings if not f.waived))
+        )
+
+    def absorb(self, finding: Finding) -> bool:
+        """Mark the finding baselined if budget for its print remains."""
+        fp = finding.fingerprint()
+        if self._remaining[fp] > 0:
+            self._remaining[fp] -= 1
+            finding.baselined = True
+            return True
+        return False
+
+    def write(
+        self, path: str | Path, findings: Iterable[Finding] | None = None
+    ) -> None:
+        """Serialise; ``findings`` adds human-readable context per entry."""
+        context: dict[str, dict[str, object]] = {}
+        for f in findings or ():
+            context.setdefault(
+                f.fingerprint(),
+                {"rule": f.rule, "path": f.path, "snippet": f.snippet},
+            )
+        payload = {
+            "schema": BASELINE_SCHEMA_VERSION,
+            "findings": [
+                {"fingerprint": fp, "count": count, **context.get(fp, {})}
+                for fp, count in sorted(self.entries.items())
+            ],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n"
+        )

@@ -1,0 +1,108 @@
+"""Per-file lint context: source, AST, import aliases, package scope.
+
+The context gives rules everything they need without re-parsing:
+
+* ``tree`` — the parsed :mod:`ast` module;
+* ``package`` — the module's dotted path *inside* ``repro`` (empty for
+  files that do not live under a ``repro`` package directory), so rules
+  can scope themselves to e.g. ``sim``/``sched``/``core``/``workload``;
+* ``qualname(node)`` — resolve an attribute/name chain to the fully
+  qualified imported name it denotes (``np.random.default_rng`` →
+  ``numpy.random.default_rng``), following ``import x as y`` and
+  ``from x import y as z`` aliases collected from the whole file.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Optional
+
+
+class FileContext:
+    """Everything rules may ask about one source file."""
+
+    def __init__(self, path: Path, display_path: str, source: str) -> None:
+        self.path = path
+        self.display_path = display_path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=display_path)
+        self.module_parts = _module_parts(path)
+        # import aliases: local name -> fully qualified name
+        self.aliases: dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else local
+                    self.aliases[local] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.level or node.module is None:
+                    continue  # relative imports stay project-local
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.aliases[local] = f"{node.module}.{alias.name}"
+
+    # -- scoping ---------------------------------------------------------
+
+    @property
+    def module(self) -> str:
+        """Dotted module path under ``repro``, or the bare file stem."""
+        return ".".join(self.module_parts)
+
+    @property
+    def package(self) -> str:
+        """First component under ``repro`` (``"sim"``, ``"core"``, …)."""
+        return self.module_parts[0] if len(self.module_parts) > 1 else ""
+
+    def in_packages(self, *names: str) -> bool:
+        """True when the file lives under one of the named subpackages.
+
+        Top-level modules (``repro/faults.py``) match their own stem so
+        ``in_packages("faults")`` behaves as expected.
+        """
+        head = self.module_parts[0] if self.module_parts else ""
+        return head in names or self.package in names
+
+    # -- name resolution -------------------------------------------------
+
+    def qualname(self, node: ast.AST) -> Optional[str]:
+        """Fully qualified name of an attribute/name chain, if imported.
+
+        Returns ``None`` for chains not rooted in an import (locals,
+        attributes of call results, …).
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.aliases.get(node.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def line_at(self, lineno: int) -> str:
+        """Stripped source text of a 1-based line (empty if out of range)."""
+        if 0 < lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+
+def _module_parts(path: Path) -> tuple[str, ...]:
+    """Module path relative to the innermost ``repro`` package directory.
+
+    ``src/repro/sim/engine.py`` → ``("sim", "engine")``;
+    ``src/repro/faults.py`` → ``("faults",)``;
+    a file outside any ``repro`` directory → ``("<stem>",)``.
+    """
+    parts = path.resolve().parts
+    stem = path.stem
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            inner = parts[i + 1 : -1] + (stem,)
+            return tuple(inner) if inner else (stem,)
+    return (stem,)

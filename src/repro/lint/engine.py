@@ -1,0 +1,178 @@
+"""Lint engine: walk files, run rules, apply waivers and the baseline.
+
+Determinism is a design requirement here too (the linter lints itself):
+files are visited in sorted path order and findings are reported in
+``(path, line, col, rule)`` order, so two runs over the same tree are
+byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .baseline import Baseline
+from .context import FileContext
+from .findings import Finding, Severity
+from .pragmas import WaiverTable
+from .rules import all_rules, known_rule_ids
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache"}
+
+
+class LintUsageError(ValueError):
+    """Bad invocation (unknown rule, missing path, unreadable baseline)."""
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def active(self) -> list[Finding]:
+        """Findings that count against the exit code."""
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.active if f.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(1 for f in self.active if f.severity is Severity.WARNING)
+
+    @property
+    def waived(self) -> int:
+        return sum(1 for f in self.findings if f.waived)
+
+    @property
+    def baselined(self) -> int:
+        return sum(1 for f in self.findings if f.baselined)
+
+    @property
+    def exit_code(self) -> int:
+        return EXIT_CLEAN if not self.active else EXIT_FINDINGS
+
+    def summary(self) -> dict[str, int]:
+        return {
+            "files_checked": self.files_checked,
+            "findings": len(self.findings),
+            "errors": self.errors,
+            "warnings": self.warnings,
+            "waived": self.waived,
+            "baselined": self.baselined,
+        }
+
+
+def collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand paths to a sorted, de-duplicated list of ``.py`` files."""
+    seen: dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise LintUsageError(f"no such file or directory: {path}")
+        if path.is_dir():
+            candidates = sorted(
+                p
+                for p in path.rglob("*.py")
+                if not SKIP_DIRS.intersection(p.parts)
+            )
+        elif path.suffix == ".py":
+            candidates = [path]
+        else:
+            raise LintUsageError(f"not a Python file: {path}")
+        for p in candidates:
+            seen.setdefault(p.resolve(), None)
+    return sorted(seen)
+
+
+def _display_path(path: Path) -> str:
+    """Path relative to the working directory when possible (stable
+    across checkouts, which keeps baseline files shareable)."""
+    try:
+        return path.relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_file(
+    path: Path,
+    rule_filter: Optional[set[str]] = None,
+    display_path: Optional[str] = None,
+) -> list[Finding]:
+    """Lint one file: rule findings plus pragma meta-findings."""
+    display = display_path if display_path is not None else _display_path(path)
+    source = path.read_text(encoding="utf-8")
+    try:
+        ctx = FileContext(path, display, source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="LNT000",
+                severity=Severity.ERROR,
+                path=display,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    findings: list[Finding] = []
+    for rule in all_rules().values():
+        if rule_filter is not None and rule.id not in rule_filter:
+            continue
+        findings.extend(rule.check(ctx))
+
+    waivers = WaiverTable(display, ctx.source)
+    for f in findings:
+        f.waived = waivers.try_waive(f.rule, f.line)
+    meta = waivers.audit(known_rule_ids(), ctx.lines)
+    if rule_filter is not None:
+        meta = [m for m in meta if m.rule in rule_filter]
+    findings.extend(meta)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    rules: Optional[Sequence[str]] = None,
+    baseline: Optional[str | Path] = None,
+) -> LintResult:
+    """Lint ``paths``; apply ``rules`` filter and ``baseline`` if given.
+
+    Raises :class:`LintUsageError` for unknown rules or unreadable
+    paths/baselines (CLI exit code 2); returns a :class:`LintResult`
+    otherwise (exit code 0 when nothing unwaived/unbaselined remains).
+    """
+    rule_filter: Optional[set[str]] = None
+    if rules:
+        rule_filter = {r.upper() for r in rules}
+        unknown = rule_filter - known_rule_ids()
+        if unknown:
+            raise LintUsageError(
+                f"unknown rule(s): {', '.join(sorted(unknown))}; "
+                f"see 'repro lint --list-rules'"
+            )
+    base: Optional[Baseline] = None
+    if baseline is not None:
+        base = Baseline.load(baseline)
+
+    result = LintResult()
+    for path in collect_files(paths):
+        file_findings = lint_file(path, rule_filter)
+        if base is not None:
+            for f in file_findings:
+                if not f.waived:
+                    base.absorb(f)
+        result.findings.extend(file_findings)
+        result.files_checked += 1
+    result.findings.sort(key=Finding.sort_key)
+    return result

@@ -1,0 +1,125 @@
+"""Lint findings: the unit of output shared by every rule.
+
+A :class:`Finding` pins a rule violation to a file, line and column and
+carries the *stripped source line* it fired on.  That snippet — not the
+line number — anchors the finding's :meth:`~Finding.fingerprint`, so a
+checked-in baseline survives unrelated edits that merely shift code up
+or down the file.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class Severity(enum.Enum):
+    """How bad a finding is; drives exit codes and report ordering."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+# Keys every finding dict carries, in serialisation order.  Tests pin
+# the JSON report against this schema.
+FINDING_FIELDS = (
+    "rule",
+    "severity",
+    "path",
+    "line",
+    "col",
+    "message",
+    "snippet",
+    "waived",
+    "baselined",
+    "fingerprint",
+)
+
+
+@dataclass
+class Finding:
+    """One rule violation at one source location.
+
+    Parameters
+    ----------
+    rule:
+        Registered rule id, e.g. ``"DET001"``.
+    severity:
+        :class:`Severity` of the violation.
+    path:
+        Display path of the offending file (as given to the engine).
+    line, col:
+        1-based line and 0-based column of the violation.
+    message:
+        Human-readable explanation with the suggested fix.
+    snippet:
+        The stripped source line the finding fired on.
+    waived:
+        Set by the engine when a ``# repro-lint: disable=`` pragma
+        covers the finding.
+    baselined:
+        Set by the engine when the finding matches the baseline file.
+    """
+
+    rule: str
+    severity: Severity
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+    waived: bool = field(default=False, compare=False)
+    baselined: bool = field(default=False, compare=False)
+
+    @property
+    def suppressed(self) -> bool:
+        """True when the finding does not count against the exit code."""
+        return self.waived or self.baselined
+
+    def fingerprint(self) -> str:
+        """Stable identity: rule + path + offending line *content*.
+
+        Line numbers are deliberately excluded so baselines survive
+        pure line shifts; two identical offending lines in one file
+        share a fingerprint and are disambiguated by the baseline
+        matcher with an occurrence index.
+        """
+        h = hashlib.sha256()
+        for part in (self.rule, self.path, self.snippet):
+            h.update(part.encode("utf-8"))
+            h.update(b"\x00")
+        return h.hexdigest()[:16]
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "waived": self.waived,
+            "baselined": self.baselined,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def render(self) -> str:
+        """One-line text form: ``path:line:col: RULE severity: message``."""
+        tag = ""
+        if self.waived:
+            tag = " [waived]"
+        elif self.baselined:
+            tag = " [baselined]"
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule} {self.severity}: {self.message}{tag}"
+        )

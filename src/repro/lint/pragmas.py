@@ -1,0 +1,207 @@
+"""Waiver pragmas: ``# repro-lint: disable=RULE[,RULE] -- justification``.
+
+Two forms are recognised:
+
+* **Line pragma** — trailing comment on the offending line, or a
+  comment-only line directly above it (continuation comment lines are
+  allowed between pragma and code)::
+
+      t0 = time.perf_counter()  # repro-lint: disable=DET001 -- timing
+
+      # repro-lint: disable=DET001 -- host wall time feeds only the
+      # wall_time_s metric, never simulation state
+      t0 = time.perf_counter()
+
+  (the justification must follow ``--`` on the pragma line itself);
+
+* **File pragma** — a comment on a line of its own, waiving the listed
+  rules for the whole file::
+
+      # repro-lint: disable-file=DET001 -- phase timing instrumentation
+
+Every pragma **must** carry a justification after ``--``; a bare
+``disable=`` is itself a finding (LNT001).  Pragmas that waive nothing
+are reported as LNT002 so stale waivers cannot accumulate, and unknown
+rule ids in a pragma are LNT003.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from .findings import Finding, Severity
+
+PRAGMA_RE = re.compile(
+    r"#\s*repro-lint:\s*(?P<kind>disable|disable-file)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+    r"(?:\s*--\s*(?P<why>.*\S))?\s*$"
+)
+
+# Findings produced by the pragma machinery itself; they cannot be
+# waived by pragmas (a waiver that excuses its own audit is useless).
+UNJUSTIFIED_WAIVER = "LNT001"
+UNUSED_WAIVER = "LNT002"
+UNKNOWN_RULE = "LNT003"
+META_RULES = (UNJUSTIFIED_WAIVER, UNUSED_WAIVER, UNKNOWN_RULE)
+
+
+@dataclass
+class Pragma:
+    """One parsed pragma comment."""
+
+    line: int
+    kind: str  # "disable" | "disable-file"
+    rules: tuple[str, ...]
+    justification: str
+    applies_to: int = 0  # code line the pragma covers (line pragmas)
+    used: set[str] = field(default_factory=set)
+
+    @property
+    def file_scoped(self) -> bool:
+        return self.kind == "disable-file"
+
+
+def _comment_tokens(source: str) -> list[tuple[int, str]]:
+    """(line, text) of every real comment token — docstrings and string
+    literals that merely *mention* a pragma never count."""
+    out: list[tuple[int, str]] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                out.append((tok.start[0], tok.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # unparseable files are reported as LNT000 by the engine
+    return out
+
+
+def parse_pragmas(source: str) -> list[Pragma]:
+    """Extract every pragma comment from source text."""
+    out: list[Pragma] = []
+    for lineno, text in _comment_tokens(source):
+        m = PRAGMA_RE.search(text)
+        if m is None:
+            continue
+        rules = tuple(
+            r.strip().upper() for r in m.group("rules").split(",") if r.strip()
+        )
+        out.append(
+            Pragma(
+                line=lineno,
+                kind=m.group("kind"),
+                rules=rules,
+                justification=(m.group("why") or "").strip(),
+            )
+        )
+    return out
+
+
+def _resolve_target(pragma: Pragma, lines: list[str]) -> int:
+    """The code line a line pragma covers.
+
+    A trailing pragma covers its own line; a pragma on a comment-only
+    line covers the next line holding code (intervening comment or
+    blank lines — e.g. a continued justification — are skipped).
+    """
+    idx = pragma.line - 1
+    if idx >= len(lines):
+        return pragma.line
+    own = lines[idx].strip()
+    if not own.startswith("#"):
+        return pragma.line
+    for later in range(pragma.line, len(lines)):
+        text = lines[later].strip()
+        if text and not text.startswith("#"):
+            return later + 1
+    return pragma.line
+
+
+class WaiverTable:
+    """Pragma lookup plus bookkeeping for LNT001/LNT002/LNT003."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.pragmas = parse_pragmas(source)
+        lines = source.splitlines()
+        self._by_line: dict[int, list[Pragma]] = {}
+        self._file_wide: list[Pragma] = []
+        for p in self.pragmas:
+            if p.file_scoped:
+                self._file_wide.append(p)
+            else:
+                p.applies_to = _resolve_target(p, lines)
+                self._by_line.setdefault(p.applies_to, []).append(p)
+
+    def try_waive(self, rule: str, line: int) -> bool:
+        """Waive ``rule`` at ``line`` if a pragma covers it."""
+        if rule in META_RULES:
+            return False
+        for p in self._by_line.get(line, ()):
+            if rule in p.rules:
+                p.used.add(rule)
+                return True
+        for p in self._file_wide:
+            if rule in p.rules:
+                p.used.add(rule)
+                return True
+        return False
+
+    def audit(self, known_rules: set[str], lines: list[str]) -> list[Finding]:
+        """Meta-findings: unjustified, unused, or unknown-rule pragmas."""
+        out: list[Finding] = []
+
+        def snippet(line: int) -> str:
+            return lines[line - 1].strip() if 0 < line <= len(lines) else ""
+
+        for p in self.pragmas:
+            if not p.justification:
+                out.append(
+                    Finding(
+                        rule=UNJUSTIFIED_WAIVER,
+                        severity=Severity.ERROR,
+                        path=self.path,
+                        line=p.line,
+                        col=0,
+                        message=(
+                            "waiver pragma lacks a justification; append "
+                            "'-- <why this is safe>' to the pragma"
+                        ),
+                        snippet=snippet(p.line),
+                    )
+                )
+            for rule in p.rules:
+                if rule not in known_rules or rule in META_RULES:
+                    out.append(
+                        Finding(
+                            rule=UNKNOWN_RULE,
+                            severity=Severity.ERROR,
+                            path=self.path,
+                            line=p.line,
+                            col=0,
+                            message=(
+                                f"pragma names unknown or unwaivable rule "
+                                f"{rule!r}"
+                            ),
+                            snippet=snippet(p.line),
+                        )
+                    )
+                elif rule not in p.used:
+                    out.append(
+                        Finding(
+                            rule=UNUSED_WAIVER,
+                            severity=Severity.WARNING,
+                            path=self.path,
+                            line=p.line,
+                            col=0,
+                            message=(
+                                f"pragma waives {rule} but nothing on "
+                                f"{'this file' if p.file_scoped else 'this line'} "
+                                f"triggers it; delete the stale waiver"
+                            ),
+                            snippet=snippet(p.line),
+                        )
+                    )
+        return out

@@ -1,0 +1,42 @@
+"""Render a :class:`~repro.lint.engine.LintResult` as text or JSON.
+
+Both renderers are deterministic: findings arrive pre-sorted from the
+engine and JSON keys are emitted in a fixed order, so lint output can
+itself be diffed or golden-tested.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintResult
+
+REPORT_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult, show_suppressed: bool = False) -> str:
+    """Human-readable report; suppressed findings shown on request."""
+    lines = []
+    for f in result.findings:
+        if f.suppressed and not show_suppressed:
+            continue
+        lines.append(f.render())
+    s = result.summary()
+    lines.append(
+        f"checked {s['files_checked']} files: "
+        f"{s['errors']} errors, {s['warnings']} warnings "
+        f"({s['waived']} waived, {s['baselined']} baselined)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (schema pinned by tests/lint)."""
+    payload = {
+        "schema": REPORT_SCHEMA_VERSION,
+        "tool": "repro-lint",
+        "summary": result.summary(),
+        "findings": [f.to_dict() for f in result.findings],
+        "exit_code": result.exit_code,
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

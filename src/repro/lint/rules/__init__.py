@@ -1,0 +1,61 @@
+"""Rule registry: importing this package registers the rule pack.
+
+The catalogue also covers the engine-level meta rules (LNT001–LNT003,
+emitted by the waiver machinery rather than an AST visitor) so
+``repro lint --list-rules`` and the docs show one complete table.
+"""
+
+from __future__ import annotations
+
+from ..findings import Severity
+from . import api, determinism, exceptions, parallel  # noqa: F401  (registration)
+from .base import Rule, all_rules, get_rule, register
+
+# Descriptions of the meta rules the engine emits itself.
+META_RULE_SUMMARIES: dict[str, tuple[Severity, str]] = {
+    "LNT001": (
+        Severity.ERROR,
+        "waiver pragma without a '-- justification' clause",
+    ),
+    "LNT002": (
+        Severity.WARNING,
+        "waiver pragma that no finding uses (stale waiver)",
+    ),
+    "LNT003": (
+        Severity.ERROR,
+        "waiver pragma naming an unknown or unwaivable rule",
+    ),
+    "LNT000": (
+        Severity.ERROR,
+        "file could not be parsed (syntax error)",
+    ),
+}
+
+
+def known_rule_ids() -> set[str]:
+    """Every id valid in ``--rule`` filters and pragma audits."""
+    return set(all_rules()) | set(META_RULE_SUMMARIES)
+
+
+def catalogue() -> list[tuple[str, str, str]]:
+    """(id, severity, summary) rows for --list-rules and the docs."""
+    rows = [
+        (rule.id, rule.severity.value, rule.summary)
+        for rule in all_rules().values()
+    ]
+    rows.extend(
+        (rule_id, sev.value, summary)
+        for rule_id, (sev, summary) in META_RULE_SUMMARIES.items()
+    )
+    return sorted(rows)
+
+
+__all__ = [
+    "Rule",
+    "register",
+    "all_rules",
+    "get_rule",
+    "known_rule_ids",
+    "catalogue",
+    "META_RULE_SUMMARIES",
+]

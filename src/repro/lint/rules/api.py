@@ -1,0 +1,93 @@
+"""API001: public simulation APIs must be fully type-annotated.
+
+mypy runs strict on ``repro.sim``/``repro.sched``/``repro.core`` (see
+``pyproject.toml``); this rule catches annotation gaps in the public
+surface of those packages without needing mypy installed, so `repro
+lint` alone keeps the typing gate honest.  Public means: module-level
+functions and methods of public classes whose names don't start with an
+underscore (``__init__`` counts — strict mypy wants its ``-> None``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import FileContext
+from ..findings import Finding, Severity
+from .base import Rule, register
+
+TYPED_PACKAGES = ("sim", "sched", "core")
+
+
+def _is_public(name: str) -> bool:
+    if name == "__init__":
+        return True
+    return not name.startswith("_")
+
+
+def _missing_parts(func: ast.FunctionDef | ast.AsyncFunctionDef,
+                   is_method: bool) -> list[str]:
+    missing: list[str] = []
+    args = func.args
+    positional = [*args.posonlyargs, *args.args]
+    if is_method and positional:
+        positional = positional[1:]  # self/cls carries no annotation
+    for arg in [*positional, *args.kwonlyargs]:
+        if arg.annotation is None:
+            missing.append(f"parameter {arg.arg!r}")
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append(f"parameter '*{args.vararg.arg}'")
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append(f"parameter '**{args.kwarg.arg}'")
+    if func.returns is None:
+        missing.append("return type")
+    return missing
+
+
+@register
+class Api001MissingAnnotations(Rule):
+    """Public repro.core/sched/sim callables missing type annotations."""
+
+    id = "API001"
+    severity = Severity.WARNING
+    summary = (
+        "public function in repro.core/repro.sched/repro.sim missing "
+        "parameter or return annotations"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_packages(*TYPED_PACKAGES):
+            return
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _is_public(stmt.name):
+                    yield from self._check_func(ctx, stmt, is_method=False)
+            elif isinstance(stmt, ast.ClassDef) and _is_public(stmt.name):
+                for item in stmt.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ) and _is_public(item.name):
+                        is_static = any(
+                            isinstance(d, ast.Name) and d.id == "staticmethod"
+                            for d in item.decorator_list
+                        )
+                        yield from self._check_func(
+                            ctx, item, is_method=not is_static
+                        )
+
+    def _check_func(
+        self,
+        ctx: FileContext,
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+        is_method: bool,
+    ) -> Iterator[Finding]:
+        missing = _missing_parts(func, is_method)
+        if missing:
+            yield self.finding(
+                ctx,
+                func,
+                f"public {'method' if is_method else 'function'} "
+                f"{func.name}() is missing annotations: "
+                f"{', '.join(missing)} (mypy runs strict on this package)",
+            )

@@ -1,0 +1,99 @@
+"""Rule protocol and registry.
+
+A rule is a class with an ``id``, a default :class:`Severity`, a
+one-line ``summary`` (shown by ``repro lint --list-rules`` and in the
+docs catalogue) and a ``check(ctx)`` generator yielding
+:class:`~repro.lint.findings.Finding` objects.  Rules register
+themselves with :func:`register`; the engine instantiates each rule
+once per run and feeds it every file context.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Iterator, Type
+
+from ..context import FileContext
+from ..findings import Finding, Severity
+
+
+class Rule:
+    """Base class: subclass, set the class attributes, implement check."""
+
+    id: str = ""
+    severity: Severity = Severity.ERROR
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        ctx: FileContext,
+        node: ast.AST,
+        message: str,
+        severity: Severity | None = None,
+    ) -> Finding:
+        """Build a finding anchored at an AST node."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=self.id,
+            severity=self.severity if severity is None else severity,
+            path=ctx.display_path,
+            line=line,
+            col=col,
+            message=message,
+            snippet=ctx.line_at(line),
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and index the rule by id."""
+    if not cls.id:
+        raise ValueError(f"rule {cls.__name__} has no id")
+    if cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {cls.id}")
+    # repro-lint: disable=PAR001 -- import-time registration; the table
+    # is frozen before any linting (let alone worker dispatch) happens
+    _REGISTRY[cls.id] = cls()
+    return cls
+
+
+def all_rules() -> dict[str, Rule]:
+    """Registered rules keyed by id (insertion order = catalogue order)."""
+    return dict(_REGISTRY)
+
+
+def get_rule(rule_id: str) -> Rule:
+    return _REGISTRY[rule_id]
+
+
+def walk_functions(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function definition in the module, at any nesting depth."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def body_contains(
+    nodes: list[ast.stmt], pred: Callable[[ast.AST], bool]
+) -> bool:
+    """True if ``pred`` holds anywhere in ``nodes``, not descending into
+    nested function/class definitions (their control flow is separate)."""
+    stack: list[ast.AST] = list(nodes)
+    while stack:
+        node = stack.pop()
+        if pred(node):
+            return True
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False

@@ -1,0 +1,385 @@
+"""Determinism rules: DET001 (entropy sources), DET002 (unordered
+iteration), DET003 (unordered float accumulation).
+
+The reproduction's results rest on a deterministic discrete-event
+substrate: every random draw flows through :mod:`repro.sim.rng` (keyed
+``SeedSequence`` spawning) and the trace layer asserts byte-identity
+across worker counts.  These rules reject, *before a run*, the three
+hazard classes that silently break that property:
+
+* **DET001** — wall-clock reads, the stdlib :mod:`random`/:mod:`secrets`
+  modules, ``os.urandom``/``uuid4`` and numpy's global or factory RNG
+  entry points anywhere outside :mod:`repro.sim.rng`.  Timing clocks
+  (``perf_counter`` and friends) are additionally rejected inside the
+  simulation packages, where there is no legitimate host-time use.
+* **DET002** — iterating a ``set``/``frozenset`` (directly, via a
+  comprehension, or by materialising with ``list``/``tuple``): string
+  hashes are salted per process (``PYTHONHASHSEED``), so set order can
+  differ between the serial and parallel paths of the same sweep.
+* **DET003** — ``sum()`` over an unordered iterable: float addition is
+  not associative, so even a *stable* set order different from another
+  process's order changes the accumulated metric in the last bits.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..context import FileContext
+from ..findings import Finding, Severity
+from .base import Rule, register
+
+# Packages forming the deterministic simulation substrate; DET001
+# additionally bans *timing* clocks here (host time must never leak in).
+STRICT_PACKAGES = ("sim", "sched", "core", "workload", "cluster", "faults")
+
+# The one module allowed to touch RNG machinery directly.
+BLESSED_MODULES = ("sim.rng",)
+
+WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+TIMING_CLOCKS = {
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.thread_time",
+}
+ENTROPY = {
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+}
+# numpy.random entry points that either hold global state or mint
+# generators outside the keyed RngFactory derivation.
+NUMPY_BANNED_TAILS = {
+    "default_rng",
+    "RandomState",
+    "seed",
+    "random",
+    "rand",
+    "randn",
+    "randint",
+    "random_sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "uniform",
+    "normal",
+    "exponential",
+    "poisson",
+    "standard_normal",
+}
+
+
+@register
+class Det001EntropySource(Rule):
+    """Nondeterministic time/randomness source outside repro.sim.rng."""
+
+    id = "DET001"
+    severity = Severity.ERROR
+    summary = (
+        "wall-clock, stdlib random/secrets, os.urandom/uuid or numpy "
+        "global/factory RNG outside repro.sim.rng"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.module in BLESSED_MODULES:
+            return
+        strict = ctx.in_packages(*STRICT_PACKAGES)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    top = alias.name.split(".")[0]
+                    if top in ("random", "secrets"):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"stdlib '{top}' is process-seeded and "
+                            f"non-reproducible; derive streams from "
+                            f"repro.sim.rng.RngFactory instead",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module is not None:
+                    top = node.module.split(".")[0]
+                    if top in ("random", "secrets"):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"stdlib '{top}' is process-seeded and "
+                            f"non-reproducible; derive streams from "
+                            f"repro.sim.rng.RngFactory instead",
+                        )
+            elif isinstance(node, ast.Call):
+                q = ctx.qualname(node.func)
+                if q is None:
+                    continue
+                msg = self._classify(q, strict)
+                if msg is not None:
+                    yield self.finding(ctx, node, msg)
+
+    @staticmethod
+    def _classify(q: str, strict: bool) -> Optional[str]:
+        if q in WALL_CLOCK:
+            return (
+                f"{q}() reads the host wall clock; simulated time comes "
+                f"from the Simulator, host timestamps belong in the "
+                f"manifest layer"
+            )
+        if strict and q in TIMING_CLOCKS:
+            return (
+                f"{q}() reads a host timing clock inside the simulation "
+                f"substrate; results must not depend on host timing"
+            )
+        if q in ENTROPY:
+            return (
+                f"{q}() draws OS entropy; every stream must derive from "
+                f"the master seed via repro.sim.rng.RngFactory"
+            )
+        if q.startswith("random.") or q == "random":
+            return (
+                f"{q}() uses the process-global stdlib RNG; derive a "
+                f"keyed generator from repro.sim.rng.RngFactory"
+            )
+        if q.startswith("secrets."):
+            return f"{q}() draws OS entropy and is never reproducible"
+        if q.startswith("numpy.random."):
+            tail = q.rsplit(".", 1)[1]
+            if tail in NUMPY_BANNED_TAILS:
+                return (
+                    f"{q}() bypasses the keyed stream derivation; use "
+                    f"repro.sim.rng.RngFactory(seed).generator(...) so "
+                    f"stream identity depends only on the key"
+                )
+        return None
+
+
+# -- set-typedness inference (shared by DET002/DET003) -------------------
+
+SET_METHODS = {
+    "union",
+    "intersection",
+    "difference",
+    "symmetric_difference",
+    "copy",
+}
+SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+SET_ANNOTATIONS = {"set", "frozenset", "Set", "FrozenSet", "AbstractSet"}
+
+
+def _annotation_is_set(node: ast.expr) -> bool:
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):  # typing.Set[...]
+        return node.attr in SET_ANNOTATIONS
+    return isinstance(node, ast.Name) and node.id in SET_ANNOTATIONS
+
+
+class _ScopeEnv:
+    """Names provably set-typed within one function/module scope.
+
+    Deliberately simple flow-insensitive inference: a name counts as
+    set-typed iff every assignment to it in the scope yields a set (or
+    its annotation says so) — mixed assignments make it unknown, which
+    errs toward silence rather than false positives.
+    """
+
+    def __init__(self) -> None:
+        self.set_names: set[str] = set()
+        self.other_names: set[str] = set()
+
+    def is_set_name(self, name: str) -> bool:
+        return name in self.set_names and name not in self.other_names
+
+
+def _is_set_expr(node: ast.expr, env: _ScopeEnv) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return env.is_set_name(node.id)
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in SET_METHODS
+            and _is_set_expr(func.value, env)
+        ):
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(node.op, SET_BINOPS):
+        return _is_set_expr(node.left, env) or _is_set_expr(node.right, env)
+    if isinstance(node, ast.IfExp):
+        return _is_set_expr(node.body, env) or _is_set_expr(node.orelse, env)
+    return False
+
+
+def _scope_units(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.AST, list[ast.stmt]]]:
+    """(scope node, body) pairs: the module plus every function."""
+    yield tree, tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, node.body
+
+
+def _iter_scope(body: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk a scope without descending into nested function/class defs."""
+    stack: list[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _build_env(scope: ast.AST, body: list[ast.stmt]) -> _ScopeEnv:
+    env = _ScopeEnv()
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = scope.args
+        for arg in [
+            *args.posonlyargs, *args.args, *args.kwonlyargs,
+        ]:
+            if arg.annotation is not None and _annotation_is_set(arg.annotation):
+                env.set_names.add(arg.arg)
+    annotated_sets = set(env.set_names)
+    assigns: list[tuple[str, ast.expr]] = []
+    for node in _iter_scope(body):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    assigns.append((target.id, node.value))
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            if _annotation_is_set(node.annotation):
+                annotated_sets.add(node.target.id)
+            elif node.value is not None:
+                assigns.append((node.target.id, node.value))
+    # Fixpoint so chained aliases (a = set(); b = a) resolve regardless
+    # of textual order; three rounds bound the alias-chain depth we care
+    # about without risking pathological runtimes.
+    for _ in range(3):
+        set_names = set(annotated_sets)
+        other_names: set[str] = set()
+        for name, value in assigns:
+            if _is_set_expr(value, env):
+                set_names.add(name)
+            else:
+                other_names.add(name)
+        other_names -= annotated_sets
+        if (set_names, other_names) == (env.set_names, env.other_names):
+            break
+        env.set_names, env.other_names = set_names, other_names
+    return env
+
+
+MATERIALIZERS = ("list", "tuple", "enumerate", "iter")
+
+
+@register
+class Det002UnorderedIteration(Rule):
+    """Iteration order of a set leaks into downstream computation."""
+
+    id = "DET002"
+    severity = Severity.ERROR
+    summary = (
+        "iteration over a set/frozenset (loop, comprehension, or "
+        "list()/tuple() materialisation) without sorted()"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for scope, body in _scope_units(ctx.tree):
+            env = _build_env(scope, body)
+            for node in _iter_scope(body):
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    if _is_set_expr(node.iter, env):
+                        yield self.finding(
+                            ctx,
+                            node.iter,
+                            "loop iterates a set in hash order, which is "
+                            "process-dependent (PYTHONHASHSEED); wrap the "
+                            "iterable in sorted(...)",
+                        )
+                elif isinstance(
+                    node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                           ast.GeneratorExp)
+                ):
+                    for gen in node.generators:
+                        if _is_set_expr(gen.iter, env):
+                            yield self.finding(
+                                ctx,
+                                gen.iter,
+                                "comprehension iterates a set in hash "
+                                "order, which is process-dependent; wrap "
+                                "the iterable in sorted(...)",
+                            )
+                elif isinstance(node, ast.Call):
+                    func = node.func
+                    if (
+                        isinstance(func, ast.Name)
+                        and func.id in MATERIALIZERS
+                        and node.args
+                        and _is_set_expr(node.args[0], env)
+                    ):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"{func.id}() materialises a set in hash "
+                            f"order, which is process-dependent; use "
+                            f"sorted(...) instead",
+                        )
+
+
+@register
+class Det003UnorderedAccumulation(Rule):
+    """Float accumulation whose result depends on set iteration order."""
+
+    id = "DET003"
+    severity = Severity.WARNING
+    summary = "sum() over an unordered (set-typed) iterable"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for scope, body in _scope_units(ctx.tree):
+            env = _build_env(scope, body)
+            for node in _iter_scope(body):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "sum"
+                    and node.args
+                ):
+                    continue
+                arg = node.args[0]
+                unordered = _is_set_expr(arg, env)
+                if not unordered and isinstance(
+                    arg, (ast.GeneratorExp, ast.ListComp)
+                ):
+                    unordered = any(
+                        _is_set_expr(gen.iter, env) for gen in arg.generators
+                    )
+                if unordered:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        "sum() over a set accumulates floats in hash "
+                        "order; float addition is not associative — "
+                        "sum(sorted(...)) or math.fsum() keep the result "
+                        "order-independent",
+                    )

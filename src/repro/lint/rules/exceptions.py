@@ -1,0 +1,70 @@
+"""EXC001: overbroad exception handlers that can swallow invariants.
+
+``SchedulerDownError`` (fault layer) and ``InvariantError`` (sanitizer)
+deliberately propagate through deep call stacks; a bare ``except:`` or
+``except Exception:`` between raise site and handler silently converts
+a correctness violation into a wrong number.  A broad handler is only
+acceptable as a *boundary* that re-raises (possibly wrapped, preserving
+the chain) — handlers containing a ``raise`` anywhere in their body are
+therefore exempt.  Record-and-continue harnesses (the fuzzer, where a
+crash *is* the finding) must carry a justified waiver.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import FileContext
+from ..findings import Finding, Severity
+from .base import Rule, body_contains, register
+
+BROAD = {"Exception", "BaseException"}
+
+
+def _broad_name(node: ast.expr | None) -> str | None:
+    """The broad exception name a handler catches, if any."""
+    if node is None:
+        return "<bare>"
+    if isinstance(node, ast.Name) and node.id in BROAD:
+        return node.id
+    if isinstance(node, ast.Attribute) and node.attr in BROAD:
+        return node.attr
+    if isinstance(node, ast.Tuple):
+        for elt in node.elts:
+            name = _broad_name(elt)
+            if name is not None and name != "<bare>":
+                return name
+    return None
+
+
+@register
+class Exc001OverbroadExcept(Rule):
+    """Broad except without re-raise can swallow invariant errors."""
+
+    id = "EXC001"
+    severity = Severity.WARNING
+    summary = (
+        "bare/Exception/BaseException handler that never re-raises "
+        "(can swallow SchedulerDownError/InvariantError)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            name = _broad_name(node.type)
+            if name is None:
+                continue
+            if body_contains(node.body, lambda n: isinstance(n, ast.Raise)):
+                continue  # a re-raising boundary, not a swallow
+            what = (
+                "bare 'except:'" if name == "<bare>" else f"'except {name}:'"
+            )
+            yield self.finding(
+                ctx,
+                node,
+                f"{what} swallows everything, including "
+                f"SchedulerDownError and InvariantError; catch the "
+                f"specific exceptions or re-raise",
+            )

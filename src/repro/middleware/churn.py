@@ -29,6 +29,7 @@ from ..cluster.cluster import Cluster
 from ..sched import make_scheduler
 from ..sched.job import Request
 from ..sim.engine import Simulator
+from ..sim.rng import RngFactory
 from .pbs import PBSDaemonModel
 
 
@@ -66,7 +67,7 @@ def run_churn_experiment(
         raise ValueError(f"queue size must be >= 0, got {queue_size}")
     if duration_s <= 0:
         raise ValueError(f"duration must be positive, got {duration_s}")
-    rng = rng or np.random.default_rng(0)
+    rng = rng or RngFactory(0).generator("churn", "single")
     truncated = False
     effective_duration = duration_s
     oom_p = model.oom_probability(queue_size, duration_s / 3600.0)
@@ -118,9 +119,10 @@ def churn_curve(
     experiment curves plus their average (compute the average from the
     returned samples).
     """
+    factory = RngFactory(seed)
     curves = []
     for rep in range(n_repetitions):
-        rng = np.random.default_rng(seed + rep)
+        rng = factory.generator("churn", rep)
         curves.append(
             [run_churn_experiment(model, q, duration_s, rng) for q in queue_sizes]
         )

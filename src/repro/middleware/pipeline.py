@@ -23,6 +23,7 @@ import numpy as np
 
 from ..sim.engine import Simulator
 from ..sim.events import EventPriority
+from ..sim.rng import RngFactory
 from .gram import MiddlewareModel, gt4_wsgram_model
 from .pbs import PBSDaemonModel, paper_calibrated_model
 
@@ -135,7 +136,9 @@ def simulate_submission_pipeline(
         raise ValueError(f"horizon must be positive, got {horizon}")
     middleware = middleware or gt4_wsgram_model()
     daemon = daemon or paper_calibrated_model()
-    rng = np.random.default_rng(seed)
+    # One keyed stream per seed, shared across redundancy levels: the
+    # r=2 vs r=4 comparison rides on common random numbers.
+    rng = RngFactory(seed).generator("pipeline")
     sim = Simulator()
 
     mw_stats = StageStats("middleware")

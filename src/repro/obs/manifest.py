@@ -111,10 +111,14 @@ def build_manifest(
     """Assemble a manifest for a sweep over ``configs``."""
     from .. import __version__
 
+    # repro-lint: disable=DET001 -- the manifest's entire job is to
+    # record when/where a run happened; host timestamps are provenance
+    # metadata, never simulation input
     now = time.time()
     return RunManifest(
         schema=MANIFEST_SCHEMA_VERSION,
         created_unix=now,
+        # repro-lint: disable=DET001 -- provenance timestamp, see above
         created_iso=time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime(now)),
         repro_version=__version__,
         python=sys.version.split()[0],

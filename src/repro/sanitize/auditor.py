@@ -48,7 +48,7 @@ shows *what the simulation was doing* when the invariant broke.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
 
 from ..obs.trace import format_event

@@ -197,6 +197,9 @@ def run_check(
         note(f"auditing: {cfg.describe()}")
         try:
             _, auditor = run_single_audited(cfg, mode="collect")
+        # repro-lint: disable=EXC001 -- the audit harness records any
+        # crash (including invariant errors) as a suite failure; the
+        # report, not the exception, is the product here
         except Exception as exc:  # noqa: BLE001 - a crash is a finding
             report.suite_failures.append(
                 SuiteFailure(config=cfg.describe(), error=repr(exc))

@@ -18,10 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-import numpy as np
-
 from ..core.config import ExperimentConfig
 from ..faults import FaultConfig
+from ..sim.rng import RngFactory
 from .auditor import Violation, run_single_audited
 
 #: default master seed for ``repro check`` fuzzing
@@ -30,7 +29,7 @@ DEFAULT_FUZZ_SEED = 20060619
 
 def fuzz_case_config(master_seed: int, index: int) -> ExperimentConfig:
     """Build fuzz case ``index`` — a pure function of the two seeds."""
-    rng = np.random.default_rng([master_seed, index])
+    rng = RngFactory(master_seed).generator("fuzz", index)
     n_clusters = int(rng.integers(1, 5))
     nodes = tuple(int(rng.choice((8, 16, 32))) for _ in range(n_clusters))
     algorithm = str(rng.choice(("fcfs", "easy", "cbf")))
@@ -134,6 +133,8 @@ def run_fuzz(
             progress(f"fuzz case {index + 1}/{n_cases}: {config.describe()}")
         try:
             _, auditor = run_single_audited(config, mode="collect")
+        # repro-lint: disable=EXC001 -- fuzzing *wants* the crash: it is
+        # recorded as a FuzzFailure finding rather than propagated
         except Exception as exc:  # noqa: BLE001 - any crash is a finding
             report.failures.append(FuzzFailure(
                 index=index, config=config.describe(), error=repr(exc),

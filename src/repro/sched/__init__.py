@@ -4,12 +4,20 @@ Each scheduler manages a single queue with no priorities, exactly the
 configuration the paper simulates (Section 3.1.1).
 """
 
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
 from .base import Scheduler, SchedulerError, QueueStats, expected_releases
 from .cbf import CBFScheduler
 from .easy import EASYScheduler
 from .fcfs import FCFSScheduler
 from .job import Request, RequestState, reset_request_ids
 from .profile import Profile, ProfileError
+
+if TYPE_CHECKING:  # typing-only: avoids importing cluster/sim here
+    from ..cluster.cluster import Cluster
+    from ..sim.engine import Simulator
 
 ALGORITHMS = {
     "fcfs": FCFSScheduler,
@@ -18,7 +26,9 @@ ALGORITHMS = {
 }
 
 
-def make_scheduler(algorithm: str, sim, cluster, **kwargs) -> Scheduler:
+def make_scheduler(
+    algorithm: str, sim: Simulator, cluster: Cluster, **kwargs: Any
+) -> Scheduler:
     """Instantiate a scheduler by its short name (``fcfs``/``easy``/``cbf``)."""
     try:
         cls = ALGORITHMS[algorithm.lower()]

@@ -35,6 +35,9 @@ _request_ids = itertools.count()
 def reset_request_ids() -> None:
     """Reset the global request-id counter (test isolation helper)."""
     global _request_ids
+    # repro-lint: disable=PAR001 -- deliberate per-process reset: the
+    # trace layer calls this at the start of every task precisely so
+    # request ids are identical no matter which worker runs the task
     _request_ids = itertools.count()
 
 

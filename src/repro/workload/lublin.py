@@ -197,6 +197,9 @@ def empirical_mean_area(
 ) -> float:
     """Monte-Carlo estimate of the mean job area (node·seconds)."""
     params = params or LublinParams()
+    # repro-lint: disable=DET001 -- pinned calibration stream: the
+    # runtime_scale this fit produces is baked into every experiment
+    # and the golden traces; rekeying it would shift all expectations
     gen = LublinGenerator(params, max_nodes, np.random.default_rng(seed))
     total = 0.0
     for _ in range(n):
@@ -254,6 +257,7 @@ def empirical_mean_runtime(
 ) -> float:
     """Monte-Carlo estimate of the model's mean runtime (calibration aid)."""
     params = params or LublinParams()
+    # repro-lint: disable=DET001 -- pinned calibration stream, as above
     gen = LublinGenerator(params, max_nodes, np.random.default_rng(seed))
     total = 0.0
     for _ in range(n):

@@ -95,18 +95,16 @@ class TestSeriesHelpers:
         assert growth_rate([(0.0, 1.0)], 0.0, 10.0) == 0.0
 
 
-class TestDeprecatedShim:
-    def test_core_tracing_warns_and_reexports(self):
+class TestDeprecatedShimRemoved:
+    def test_core_tracing_shim_is_gone(self):
+        # the PR-3 rename shim has been deleted; the old import path
+        # must fail loudly rather than silently resurface
         import importlib
         import sys
 
         sys.modules.pop("repro.core.tracing", None)
-        with pytest.warns(DeprecationWarning, match="analysis.timelines"):
-            shim = importlib.import_module("repro.core.tracing")
-        from repro.analysis import timelines
-
-        assert shim.queue_length_timeline is timelines.queue_length_timeline
-        assert shim.peak is timelines.peak
+        with pytest.raises(ModuleNotFoundError):
+            importlib.import_module("repro.core.tracing")
 
 
 class TestQueueGrowthReconstruction:

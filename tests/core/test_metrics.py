@@ -1,5 +1,6 @@
 """Tests for schedule-quality metrics."""
 
+import logging
 import math
 
 import numpy as np
@@ -134,12 +135,17 @@ class TestSummarizeRatios:
         pairs = [(1.0, 2.0), (9.0, 3.0), (2.0, 0.0)]
         assert summarize_ratios(pairs).mean == mean_of_ratios(pairs)
 
-    def test_mean_of_ratios_warns_when_dropping(self, caplog):
+    def test_mean_of_ratios_warns_when_dropping(self, caplog, monkeypatch):
+        # setup_logging() (run by any earlier CLI-driven test) stops
+        # propagation at the "repro" logger; restore it so caplog's
+        # root handler sees the record regardless of test order.
+        monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
         with caplog.at_level("WARNING", logger="repro.core.metrics"):
             mean_of_ratios([(1.0, 0.0), (2.0, 4.0)])
         assert any("dropped 1 of 2" in r.getMessage() for r in caplog.records)
 
-    def test_mean_of_ratios_silent_when_clean(self, caplog):
+    def test_mean_of_ratios_silent_when_clean(self, caplog, monkeypatch):
+        monkeypatch.setattr(logging.getLogger("repro"), "propagate", True)
         with caplog.at_level("WARNING", logger="repro.core.metrics"):
             mean_of_ratios([(2.0, 4.0)])
         assert not caplog.records

@@ -1,0 +1,59 @@
+"""Shared helpers for the lint test suite.
+
+Positive fixtures under ``fixtures/repro/`` mark every line a rule must
+flag with ``# EXPECT: RULE[, RULE]``; :func:`assert_rule_matches` runs
+one rule over a fixture and compares flagged line numbers against the
+markers in both directions, so a rule that over- or under-fires fails
+with the exact line diff.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lint.engine import lint_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+_EXPECT_RE = re.compile(r"#\s*EXPECT:\s*(?P<rules>[A-Z0-9_]+(?:\s*,\s*[A-Z0-9_]+)*)")
+
+
+def expected_lines(path: Path, rule: str) -> list[int]:
+    """1-based lines carrying an ``# EXPECT:`` marker naming ``rule``."""
+    out = []
+    for lineno, text in enumerate(path.read_text().splitlines(), 1):
+        m = _EXPECT_RE.search(text)
+        if m and rule in [r.strip() for r in m.group("rules").split(",")]:
+            out.append(lineno)
+    return out
+
+
+def rule_findings(relpath: str, rule: str):
+    """Run a single rule over one fixture file."""
+    path = FIXTURES / relpath
+    return lint_file(path, rule_filter={rule}, display_path=relpath)
+
+
+def assert_rule_matches(relpath: str, rule: str) -> None:
+    """Findings of ``rule`` on the fixture == its EXPECT-marked lines."""
+    path = FIXTURES / relpath
+    expected = expected_lines(path, rule)
+    got = sorted(f.line for f in rule_findings(relpath, rule) if f.rule == rule)
+    assert got == expected, (
+        f"{relpath}: {rule} flagged lines {got}, fixture expects {expected}"
+    )
+
+
+@pytest.fixture
+def lint_snippet(tmp_path):
+    """Write source to a scratch file and lint it (optionally filtered)."""
+
+    def _lint(source, name="scratch.py", rules=None):
+        path = tmp_path / name
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+        rule_filter = set(rules) if rules is not None else None
+        return lint_file(path, rule_filter=rule_filter, display_path=name)
+
+    return _lint

@@ -1,0 +1,6 @@
+"""API001 negative fixture: unannotated, but outside the typed packages
+(``analysis`` is not covered by the strict mypy gate)."""
+
+
+def unannotated(frame):
+    return frame

@@ -1,0 +1,20 @@
+"""DET001 fixture outside the strict packages: wall-clock reads are
+flagged everywhere, timing clocks only inside the simulation substrate
+(so ``perf_counter`` here is legitimate instrumentation)."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()  # EXPECT: DET001
+
+
+def now():
+    return datetime.now()  # EXPECT: DET001
+
+
+def measure(fn):
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0

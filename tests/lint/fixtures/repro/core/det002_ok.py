@@ -1,0 +1,22 @@
+"""DET002 negative fixture: ordered or order-restored iteration."""
+
+
+def sorted_iteration(items):
+    seen = set(items)
+    return [name for name in sorted(seen)]
+
+
+def dict_iteration(table):
+    return [key for key in table]
+
+
+def list_materialise(rows):
+    data = list(rows)
+    return list(data)
+
+
+def mixed_rebinding(items, flag):
+    maybe = set(items)
+    if flag:
+        maybe = list(items)
+    return list(maybe)

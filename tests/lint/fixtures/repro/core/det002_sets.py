@@ -1,0 +1,28 @@
+"""DET002 positive fixture: set iteration order leaking into results."""
+
+
+def loop_over_set(items):
+    seen = set(items)
+    names = []
+    for name in seen:  # EXPECT: DET002
+        names.append(name)
+    return names
+
+
+def comprehension(tags: set):
+    return [t.upper() for t in tags]  # EXPECT: DET002
+
+
+def materialise(items):
+    pending = {i for i in items}
+    return list(pending)  # EXPECT: DET002
+
+
+def alias_chain(items):
+    first = set(items)
+    second = first
+    return tuple(second)  # EXPECT: DET002
+
+
+def union_result(a: set, b: set):
+    return [x for x in a | b]  # EXPECT: DET002

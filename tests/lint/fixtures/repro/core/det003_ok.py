@@ -1,0 +1,17 @@
+"""DET003 negative fixture: order-independent accumulation."""
+
+import math
+
+
+def total_sorted(values):
+    bag = set(values)
+    return sum(sorted(bag))
+
+
+def total_fsum(values):
+    bag = set(values)
+    return math.fsum(sorted(bag))
+
+
+def total_sequence(values):
+    return sum(values)

@@ -1,0 +1,15 @@
+"""DET003 positive fixture: float accumulation in set hash order."""
+
+
+def total_direct(values):
+    bag = set(values)
+    return sum(bag)  # EXPECT: DET003
+
+
+def total_genexp(values):
+    bag = set(values)
+    return sum(v * 2.0 for v in bag)  # EXPECT: DET002, DET003
+
+
+def total_annotated(weights: frozenset):
+    return sum(weights)  # EXPECT: DET003

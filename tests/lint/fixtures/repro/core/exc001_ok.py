@@ -1,0 +1,24 @@
+"""EXC001 negative fixture: specific handlers and re-raising boundaries."""
+
+
+def specific(task):
+    try:
+        return task()
+    except ValueError:
+        return None
+
+
+def boundary(task):
+    try:
+        return task()
+    except Exception as exc:
+        raise RuntimeError("task failed") from exc
+
+
+def conditional_reraise(task, strict):
+    try:
+        return task()
+    except Exception:
+        if strict:
+            raise
+        return None

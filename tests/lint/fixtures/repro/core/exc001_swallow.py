@@ -1,0 +1,22 @@
+"""EXC001 positive fixture: broad handlers that never re-raise."""
+
+
+def swallow_all(task):
+    try:
+        return task()
+    except:  # EXPECT: EXC001  # noqa: E722
+        return None
+
+
+def swallow_exception(task):
+    try:
+        return task()
+    except Exception:  # EXPECT: EXC001
+        return None
+
+
+def swallow_in_tuple(task):
+    try:
+        return task()
+    except (ValueError, BaseException):  # EXPECT: EXC001
+        return None

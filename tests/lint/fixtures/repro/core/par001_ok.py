@@ -1,0 +1,23 @@
+"""PAR001 negative fixture: immutable globals and local mutation."""
+
+_LIMITS = (1, 2, 3)
+_NAME = "worker"
+
+
+def local_mutation(rows):
+    cache = {}
+    for row in rows:
+        cache[row] = True
+    return cache
+
+
+def read_only():
+    return _LIMITS[0], _NAME
+
+
+class Tracker:
+    def __init__(self):
+        self.rows = []
+
+    def add(self, row):
+        self.rows.append(row)

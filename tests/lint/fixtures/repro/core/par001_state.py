@@ -1,0 +1,22 @@
+"""PAR001 positive fixture: module-level state mutated at call time."""
+
+_CACHE = {}
+_COUNTER = 0
+_RESULTS = []
+
+
+def remember(key, value):
+    _CACHE[key] = value  # EXPECT: PAR001
+
+
+def bump():
+    global _COUNTER
+    _COUNTER += 1  # EXPECT: PAR001
+
+
+def record(row):
+    _RESULTS.append(row)  # EXPECT: PAR001
+
+
+def forget(key):
+    del _CACHE[key]  # EXPECT: PAR001

@@ -1,0 +1,20 @@
+"""API001 positive fixture: public surface with annotation gaps."""
+
+
+def make_queue(depth):  # EXPECT: API001
+    return [None] * depth
+
+
+def drain(queue, limit: int):  # EXPECT: API001
+    return queue[:limit]
+
+
+class Policy:
+    def __init__(self, horizon):  # EXPECT: API001
+        self.horizon = horizon
+
+    def admit(self, job) -> bool:  # EXPECT: API001
+        return job is not None
+
+    def _internal(self, job):
+        return job

@@ -1,0 +1,23 @@
+"""API001 negative fixture: fully annotated or private callables."""
+
+from __future__ import annotations
+
+
+def make_queue(depth: int) -> list:
+    return [None] * depth
+
+
+class Policy:
+    def __init__(self, horizon: float) -> None:
+        self.horizon = horizon
+
+    @staticmethod
+    def version() -> str:
+        return "1"
+
+    def _internal(self, job):
+        return job
+
+
+def _helper(x):
+    return x

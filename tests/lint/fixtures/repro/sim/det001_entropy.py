@@ -1,0 +1,38 @@
+"""DET001 positive fixture: banned entropy/time sources in a strict
+package (this path resolves to module ``sim.det001_entropy``)."""
+
+import os
+import time
+import uuid
+
+import numpy as np
+import random  # EXPECT: DET001
+from random import shuffle  # EXPECT: DET001
+
+
+def stamp():
+    return time.time()  # EXPECT: DET001
+
+
+def measure():
+    return time.perf_counter()  # EXPECT: DET001
+
+
+def fresh_generator():
+    return np.random.default_rng()  # EXPECT: DET001
+
+
+def draw(n):
+    return np.random.normal(size=n)  # EXPECT: DET001
+
+
+def token():
+    return os.urandom(8)  # EXPECT: DET001
+
+
+def tag():
+    return uuid.uuid4()  # EXPECT: DET001
+
+
+def pick(items):
+    return random.choice(items)  # EXPECT: DET001

@@ -1,0 +1,13 @@
+"""DET001 negative fixture: this path resolves to module ``sim.rng``,
+the one blessed module allowed to touch numpy RNG machinery."""
+
+import numpy as np
+
+
+def make_generator(seed):
+    return np.random.default_rng(seed)
+
+
+def reseed_legacy(seed):
+    np.random.seed(seed)
+    return np.random.RandomState(seed)

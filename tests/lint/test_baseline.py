@@ -1,0 +1,104 @@
+"""Baseline round-trip: snapshot, reload, absorb, budget exhaustion."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint.baseline import Baseline, BaselineError
+from repro.lint.engine import run_lint
+
+VIOLATION = textwrap.dedent(
+    """
+    import time
+
+
+    def stamp():
+        return time.time()
+    """
+)
+
+
+def write_module(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(source)
+    return path
+
+
+class TestRoundTrip:
+    def test_snapshot_write_load_suppresses_same_findings(self, tmp_path):
+        mod = write_module(tmp_path, "mod.py", VIOLATION)
+        first = run_lint([mod])
+        assert first.exit_code == 1
+
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.snapshot(first.findings).write(
+            baseline_path, findings=first.findings
+        )
+
+        second = run_lint([mod], baseline=baseline_path)
+        assert second.exit_code == 0
+        assert second.baselined == len(first.findings)
+
+    def test_baseline_survives_pure_line_shift(self, tmp_path):
+        mod = write_module(tmp_path, "mod.py", VIOLATION)
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.snapshot(run_lint([mod]).findings).write(baseline_path)
+
+        # prepend declarations: every finding moves down four lines
+        mod.write_text("A = 1\nB = 2\nC = 3\nD = 4\n" + VIOLATION)
+        shifted = run_lint([mod], baseline=baseline_path)
+        assert shifted.exit_code == 0
+
+    def test_new_occurrence_beyond_budget_still_fails(self, tmp_path):
+        mod = write_module(tmp_path, "mod.py", VIOLATION)
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.snapshot(run_lint([mod]).findings).write(baseline_path)
+
+        # duplicate the offending function: same fingerprint, count 2 > 1
+        mod.write_text(
+            VIOLATION + "\n\ndef stamp_again():\n    return time.time()\n"
+        )
+        over = run_lint([mod], baseline=baseline_path)
+        assert over.exit_code == 1
+        assert over.baselined >= 1  # budgeted occurrences stay tolerated
+
+    def test_written_file_carries_schema_and_context(self, tmp_path):
+        mod = write_module(tmp_path, "mod.py", VIOLATION)
+        result = run_lint([mod])
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.snapshot(result.findings).write(
+            baseline_path, findings=result.findings
+        )
+        payload = json.loads(baseline_path.read_text())
+        assert payload["schema"] == 1
+        entry = payload["findings"][0]
+        assert set(entry) == {"fingerprint", "count", "rule", "path", "snippet"}
+
+
+class TestValidation:
+    def test_empty_repo_baseline_is_valid_and_empty(self):
+        # the checked-in gate baseline must stay schema-valid and strict
+        from pathlib import Path
+
+        repo_baseline = Path(__file__).resolve().parents[2] / "lint-baseline.json"
+        base = Baseline.load(repo_baseline)
+        assert base.entries == {}
+
+    def test_malformed_json_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(BaselineError):
+            Baseline.load(bad)
+
+    def test_wrong_schema_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": 99, "findings": []}))
+        with pytest.raises(BaselineError):
+            Baseline.load(bad)
+
+    def test_entry_without_fingerprint_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": 1, "findings": [{"count": 1}]}))
+        with pytest.raises(BaselineError):
+            Baseline.load(bad)

@@ -1,0 +1,113 @@
+"""``repro lint`` CLI: exit codes, filters, formats, baseline flags."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main
+
+CLEAN = "def identity(x):\n    return x\n"
+
+VIOLATION = textwrap.dedent(
+    """
+    import time
+
+
+    def stamp():
+        return time.time()
+    """
+)
+
+
+@pytest.fixture
+def scratch(tmp_path):
+    def _write(source, name="scratch.py"):
+        path = tmp_path / name
+        path.write_text(source)
+        return str(path)
+
+    return _write
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, scratch):
+        assert main(["-q", "lint", scratch(CLEAN)]) == 0
+
+    def test_seeded_det001_violation_fails_the_gate(self, scratch, capsys):
+        # acceptance criterion: a wall-clock read in a scratch file must
+        # flip the lint exit code to 1 (this is what CI runs on src/)
+        rc = main(["-q", "lint", scratch(VIOLATION)])
+        assert rc == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_no_paths_is_usage_error(self):
+        assert main(["-q", "lint"]) == 2
+
+    def test_unknown_rule_is_usage_error(self, scratch):
+        assert main(["-q", "lint", scratch(CLEAN), "--rule", "NOPE999"]) == 2
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        assert main(["-q", "lint", str(tmp_path / "absent.py")]) == 2
+
+    def test_unreadable_baseline_is_usage_error(self, scratch, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        rc = main(["-q", "lint", scratch(CLEAN), "--baseline", str(bad)])
+        assert rc == 2
+
+
+class TestFiltersAndFormats:
+    def test_rule_filter_limits_findings(self, scratch, capsys):
+        path = scratch(VIOLATION)
+        rc = main(["-q", "lint", path, "--rule", "EXC001"])
+        out = capsys.readouterr().out
+        assert rc == 0  # the DET001 hit is filtered out
+        assert "DET001" not in out
+
+    def test_rule_filter_is_case_insensitive(self, scratch):
+        assert main(["-q", "lint", scratch(VIOLATION), "--rule", "det001"]) == 1
+
+    def test_json_format_parses_and_carries_exit_code(self, scratch, capsys):
+        rc = main(["-q", "lint", scratch(VIOLATION), "--format", "json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert rc == payload["exit_code"] == 1
+        assert payload["findings"][0]["rule"] == "DET001"
+
+    def test_list_rules_covers_the_catalogue(self, capsys):
+        assert main(["-q", "lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "DET001",
+            "DET002",
+            "DET003",
+            "PAR001",
+            "EXC001",
+            "API001",
+            "LNT001",
+        ):
+            assert rule_id in out
+
+
+class TestBaselineFlow:
+    def test_write_then_use_baseline(self, scratch, tmp_path, capsys):
+        path = scratch(VIOLATION)
+        baseline = str(tmp_path / "baseline.json")
+
+        assert main(["-q", "lint", path, "--write-baseline", baseline]) == 0
+        capsys.readouterr()  # drop the snapshot run's output
+
+        assert main(["-q", "lint", path, "--baseline", baseline]) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+
+    def test_show_suppressed_reveals_baselined_findings(
+        self, scratch, tmp_path, capsys
+    ):
+        path = scratch(VIOLATION)
+        baseline = str(tmp_path / "baseline.json")
+        main(["-q", "lint", path, "--write-baseline", baseline])
+        capsys.readouterr()
+
+        main(["-q", "lint", path, "--baseline", baseline, "--show-suppressed"])
+        assert "[baselined]" in capsys.readouterr().out

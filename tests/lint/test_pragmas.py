@@ -1,0 +1,125 @@
+"""Waiver pragmas and their meta-rules (LNT001/LNT002/LNT003)."""
+
+import textwrap
+
+
+def rules_of(findings):
+    return sorted(f.rule for f in findings)
+
+
+class TestWaivers:
+    def test_trailing_pragma_waives_finding_on_its_line(self, lint_snippet):
+        source = textwrap.dedent(
+            """
+            import time
+
+
+            def stamp():
+                return time.time()  # repro-lint: disable=DET001 -- test fixture
+            """
+        )
+        findings = lint_snippet(source)
+        det = [f for f in findings if f.rule == "DET001"]
+        assert len(det) == 1 and det[0].waived and det[0].suppressed
+        # a used, justified pragma produces no meta-findings
+        assert not [f for f in findings if f.rule.startswith("LNT")]
+
+    def test_comment_line_pragma_covers_next_code_line(self, lint_snippet):
+        source = textwrap.dedent(
+            """
+            import time
+
+
+            def stamp():
+                # repro-lint: disable=DET001 -- justification spanning a
+                # continuation comment line before the code it covers
+                return time.time()
+            """
+        )
+        findings = lint_snippet(source)
+        det = [f for f in findings if f.rule == "DET001"]
+        assert len(det) == 1 and det[0].waived
+        assert not [f for f in findings if f.rule.startswith("LNT")]
+
+    def test_file_pragma_waives_every_occurrence(self, lint_snippet):
+        source = textwrap.dedent(
+            """
+            # repro-lint: disable-file=DET001 -- test fixture
+            import time
+
+
+            def stamp():
+                return time.time()
+
+
+            def stamp_ns():
+                return time.time_ns()
+            """
+        )
+        findings = lint_snippet(source)
+        det = [f for f in findings if f.rule == "DET001"]
+        assert len(det) == 2 and all(f.waived for f in det)
+
+    def test_pragma_for_other_rule_does_not_waive(self, lint_snippet):
+        source = textwrap.dedent(
+            """
+            import time
+
+
+            def stamp():
+                return time.time()  # repro-lint: disable=EXC001 -- wrong rule
+            """
+        )
+        findings = lint_snippet(source)
+        det = [f for f in findings if f.rule == "DET001"]
+        assert len(det) == 1 and not det[0].waived
+        # and the EXC001 waiver is reported stale
+        assert "LNT002" in rules_of(findings)
+
+    def test_docstring_mentioning_pragma_is_inert(self, lint_snippet):
+        source = textwrap.dedent(
+            '''
+            def helper():
+                """Docs may show '# repro-lint: disable=DET001 -- x' safely."""
+                return 1
+            '''
+        )
+        assert lint_snippet(source) == []
+
+
+class TestMetaRules:
+    def test_lnt001_unjustified_pragma(self, lint_snippet):
+        source = textwrap.dedent(
+            """
+            import time
+
+
+            def stamp():
+                return time.time()  # repro-lint: disable=DET001
+            """
+        )
+        findings = lint_snippet(source)
+        assert "LNT001" in rules_of(findings)
+        # the waiver still applies; only the missing justification errors
+        det = [f for f in findings if f.rule == "DET001"]
+        assert det[0].waived
+
+    def test_lnt002_stale_pragma(self, lint_snippet):
+        source = "x = 1  # repro-lint: disable=DET001 -- nothing here\n"
+        findings = lint_snippet(source)
+        assert rules_of(findings) == ["LNT002"]
+
+    def test_lnt003_unknown_rule(self, lint_snippet):
+        source = "x = 1  # repro-lint: disable=NOPE999 -- bogus\n"
+        findings = lint_snippet(source)
+        assert rules_of(findings) == ["LNT003"]
+
+    def test_meta_rules_cannot_be_waived(self, lint_snippet):
+        source = "x = 1  # repro-lint: disable=LNT002 -- self-excusing\n"
+        findings = lint_snippet(source)
+        assert "LNT003" in rules_of(findings)
+        assert not any(f.waived for f in findings)
+
+    def test_lnt000_syntax_error(self, lint_snippet):
+        findings = lint_snippet("def broken(:\n")
+        assert rules_of(findings) == ["LNT000"]

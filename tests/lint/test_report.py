@@ -1,0 +1,86 @@
+"""Report renderers: JSON schema pin and text summary format."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint.engine import run_lint
+from repro.lint.findings import FINDING_FIELDS
+from repro.lint.report import render_json, render_text
+
+SOURCE = textwrap.dedent(
+    """
+    import time
+
+
+    def stamp():
+        return time.time()
+
+
+    def waived():
+        return time.time()  # repro-lint: disable=DET001 -- test fixture
+    """
+)
+
+
+@pytest.fixture
+def result(tmp_path):
+    mod = tmp_path / "mod.py"
+    mod.write_text(SOURCE)
+    return run_lint([mod])
+
+
+class TestJson:
+    def test_schema_and_top_level_keys(self, result):
+        payload = json.loads(render_json(result))
+        assert list(payload) == [
+            "schema",
+            "tool",
+            "summary",
+            "findings",
+            "exit_code",
+        ]
+        assert payload["schema"] == 1
+        assert payload["tool"] == "repro-lint"
+        assert payload["exit_code"] == 1
+
+    def test_summary_counts(self, result):
+        payload = json.loads(render_json(result))
+        assert payload["summary"] == {
+            "files_checked": 1,
+            "findings": 2,
+            "errors": 1,
+            "warnings": 0,
+            "waived": 1,
+            "baselined": 0,
+        }
+
+    def test_each_finding_matches_the_pinned_field_schema(self, result):
+        payload = json.loads(render_json(result))
+        for finding in payload["findings"]:
+            assert tuple(finding) == FINDING_FIELDS
+        waived_flags = sorted(f["waived"] for f in payload["findings"])
+        assert waived_flags == [False, True]
+
+    def test_output_is_deterministic(self, result):
+        assert render_json(result) == render_json(result)
+
+
+class TestText:
+    def test_hides_suppressed_by_default(self, result):
+        text = render_text(result)
+        assert "[waived]" not in text
+        assert "DET001" in text
+        assert "checked 1 files: 1 errors, 0 warnings (1 waived, 0 baselined)" in text
+
+    def test_show_suppressed_renders_the_waived_finding(self, result):
+        text = render_text(result, show_suppressed=True)
+        assert "[waived]" in text
+
+    def test_line_format_is_path_line_col_rule(self, result):
+        first = render_text(result).splitlines()[0]
+        path, line, col, rest = first.split(":", 3)
+        assert path.endswith("mod.py")
+        assert line.isdigit() and col.isdigit()
+        assert rest.strip().startswith("DET001 error")

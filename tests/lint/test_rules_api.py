@@ -1,0 +1,26 @@
+"""API001 against its positive and negative fixtures."""
+
+from .conftest import assert_rule_matches, rule_findings
+
+
+class TestApi001:
+    def test_flags_annotation_gaps_in_typed_packages(self):
+        assert_rule_matches("repro/sched/api001_gaps.py", "API001")
+
+    def test_fully_annotated_surface_passes(self):
+        assert rule_findings("repro/sched/api001_ok.py", "API001") == []
+
+    def test_packages_outside_typing_gate_are_exempt(self):
+        assert (
+            rule_findings("repro/analysis/api001_out_of_scope.py", "API001")
+            == []
+        )
+
+    def test_message_lists_the_missing_pieces(self):
+        findings = rule_findings("repro/sched/api001_gaps.py", "API001")
+        by_line = {f.snippet.split("(")[0]: f.message for f in findings}
+        assert "parameter 'depth'" in by_line["def make_queue"]
+        assert "return type" in by_line["def make_queue"]
+        # annotated parameter must not be reported
+        assert "'limit'" not in by_line["def drain"]
+        assert "parameter 'queue'" in by_line["def drain"]

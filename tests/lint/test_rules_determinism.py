@@ -1,0 +1,68 @@
+"""DET001/DET002/DET003 against their positive and negative fixtures."""
+
+import textwrap
+
+from repro.lint.findings import Severity
+
+from .conftest import assert_rule_matches, rule_findings
+
+
+class TestDet001:
+    def test_flags_every_entropy_source_in_strict_package(self):
+        assert_rule_matches("repro/sim/det001_entropy.py", "DET001")
+
+    def test_blessed_rng_module_is_exempt(self):
+        assert rule_findings("repro/sim/rng.py", "DET001") == []
+
+    def test_wall_clock_flagged_outside_strict_packages(self):
+        # time.time()/datetime.now() fire everywhere; perf_counter in
+        # the same file (analysis package) stays legal instrumentation.
+        assert_rule_matches("repro/analysis/det001_wallclock.py", "DET001")
+
+    def test_findings_are_errors_with_guidance(self):
+        findings = rule_findings("repro/sim/det001_entropy.py", "DET001")
+        assert findings
+        assert all(f.severity is Severity.ERROR for f in findings)
+        assert any("RngFactory" in f.message for f in findings)
+
+    def test_scratch_file_outside_repro_gets_wall_clock_only(self, lint_snippet):
+        source = textwrap.dedent(
+            """
+            import time
+
+
+            def stamp():
+                return time.time()
+
+
+            def measure():
+                return time.perf_counter()
+            """
+        )
+        findings = lint_snippet(source, rules={"DET001"})
+        assert [f.snippet for f in findings] == ["return time.time()"]
+
+
+class TestDet002:
+    def test_flags_set_iteration_flavours(self):
+        assert_rule_matches("repro/core/det002_sets.py", "DET002")
+
+    def test_sorted_and_sequence_iteration_pass(self):
+        assert rule_findings("repro/core/det002_ok.py", "DET002") == []
+
+    def test_mentions_hash_order_and_fix(self):
+        findings = rule_findings("repro/core/det002_sets.py", "DET002")
+        assert all("sorted" in f.message for f in findings)
+
+
+class TestDet003:
+    def test_flags_sum_over_sets(self):
+        assert_rule_matches("repro/core/det003_sum.py", "DET003")
+
+    def test_ordered_accumulation_passes(self):
+        assert rule_findings("repro/core/det003_ok.py", "DET003") == []
+
+    def test_is_a_warning(self):
+        findings = rule_findings("repro/core/det003_sum.py", "DET003")
+        assert findings
+        assert all(f.severity is Severity.WARNING for f in findings)

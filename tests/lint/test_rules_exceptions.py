@@ -1,0 +1,17 @@
+"""EXC001 against its positive and negative fixtures."""
+
+from .conftest import assert_rule_matches, rule_findings
+
+
+class TestExc001:
+    def test_flags_broad_handlers_without_reraise(self):
+        assert_rule_matches("repro/core/exc001_swallow.py", "EXC001")
+
+    def test_specific_or_reraising_handlers_pass(self):
+        assert rule_findings("repro/core/exc001_ok.py", "EXC001") == []
+
+    def test_message_names_the_swallowed_invariants(self):
+        findings = rule_findings("repro/core/exc001_swallow.py", "EXC001")
+        assert findings
+        assert all("InvariantError" in f.message for f in findings)
+        assert all("SchedulerDownError" in f.message for f in findings)

@@ -1,0 +1,20 @@
+"""PAR001 against its positive and negative fixtures."""
+
+from repro.lint.findings import Severity
+
+from .conftest import assert_rule_matches, rule_findings
+
+
+class TestPar001:
+    def test_flags_global_rebind_and_inplace_mutation(self):
+        assert_rule_matches("repro/core/par001_state.py", "PAR001")
+
+    def test_local_and_instance_mutation_pass(self):
+        assert rule_findings("repro/core/par001_ok.py", "PAR001") == []
+
+    def test_findings_name_the_offending_global(self):
+        findings = rule_findings("repro/core/par001_state.py", "PAR001")
+        assert findings
+        assert all(f.severity is Severity.ERROR for f in findings)
+        named = {f.message.split("'")[1] for f in findings}
+        assert named == {"_CACHE", "_COUNTER", "_RESULTS"}

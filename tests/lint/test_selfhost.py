@@ -1,0 +1,35 @@
+"""The linter must hold its own gate: ``repro lint src/`` stays clean.
+
+Every waiver on the tree is justified (LNT001 would fire otherwise) and
+used (LNT002), so this test is exactly the CI gate: zero unwaived,
+unbaselined findings over the shipped sources.
+"""
+
+from pathlib import Path
+
+from repro.lint.engine import run_lint
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestSelfHost:
+    def test_src_tree_is_clean(self):
+        result = run_lint([REPO_ROOT / "src"])
+        offending = [f.render() for f in result.active]
+        assert offending == [], "\n".join(offending)
+        assert result.exit_code == 0
+        assert result.files_checked > 50
+
+    def test_src_tree_is_clean_against_checked_in_baseline(self):
+        result = run_lint(
+            [REPO_ROOT / "src"],
+            baseline=REPO_ROOT / "lint-baseline.json",
+        )
+        assert result.exit_code == 0
+        # the baseline is empty: nothing may hide behind it
+        assert result.baselined == 0
+
+    def test_every_waiver_on_the_tree_is_justified_and_used(self):
+        result = run_lint([REPO_ROOT / "src"])
+        meta = [f for f in result.findings if f.rule.startswith("LNT")]
+        assert meta == [], "\n".join(f.render() for f in meta)

@@ -1,0 +1,29 @@
+"""Benchmark tooling: profiling harness and bench-artifact comparison.
+
+``repro bench`` times the sweep engine; this package adds the two
+companion tools the bench *trajectory* workflow needs:
+
+* :mod:`repro.bench.profiling` — run a sweep under :mod:`cProfile` with
+  per-phase (generate/simulate/aggregate) wall-clock attribution, so a
+  regression can be localised before anyone stares at flamegraphs;
+* :mod:`repro.bench.compare` — diff two ``repro bench --json`` payloads
+  benchmark-by-benchmark and fail loudly on regressions, which is what
+  CI runs against the checked-in ``BENCH_*.json`` trajectory.
+"""
+
+from .compare import (
+    REGRESSION_THRESHOLD,
+    BenchComparison,
+    compare_payloads,
+    load_bench_payload,
+)
+from .profiling import ProfileReport, profile_sweep
+
+__all__ = [
+    "REGRESSION_THRESHOLD",
+    "BenchComparison",
+    "ProfileReport",
+    "compare_payloads",
+    "load_bench_payload",
+    "profile_sweep",
+]

@@ -8,6 +8,8 @@ Usage::
     repro run all --scale default   # everything, in order
     repro run fig1 --workers 8 --cache-dir ~/.cache/repro
     repro bench --json bench.json   # machine-readable sweep timings
+    repro bench --profile           # cProfile + phase attribution
+    repro bench --compare old.json new.json   # regression gate (>20%)
     repro check --quick             # runtime invariant audit (CI smoke)
     repro check --fuzz 50           # full audit + 50 fuzz cases
     repro check --config '{"algorithm": "cbf", "scheme": "R2"}'
@@ -138,6 +140,27 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="write machine-readable timings to PATH ('-' for stdout only)",
+    )
+    bench.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile a serial sweep instead of timing it: cProfile "
+        "hot spots plus generate/simulate/aggregate phase attribution",
+    )
+    bench.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        help="hot functions to show with --profile (default 20)",
+    )
+    bench.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        default=None,
+        help="compare two bench --json payloads (or BENCH_*.json "
+        "trajectory wrappers) instead of running; exits non-zero when "
+        "any benchmark regressed by more than 20%%",
     )
 
     check = sub.add_parser(
@@ -296,6 +319,52 @@ def cmd_run(
                 path = directory / f"{exp_id}_table{i}.csv"
                 table_to_csv(table, path)
                 _log.info("wrote %s", path)
+    return 0
+
+
+def cmd_bench_compare(old_path: str, new_path: str) -> int:
+    """Diff two bench payloads; exit 1 on any >20% regression."""
+    from .bench import compare_payloads, load_bench_payload
+
+    try:
+        old = load_bench_payload(old_path)
+        new = load_bench_payload(new_path)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        _log.error("%s", exc)
+        return 2
+    comparison = compare_payloads(old, new)
+    print(f"bench compare: {old_path} -> {new_path}")
+    print(comparison.render())
+    return 0 if comparison.ok else 1
+
+
+def cmd_bench_profile(
+    schemes: Optional[Sequence[str]],
+    replications: int,
+    top: int,
+    json_path: Optional[str],
+) -> int:
+    """Profile a serial sweep; phase attribution + cProfile hot spots."""
+    from .bench import profile_sweep
+    from .core.config import ExperimentConfig
+    from .core.schemes import PAPER_SCHEME_ORDER
+
+    schemes = list(schemes) if schemes else list(PAPER_SCHEME_ORDER)
+    cfg = ExperimentConfig(
+        n_clusters=5, nodes_per_cluster=32, duration=900.0,
+        offered_load=2.0, drain=True, seed=20060619,
+    )
+    _log.info(
+        "profiling %d schemes x %d replications (serial, cProfile)",
+        len(schemes), replications,
+    )
+    report = profile_sweep(cfg, schemes, replications, top=top)
+    if json_path and json_path != "-":
+        Path(json_path).write_text(
+            json.dumps(report.as_dict(), indent=2, sort_keys=True) + "\n"
+        )
+        _log.info("wrote %s", json_path)
+    print(report.render())
     return 0
 
 
@@ -555,6 +624,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_run(args.experiment, args.scale, args.workers,
                        args.json, args.csv, args.cache_dir, args.no_cache)
     if args.command == "bench":
+        if args.compare is not None:
+            return cmd_bench_compare(args.compare[0], args.compare[1])
+        if args.profile:
+            return cmd_bench_profile(args.schemes, args.replications,
+                                     args.top, args.json)
         return cmd_bench(args.workers, args.schemes, args.replications,
                          args.json)
     if args.command == "check":

@@ -42,7 +42,41 @@ def _calibrated_params(
 ) -> LublinParams:
     """Memoised load calibration (the Monte-Carlo fit is deterministic)."""
     return scaled_for_load(rho, reference_nodes, base)
-from ..workload.stream import generate_platform_streams, merge_streams
+from ..workload.stream import StreamJob, generate_platform_streams, merge_streams
+
+
+@lru_cache(maxsize=32)
+def _cached_streams(
+    seed: int,
+    replication: int,
+    node_counts: "tuple[int, ...]",
+    duration: float,
+    params: "tuple[LublinParams, ...]",
+    estimates: str,
+    adoption_probability: float,
+) -> "tuple[list[StreamJob], ...]":
+    """Memoised per-replication workload streams.
+
+    The streams implement common random numbers: they depend only on the
+    seed, the replication and the workload knobs listed here — never on
+    the redundancy scheme, targets, faults or latencies.  A scheme
+    comparison therefore re-simulates the *same* stream once per scheme,
+    and regenerating it (Lublin sampling is a per-job Python loop) used
+    to be ~10%% of every simulation.  Safe to share because
+    :class:`~repro.workload.stream.StreamJob` is frozen and consumers
+    only read the lists.
+    """
+    return tuple(
+        generate_platform_streams(
+            RngFactory(seed),
+            replication,
+            list(node_counts),
+            duration,
+            params_per_cluster=list(params),
+            estimate_model=make_estimate_model(estimates),
+            adoption_probability=adoption_probability,
+        )
+    )
 from .config import ExperimentConfig
 from .coordinator import Coordinator, RedundantJob
 from .results import ClusterOutcome, ExperimentResult, JobOutcome
@@ -154,15 +188,14 @@ def run_single(
         sim.auditor = auditor
         platform.attach_auditor(auditor)
     params = _resolve_workload_params(config, factory, replication, node_counts)
-    estimate_model = make_estimate_model(config.estimates)
-    streams = generate_platform_streams(
-        factory,
+    streams = _cached_streams(
+        config.seed,
         replication,
-        node_counts,
+        tuple(node_counts),
         config.duration,
-        params_per_cluster=params,
-        estimate_model=estimate_model,
-        adoption_probability=config.adoption_probability,
+        tuple(params),
+        config.estimates,
+        config.adoption_probability,
     )
     scheme = get_scheme(config.scheme)
     weights = (

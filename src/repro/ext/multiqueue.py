@@ -92,7 +92,14 @@ class MultiQueueScheduler(EASYScheduler):
         self.queue.sort(
             key=lambda r: (r.priority, r.submitted_at, r.request_id)
         )
+        # The in-place sort invalidates every ``Request.slot``; rebuild
+        # the struct-of-arrays mirror before the array-scanning pass.
+        self._sync_queue_arrays()
         super()._schedule_pass()
+        # Drop the EASY blocked-state memo: it assumes a new submission
+        # can never become the head, which priority queues violate (a
+        # premium arrival sorts ahead of the blocked standard head).
+        self._block = None
 
 
 @dataclass

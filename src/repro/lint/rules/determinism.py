@@ -11,7 +11,10 @@ hazard classes that silently break that property:
   modules, ``os.urandom``/``uuid4`` and numpy's global or factory RNG
   entry points anywhere outside :mod:`repro.sim.rng`.  Timing clocks
   (``perf_counter`` and friends) are additionally rejected inside the
-  simulation packages, where there is no legitimate host-time use.
+  simulation packages, where there is no legitimate host-time use —
+  except for the explicitly allowlisted measurement modules in
+  :data:`TIMING_BLESSED_MODULES` (the profiling harness), whose whole
+  purpose is host timing and whose outputs never feed a trajectory.
 * **DET002** — iterating a ``set``/``frozenset`` (directly, via a
   comprehension, or by materialising with ``list``/``tuple``): string
   hashes are salted per process (``PYTHONHASHSEED``), so set order can
@@ -32,10 +35,17 @@ from .base import Rule, register
 
 # Packages forming the deterministic simulation substrate; DET001
 # additionally bans *timing* clocks here (host time must never leak in).
-STRICT_PACKAGES = ("sim", "sched", "core", "workload", "cluster", "faults")
+STRICT_PACKAGES = ("sim", "sched", "core", "workload", "cluster", "faults",
+                   "bench")
 
 # The one module allowed to touch RNG machinery directly.
 BLESSED_MODULES = ("sim.rng",)
+
+# Modules inside strict packages allowed to read host *timing* clocks:
+# the profiling harness exists to measure host cost (phase attribution,
+# cProfile) and none of its outputs feed a simulated trajectory.  Keep
+# this list to measurement tooling — simulation logic never qualifies.
+TIMING_BLESSED_MODULES = ("bench.profiling",)
 
 WALL_CLOCK = {
     "time.time",
@@ -99,7 +109,10 @@ class Det001EntropySource(Rule):
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if ctx.module in BLESSED_MODULES:
             return
-        strict = ctx.in_packages(*STRICT_PACKAGES)
+        strict = (
+            ctx.in_packages(*STRICT_PACKAGES)
+            and ctx.module not in TIMING_BLESSED_MODULES
+        )
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:

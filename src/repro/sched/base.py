@@ -32,6 +32,16 @@ cancelled entries lazily, and offers subclasses an O(1)
 "could anything start?" guard (:meth:`_start_possible`) based on a
 conservative lower bound of the smallest pending request.
 
+Queue state additionally lives in *struct-of-arrays* form: three numpy
+arrays (``nodes``, ``requested_time``, ``pending``) aligned with the
+``queue`` list, maintained incrementally (append on submit, O(1) bit
+flip on start/cancel, rebuilt on compaction).  Scheduling passes scan
+these arrays with vectorised boolean operations instead of iterating
+thousands of request objects per event — the array scan *is* the hot
+loop under overload.  Each request carries its array index in
+``Request.slot``; subclasses that reorder ``queue`` in place must call
+:meth:`_sync_queue_arrays` afterwards.
+
 Subclasses implement :meth:`_schedule_pass` only.
 """
 
@@ -41,6 +51,8 @@ import abc
 from functools import partial
 from typing import Callable, Iterable
 
+import numpy as np
+
 from ..cluster.cluster import Cluster
 from ..sim.engine import Simulator
 from ..sim.events import EventPriority
@@ -48,8 +60,20 @@ from .job import Request, RequestState
 
 StartCallback = Callable[[Request, float], None]
 
+# Module-level aliases: enum member lookup through the class is a
+# touch slower than a global load, and these appear on every
+# submit/cancel/start/finish.
+_PENDING = RequestState.PENDING
+_CREATED = RequestState.CREATED
+_CANCELLED = RequestState.CANCELLED
+_RUNNING = RequestState.RUNNING
+_COMPLETED = RequestState.COMPLETED
+
 #: compact the queue list once this many cancelled entries accumulate
 _COMPACT_SLACK = 64
+
+#: initial capacity of the struct-of-arrays queue state
+_SOA_CAPACITY = 64
 
 
 class SchedulerError(RuntimeError):
@@ -124,11 +148,51 @@ class Scheduler(abc.ABC):
         self._start_callbacks: list[StartCallback] = []
         self._pass_pending = False
         self._pending_count = 0
+        # Hook elision: the base hooks are empty, so when a subclass
+        # does not override one the call site can skip the call (and
+        # its frame) entirely.  Resolved once per instance.
+        cls = type(self)
+        self._has_on_submit = cls._on_submit is not Scheduler._on_submit
+        self._has_on_cancel = cls._on_cancel is not Scheduler._on_cancel
+        self._has_on_finish = cls._on_finish is not Scheduler._on_finish
+        # True while _schedule_pass is on the stack: passes hold local
+        # references to ``queue`` and array slices, so compaction (which
+        # rebuilds the list and remaps every slot) must not run under
+        # them — a reentrant sibling cancellation would otherwise leave
+        # the pass scanning a stale snapshot with live indices.
+        self._in_pass = False
+        # Struct-of-arrays queue state, aligned with ``self.queue``
+        # (including stale entries awaiting compaction).  ``nodes`` and
+        # ``requested_time`` are immutable per request; ``pending`` is
+        # the live mask flipped on every state transition.
+        self._q_nodes = np.zeros(_SOA_CAPACITY, dtype=np.int64)
+        self._q_reqtime = np.zeros(_SOA_CAPACITY, dtype=np.float64)
+        self._q_pending = np.zeros(_SOA_CAPACITY, dtype=bool)
         # Conservative lower bound on the smallest pending node count.
         # Starts/cancels can only raise the true minimum, so the cached
         # bound stays valid (it may trigger a useless pass, never skip a
         # useful one).  Tightened whenever a full pass finds nothing.
         self._min_nodes_lb = 1
+        # Blocked-state memo ``(free, shadow, extra, head)`` recorded by
+        # EASY/FCFS passes that started nothing (``None`` = unknown, be
+        # conservative).  While set, it proves no pending request can
+        # start, so submit/cancel can decide *locally* whether a pass is
+        # worth scheduling: a new request starts only if it fits now and
+        # clears the cached backfill bound, and removing a non-head
+        # request never enables anything.  The memo is invalidated by
+        # every transition that moves its inputs — finish and start
+        # change ``free`` and the release schedule, cancelling the head
+        # changes the reservation, outages rewrite the queue.  CBF and
+        # the multi-queue extension never record a memo (their submits
+        # can reshape the plan), so they keep the conservative path.
+        self._block: "tuple[int, float, int, Request | None] | None" = None
+        # Sorted ``(expected_end, nodes)`` release schedule of the
+        # running set, cached between passes.  Only :meth:`_start` and
+        # :meth:`_finish` mutate ``running``, so both drop the cache;
+        # EASY rebuilds it lazily per head reservation (the sort was a
+        # visible profile line under overload, where many same-instant
+        # reservations share one unchanged running set).
+        self._releases_sorted: "list[tuple[float, int]] | None" = None
 
     # -- callbacks -------------------------------------------------------
 
@@ -172,7 +236,7 @@ class Scheduler(abc.ABC):
             raise SchedulerDownError(
                 f"{self.name}: scheduler is down, submission rejected"
             )
-        if request.state is not RequestState.CREATED:
+        if request.state is not _CREATED:
             raise SchedulerError(
                 f"request {request.request_id} resubmitted (state={request.state})"
             )
@@ -181,20 +245,45 @@ class Scheduler(abc.ABC):
                 f"{self.name}: request for {request.nodes} nodes can never run "
                 f"on {self.cluster.total_nodes} nodes"
             )
-        request.state = RequestState.PENDING
+        now = self.sim.now
+        request.state = _PENDING
         request.cluster = self
-        request.submitted_at = self.sim.now
+        request.submitted_at = now
+        slot = len(self.queue)
         self.queue.append(request)
+        if slot == len(self._q_nodes):
+            self._grow_arrays()
+        request.slot = slot
+        self._q_nodes[slot] = request.nodes
+        self._q_reqtime[slot] = request.requested_time
+        self._q_pending[slot] = True
         self._pending_count += 1
-        self._min_nodes_lb = min(self._min_nodes_lb, request.nodes)
+        if request.nodes < self._min_nodes_lb:
+            self._min_nodes_lb = request.nodes
         self.stats.submitted += 1
-        self.stats.observe_queue(self.sim.now, self._pending_count)
+        self.stats.observe_queue(now, self._pending_count)
         if self.tracer is not None:
             self._emit("queue", request)
-        self._on_submit(request)
+        if self._has_on_submit:
+            self._on_submit(request)
         if self.auditor is not None:
             self.auditor.after_submit(self, request)
-        self._request_pass()
+        blk = self._block
+        if blk is None:
+            self._request_pass()
+        else:
+            free, shadow, extra, _head = blk
+            # The queue is provably blocked and a submission changes
+            # neither the head nor the release schedule, so only the new
+            # request itself could start — and only by the cached
+            # backfill test (fits now, and finishes before the shadow
+            # time or stays within the extra nodes).
+            if request.nodes <= free and (
+                now + request.requested_time <= shadow
+                or request.nodes <= extra
+            ):
+                self._block = None
+                self._request_pass()
 
     def cancel(self, request: Request, force: bool = False) -> None:
         """Remove a pending request from the queue.
@@ -215,23 +304,35 @@ class Scheduler(abc.ABC):
             raise SchedulerError(
                 f"request {request.request_id} does not belong to {self.name}"
             )
-        if request.state is not RequestState.PENDING:
+        if request.state is not _PENDING:
             raise SchedulerError(
                 f"cannot cancel request {request.request_id} in state "
                 f"{request.state.value}"
             )
-        request.state = RequestState.CANCELLED
+        request.state = _CANCELLED
         request.cancelled_at = self.sim.now
+        self._q_pending[request.slot] = False
         self._pending_count -= 1
         self.stats.cancelled += 1
         self._maybe_compact()
         self.stats.observe_queue(self.sim.now, self._pending_count)
         if self.tracer is not None:
             self._emit("cancel_applied", request)
-        self._on_cancel(request)
+        if self._has_on_cancel:
+            self._on_cancel(request)
         if self.auditor is not None:
             self.auditor.after_cancel(self, request)
-        self._request_pass()
+        blk = self._block
+        if blk is None:
+            self._request_pass()
+        elif request is blk[3]:
+            # The blocked head is gone: the next pending request defines
+            # a new reservation, so the memo is void and a pass is due.
+            self._block = None
+            self._request_pass()
+        # else: the queue stays blocked — removing a non-head pending
+        # request changes neither the head reservation nor free nodes,
+        # so it cannot make any other request startable.
 
     # -- outages -----------------------------------------------------------
 
@@ -248,6 +349,7 @@ class Scheduler(abc.ABC):
         if self.down:
             raise SchedulerError(f"{self.name}: scheduler is already down")
         self.down = True
+        self._block = None
         if self.tracer is not None:
             self._emit("outage_down")
         if self.auditor is not None:
@@ -267,6 +369,7 @@ class Scheduler(abc.ABC):
                     if self.auditor is not None:
                         self.auditor.after_cancel(self, request)
             self.queue = []
+            self._q_pending[:] = False
             self._pending_count = 0
             self.stats.dropped += len(dropped)
             self.stats.observe_queue(self.sim.now, 0)
@@ -277,6 +380,7 @@ class Scheduler(abc.ABC):
         if not self.down:
             raise SchedulerError(f"{self.name}: scheduler is not down")
         self.down = False
+        self._block = None
         if self.tracer is not None:
             self._emit("outage_up")
         self._request_pass()
@@ -299,6 +403,9 @@ class Scheduler(abc.ABC):
     # -- internal machinery ------------------------------------------------
 
     def _maybe_compact(self) -> None:
+        if self._in_pass:
+            # Deferred: see ``_in_pass`` — the next pass entry compacts.
+            return
         if len(self.queue) - self._pending_count > _COMPACT_SLACK:
             self._compact_queue()
 
@@ -307,6 +414,37 @@ class Scheduler(abc.ABC):
         # entries per pass under overload (see the class docstring).
         pending = RequestState.PENDING
         self.queue = [r for r in self.queue if r.state is pending]
+        self._sync_queue_arrays()
+
+    def _grow_arrays(self) -> None:
+        """Double the struct-of-arrays capacity (amortised O(1) append)."""
+        cap = max(len(self._q_nodes) * 2, _SOA_CAPACITY)
+        for name in ("_q_nodes", "_q_reqtime", "_q_pending"):
+            old = getattr(self, name)
+            fresh = np.zeros(cap, dtype=old.dtype)
+            fresh[: len(old)] = old
+            setattr(self, name, fresh)
+
+    def _sync_queue_arrays(self) -> None:
+        """Rebuild the arrays and slots from the current ``queue`` list.
+
+        Called after any operation that reorders or rewrites the queue
+        list wholesale (compaction, subclass re-sorting).  O(queue).
+        """
+        queue = self.queue
+        n = len(queue)
+        while n > len(self._q_nodes):
+            self._grow_arrays()
+        nodes = self._q_nodes
+        reqtime = self._q_reqtime
+        pending = self._q_pending
+        pending_state = RequestState.PENDING
+        for i, r in enumerate(queue):
+            r.slot = i
+            nodes[i] = r.nodes
+            reqtime[i] = r.requested_time
+            pending[i] = r.state is pending_state
+        pending[n:] = False
 
     def _start_possible(self) -> bool:
         """O(1) guard: could the algorithm possibly start anything now?
@@ -320,27 +458,55 @@ class Scheduler(abc.ABC):
         return self.cluster.free_nodes >= self._min_nodes_lb
 
     def _tighten_min_nodes(self) -> None:
-        """Recompute the exact smallest pending node count (O(queue))."""
-        state = RequestState.PENDING
-        pending = [r.nodes for r in self.queue if r.state is state]
-        self._min_nodes_lb = min(pending) if pending else self.cluster.total_nodes + 1
+        """Recompute the exact smallest pending node count (one array min)."""
+        n = len(self.queue)
+        mask = self._q_pending[:n]
+        if mask.any():
+            self._min_nodes_lb = int(self._q_nodes[:n][mask].min())
+        else:
+            self._min_nodes_lb = self.cluster.total_nodes + 1
 
     def _request_pass(self) -> None:
-        """Coalesce all same-instant state changes into one pass."""
-        if not self._pass_pending:
-            self._pass_pending = True
-            self.sim.at(self.sim.now, self._run_pass, EventPriority.SCHEDULE)
+        """Coalesce all same-instant state changes into one pass.
+
+        The :meth:`_start_possible` guard is evaluated *here*, before an
+        event is ever allocated: under the paper's overload most state
+        changes (submissions into a full cluster, sibling cancellations)
+        cannot enable a start, and in the seed kernel the resulting
+        guaranteed-no-op pass events were the single largest event
+        population.  Skipping them is invisible to the trajectory — the
+        guard is conservative (false implies no algorithm could start
+        anything), every enabling transition (finish, submit, come_up,
+        reservation timer) re-requests a pass with the guard re-checked,
+        and dropping events never reorders the survivors.
+        """
+        if self._pass_pending:
+            return
+        if self.down or not self._start_possible():
+            # A downed daemon starts nothing (come_up() re-requests, so
+            # suppressed passes are never lost), and a guard-false pass
+            # would return immediately: don't pay for the event.
+            return
+        self._pass_pending = True
+        self.sim.at(self.sim.now, self._run_pass, EventPriority.SCHEDULE)
 
     def _run_pass(self) -> None:
         self._pass_pending = False
         if self.down:
-            # A downed daemon starts nothing; come_up() requests a
-            # fresh pass, so suppressed passes are never lost.
+            # Re-checked: the daemon may have gone down between the
+            # request and the pass instant.
             return
         if not self._start_possible():
             return
         before = self.stats.started
-        self._schedule_pass()
+        # Compact *before* entering the pass (the flag suppresses any
+        # reentrant compaction while pass-local snapshots are live).
+        self._maybe_compact()
+        self._in_pass = True
+        try:
+            self._schedule_pass()
+        finally:
+            self._in_pass = False
         if self.stats.started == before:
             # Nothing started: tighten the guard so the next no-op
             # instants are skipped in O(1).
@@ -355,22 +521,25 @@ class Scheduler(abc.ABC):
         The caller must already have removed ``request`` from
         ``self.queue`` (or be iterating with state checks).
         """
-        if request.state is not RequestState.PENDING:
+        if request.state is not _PENDING:
             raise SchedulerError(
                 f"starting request {request.request_id} in state {request.state}"
             )
+        now = self.sim.now
         self.cluster.allocate(request.nodes)
-        request.state = RequestState.RUNNING
-        request.start_time = self.sim.now
+        request.state = _RUNNING
+        request.start_time = now
+        self._q_pending[request.slot] = False
         self._pending_count -= 1
         self.running.append(request)
+        self._releases_sorted = None
         self.stats.started += 1
         if self.tracer is not None:
             self._emit("start", request)
         if self.auditor is not None:
             self.auditor.after_start(self, request)
         self.sim.at(
-            self.sim.now + request.runtime,
+            now + request.runtime,
             partial(self._finish, request),
             EventPriority.FINISH,
         )
@@ -378,21 +547,24 @@ class Scheduler(abc.ABC):
         # may reentrantly mutate *other* schedulers and mark requests in
         # our own queue cancelled (handled by state checks in passes).
         for cb in self._start_callbacks:
-            cb(request, self.sim.now)
+            cb(request, now)
 
     def _finish(self, request: Request) -> None:
-        if request.state is not RequestState.RUNNING:  # pragma: no cover
+        if request.state is not _RUNNING:  # pragma: no cover
             raise SchedulerError(
                 f"finishing request {request.request_id} in state {request.state}"
             )
-        request.state = RequestState.COMPLETED
+        request.state = _COMPLETED
         request.end_time = self.sim.now
         self.running.remove(request)
         self.cluster.release(request.nodes)
+        self._block = None  # free nodes and the release schedule moved
+        self._releases_sorted = None
         self.stats.completed += 1
         if self.tracer is not None:
             self._emit("complete", request)
-        self._on_finish(request)
+        if self._has_on_finish:
+            self._on_finish(request)
         if self.auditor is not None:
             self.auditor.after_finish(self, request)
         self._request_pass()
@@ -414,6 +586,11 @@ class Scheduler(abc.ABC):
         pending_nodes = [r.nodes for r in self.queue if r.is_pending]
         if pending_nodes:
             assert self._min_nodes_lb <= min(pending_nodes)
+        # Struct-of-arrays mirrors: slots aligned, live mask exact.
+        for i, r in enumerate(self.queue):
+            assert r.slot == i, f"{self.name}: slot {r.slot} != index {i}"
+            assert self._q_pending[i] == r.is_pending
+            assert self._q_nodes[i] == r.nodes
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -423,5 +600,14 @@ class Scheduler(abc.ABC):
 
 
 def expected_releases(running: Iterable[Request]) -> list[tuple[float, int]]:
-    """``(expected_end, nodes)`` pairs for profile construction."""
-    return [(r.expected_end, r.nodes) for r in running]
+    """``(expected_end, nodes)`` pairs for profile construction.
+
+    Computed inline rather than through :attr:`Request.expected_end`:
+    this runs once per head reservation, i.e. tens of thousands of
+    times per simulation, and the property call was visible in
+    profiles.  ``start_time`` is always set for running requests.
+    """
+    return [
+        (r.start_time + r.requested_time, r.nodes)  # type: ignore[operator]
+        for r in running
+    ]

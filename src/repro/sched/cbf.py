@@ -40,6 +40,8 @@ import heapq
 
 from typing import Optional
 
+import numpy as np
+
 from ..cluster.cluster import Cluster
 from ..sim.engine import Simulator
 from ..sim.events import Event, EventPriority
@@ -129,7 +131,6 @@ class CBFScheduler(Scheduler):
         self._pass_count += 1
         if self._pass_count % _TRIM_EVERY == 0:
             self._profile.trim(now)
-        self._maybe_compact()
         if self._should_compress(now):
             self.compress()
 
@@ -148,13 +149,24 @@ class CBFScheduler(Scheduler):
                 self._restore_overdue(req)
 
         # 2. Backfill: submit-order scan over pending requests, starting
-        #    any that provably delay no reservation.
+        #    any that provably delay no reservation.  The candidate set
+        #    is prefiltered in one vectorised expression against the
+        #    *initial* free count; since every early start only shrinks
+        #    free_now (reservations sit strictly in the future, so
+        #    reentrant sibling cancellations cannot grow it), the filter
+        #    is a superset of the old per-request scan and the
+        #    per-candidate rechecks below keep the semantics identical.
         free_now = self._profile.free_at(now)
         if free_now > 0 and self._pending_count > 0:
-            for req in self.queue:
+            n = len(self.queue)
+            candidates = np.flatnonzero(
+                self._q_pending[:n] & (self._q_nodes[:n] <= free_now)
+            )
+            for i in candidates:
                 if free_now <= 0:
                     break
-                if not req.is_pending or req.nodes > free_now:
+                req = self.queue[i]
+                if not self._q_pending[i] or req.nodes > free_now:
                     continue
                 rs = req.reserved_start
                 assert rs is not None

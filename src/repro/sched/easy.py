@@ -20,8 +20,9 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from .base import Scheduler, expected_releases
-from .job import RequestState
 
 
 class EASYScheduler(Scheduler):
@@ -40,7 +41,11 @@ class EASYScheduler(Scheduler):
         free = self.cluster.free_nodes
         if free >= head_nodes:
             return self.sim.now, free - head_nodes
-        releases = sorted(expected_releases(self.running))
+        releases = self._releases_sorted
+        if releases is None:
+            releases = self._releases_sorted = sorted(
+                expected_releases(self.running)
+            )
         avail = free
         shadow = math.inf
         for end, nodes in releases:
@@ -56,53 +61,50 @@ class EASYScheduler(Scheduler):
         return shadow, extra
 
     def _schedule_pass(self) -> None:
-        self._compact_queue()
         # Fixpoint loop: every successful start changes free nodes (and,
-        # via sibling cancellation, possibly the queue itself), so the
-        # head reservation is recomputed until no request can start.
-        # Started/cancelled entries are left in place and skipped via
-        # state checks; they are reclaimed by the next pass's compaction.
-        # The scans check ``state`` directly instead of the
-        # ``is_pending`` property: these loops run over thousands of
-        # queue entries per pass under overload and the descriptor call
-        # is measurable.
-        pending = RequestState.PENDING
+        # via sibling cancellation, possibly the live mask), so the head
+        # reservation is recomputed until no request can start.  The
+        # queue is scanned through the struct-of-arrays mirror: the head
+        # is one ``argmax`` over the live mask and the backfill filter
+        # is a single vectorised boolean expression over the whole
+        # queue — thousands of entries per pass under overload make
+        # these array operations the whole cost of the pass.  A start flips
+        # pending bits in place (its own slot, plus any siblings the
+        # coordinator cancels reentrantly), so the mask is re-read each
+        # iteration; the queue list itself never grows mid-pass.
         queue = self.queue
+        cluster = self.cluster
+        n = len(queue)
+        mask = self._q_pending[:n]
+        nd = self._q_nodes[:n]
+        rt = self._q_reqtime[:n]
+        now = self.sim.now
         while True:
-            head = None
-            for r in queue:
-                if r.state is pending:
-                    head = r
-                    break
-            if head is None:
+            head_i = mask.argmax()
+            if not mask[head_i]:
+                # Empty queue: only a new submission that fits outright
+                # can start (it becomes the head), which the memo's
+                # ``extra = free`` bound expresses exactly.
+                free = cluster.free_nodes
+                self._block = (free, -math.inf, free, None)
                 return
-            if self.cluster.can_fit(head.nodes):
-                self._start(head)
+            free = cluster.free_nodes
+            if nd[head_i] <= free:
+                self._start(queue[head_i])
                 continue
-            shadow, extra = self._head_reservation(head.nodes)
-            started = False
-            seen_head = False
-            now = self.sim.now
-            for req in queue:
-                if req is head:
-                    seen_head = True
-                    continue
-                if not seen_head or req.state is not pending:
-                    continue
-                if not self.cluster.can_fit(req.nodes):
-                    continue
-                finishes_in_time = now + req.requested_time <= shadow
-                within_extra = req.nodes <= extra
-                if finishes_in_time or within_extra:
-                    self._start(req)
-                    self.stats.backfilled += 1
-                    if self.auditor is not None:
-                        # Legality: recomputed from the post-start state,
-                        # the head's shadow time must not have moved later.
-                        self.auditor.check_easy_backfill(
-                            self, head, req, shadow
-                        )
-                    started = True
-                    break
-            if not started:
+            shadow, extra = self._head_reservation(int(nd[head_i]))
+            ok = mask & (nd <= free) & ((now + rt <= shadow) | (nd <= extra))
+            ok[head_i] = False
+            cand_i = ok.argmax()
+            if not ok[cand_i]:
+                self._block = (free, shadow, extra, queue[head_i])
                 return
+            req = queue[cand_i]
+            self._start(req)
+            self.stats.backfilled += 1
+            if self.auditor is not None:
+                # Legality: recomputed from the post-start state, the
+                # head's shadow time must not have moved later.
+                self.auditor.check_easy_backfill(
+                    self, queue[head_i], req, shadow
+                )

@@ -7,6 +7,8 @@ start, so large head requests blockade the queue.
 
 from __future__ import annotations
 
+import math
+
 from .base import Scheduler
 
 
@@ -16,17 +18,28 @@ class FCFSScheduler(Scheduler):
     algorithm = "fcfs"
 
     def _schedule_pass(self) -> None:
-        while self.queue:
-            head = self.queue[0]
-            if not head.is_pending:
-                # Started earlier, or cancelled reentrantly (a sibling
-                # started elsewhere at this same instant); drop it.
-                self.queue.pop(0)
-                continue
-            if not self.cluster.can_fit(head.nodes):
-                break
-            self.queue.pop(0)
-            self._start(head)
+        # Head = first set bit in the live mask; started/cancelled
+        # entries stay in place (their bit is clear) and are reclaimed
+        # by lazy compaction, keeping ``Request.slot`` indices stable.
+        queue = self.queue
+        nodes = self._q_nodes
+        pending = self._q_pending
+        n = len(queue)
+        while True:
+            mask = pending[:n]
+            head_i = int(mask.argmax())
+            free = self.cluster.free_nodes
+            if not mask[head_i]:
+                # Empty queue: a new submission starts iff it fits, the
+                # ``extra = free`` memo bound (see the base class).
+                self._block = (free, -math.inf, free, None)
+                return
+            if nodes[head_i] > free:
+                # Blockaded: with no backfilling, *no* submission can
+                # start behind the stuck head (extra = -1 rejects all).
+                self._block = (free, -math.inf, -1, queue[head_i])
+                return
+            self._start(queue[head_i])
 
     def check_invariants(self) -> None:
         super().check_invariants()

@@ -41,9 +41,14 @@ def reset_request_ids() -> None:
     _request_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class Request:
     """One copy of a job in one batch queue.
+
+    Hundreds of thousands of these flow through an overloaded sweep and
+    the scheduler hot paths are attribute-bound, so the layout matters:
+    ``slots=True`` removes the per-instance dict, shrinking requests and
+    speeding up every attribute access in submit/cancel/pass loops.
 
     Parameters
     ----------
@@ -77,6 +82,10 @@ class Request:
     # Mutable scheduling state -------------------------------------------------
     state: RequestState = RequestState.CREATED
     cluster: Any = None                    # Scheduler that owns the request
+    #: index of this request in its scheduler's queue-state arrays (see
+    #: the struct-of-arrays bookkeeping in :mod:`repro.sched.base`);
+    #: maintained by the owning scheduler, -1 while unqueued
+    slot: int = -1
     submitted_at: Optional[float] = None
     start_time: Optional[float] = None
     end_time: Optional[float] = None

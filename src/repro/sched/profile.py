@@ -14,16 +14,28 @@ the operations conservative backfilling needs:
 * :meth:`Profile.trim` — garbage-collect segments that fell into the
   past (the profile is long-lived in the incremental CBF).
 
-The representation is two parallel arrays ``times``/``free`` where
-``free[i]`` holds over ``[times[i], times[i+1])`` and the last value
-extends to infinity.
+The representation is two parallel **numpy arrays** ``times``/``free``
+where ``free[i]`` holds over ``[times[i], times[i+1])`` and the last
+value extends to infinity.  All operations are vectorised: breakpoint
+lookup is ``searchsorted``, window validation and the in-place
+adjustment fast path are single array expressions, and ``find_start``
+evaluates every candidate segment in one shot instead of walking the
+step function — under the paper's overload the profile grows to
+hundreds of segments and the former per-segment Python loops were the
+CBF hot spot.  The original list-backed implementation survives as
+:class:`repro.sched.profile_ref.ReferenceProfile`, and the property
+suite drives both through identical interleavings to prove exact
+agreement.
 """
 
 from __future__ import annotations
 
-import bisect
 import math
 from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Profile", "ProfileError"]
 
 
 class ProfileError(RuntimeError):
@@ -48,8 +60,10 @@ class Profile:
     def __init__(self, origin: float, free_now: int, total_nodes: int) -> None:
         if not 0 <= free_now <= total_nodes:
             raise ValueError(f"free_now={free_now} outside [0, {total_nodes}]")
-        self.times: list[float] = [float(origin)]
-        self.free: list[int] = [int(free_now)]
+        #: breakpoint times (float64, strictly increasing)
+        self.times: np.ndarray = np.array([float(origin)], dtype=np.float64)
+        #: free nodes per segment (int64, aligned with ``times``)
+        self.free: np.ndarray = np.array([int(free_now)], dtype=np.int64)
         self.total_nodes = int(total_nodes)
 
     # -- construction ----------------------------------------------------
@@ -78,6 +92,14 @@ class Profile:
             prof.adjust(max(end, now), math.inf, nodes)
         return prof
 
+    def copy(self) -> "Profile":
+        """Independent deep copy (used by tests and what-if probing)."""
+        dup = Profile.__new__(Profile)
+        dup.times = self.times.copy()
+        dup.free = self.free.copy()
+        dup.total_nodes = self.total_nodes
+        return dup
+
     # -- mutation --------------------------------------------------------
 
     def adjust(self, start: float, end: float, delta: int) -> None:
@@ -86,13 +108,14 @@ class Profile:
         Raises :exc:`ProfileError` (leaving the profile unchanged) if the
         result would leave ``[0, total_nodes]`` anywhere in the window.
 
-        The window is validated *before* any mutation, then applied in a
+        The window is validated *before* any mutation — one vectorised
+        bounds check over the covered segments — then applied in a
         single batched update: when both window edges already coincide
-        with breakpoints — the dominant case under backfill churn, where
+        with breakpoints (the dominant case under backfill churn, where
         reservations are released over the exact windows that created
-        them — the update is pure in-place arithmetic with **zero** list
-        inserts; otherwise the affected slice is rebuilt with one splice
-        instead of per-edge O(n) inserts plus rollback bookkeeping.
+        them) the update is one in-place slice assignment with **zero**
+        reallocation; otherwise the arrays are rebuilt with a single
+        concatenation inserting the (at most two) new breakpoints.
         """
         if end <= start:
             raise ValueError(f"empty window [{start}, {end})")
@@ -100,58 +123,60 @@ class Profile:
             return
         times, free = self.times, self.free
         n = len(times)
-        i = bisect.bisect_right(times, start) - 1
+        i = int(np.searchsorted(times, start, side="right")) - 1
         if i < 0:
             raise ProfileError(
-                f"time {start} precedes profile origin {times[0]}"
+                f"time {start} precedes profile origin {float(times[0])}"
             )
-        finite = math.isfinite(end)
-        if finite:
+        if math.isfinite(end):
             # Segment containing ``end``; j >= i because end > start.
-            j = bisect.bisect_right(times, end, lo=i) - 1
-            split_end = times[j] != end
+            j = int(np.searchsorted(times, end, side="right")) - 1
+            split_end = bool(times[j] != end)
             hi = j if split_end else j - 1
         else:
             j = n - 1
             split_end = False
             hi = n - 1
-        split_start = times[i] != start
+        split_start = bool(times[i] != start)
 
         # Validate the whole window first — failure leaves no trace.
         total = self.total_nodes
-        for k in range(i, hi + 1):
-            nf = free[k] + delta
-            if not 0 <= nf <= total:
-                raise ProfileError(
-                    f"adjust({start}, {end}, {delta:+d}) drives availability "
-                    f"to {nf} at t={max(times[k], start)} (capacity {total})"
-                )
+        window = free[i:hi + 1] + delta
+        bad = (window < 0) | (window > total)
+        if bad.any():
+            k = i + int(np.argmax(bad))
+            nf = int(free[k]) + delta
+            raise ProfileError(
+                f"adjust({start}, {end}, {delta:+d}) drives availability "
+                f"to {nf} at t={max(float(times[k]), start)} (capacity {total})"
+            )
 
         if not split_start and not split_end:
             # Fast path: boundaries already exist, adjust in place.
-            for k in range(i, hi + 1):
-                free[k] += delta
+            free[i:hi + 1] = window
             return
 
-        # One splice covering segments i..hi, inserting the (at most
-        # two) new breakpoints along the way.
-        new_times: list[float] = []
-        new_free: list[int] = []
+        # One concatenation covering segments i..hi, inserting the new
+        # breakpoints along the way (dtypes pinned so empty pieces never
+        # upcast the result).
         if split_start:
-            new_times.append(times[i])
-            new_free.append(free[i])
-            new_times.append(start)
+            ins_t = np.array([times[i], start], dtype=np.float64)
+            ins_f = np.array([free[i], free[i] + delta], dtype=np.int64)
         else:
-            new_times.append(times[i])
-        new_free.append(free[i] + delta)
-        for k in range(i + 1, hi + 1):
-            new_times.append(times[k])
-            new_free.append(free[k] + delta)
+            ins_t = np.array([times[i]], dtype=np.float64)
+            ins_f = np.array([free[i] + delta], dtype=np.int64)
         if split_end:
-            new_times.append(end)
-            new_free.append(free[j])
-        times[i:hi + 1] = new_times
-        free[i:hi + 1] = new_free
+            end_t = np.array([end], dtype=np.float64)
+            end_f = np.array([free[j]], dtype=np.int64)
+        else:
+            end_t = np.empty(0, dtype=np.float64)
+            end_f = np.empty(0, dtype=np.int64)
+        self.times = np.concatenate(
+            (times[:i], ins_t, times[i + 1:hi + 1], end_t, times[hi + 1:])
+        )
+        self.free = np.concatenate(
+            (free[:i], ins_f, window[1:], end_f, free[hi + 1:])
+        )
 
     def reserve(self, start: float, duration: float, nodes: int) -> None:
         """Subtract ``nodes`` over ``[start, start + duration)``."""
@@ -173,20 +198,24 @@ class Profile:
         Availability in the discarded past is forgotten — only call with
         ``t <= now`` once no queries before ``t`` will ever be issued.
         """
-        i = bisect.bisect_right(self.times, t) - 1
+        i = int(np.searchsorted(self.times, t, side="right")) - 1
         if i <= 0:
             return
-        self.times = [t] + self.times[i + 1:]
-        self.free = self.free[i:]
+        self.times = np.concatenate(
+            (np.array([t], dtype=np.float64), self.times[i + 1:])
+        )
+        self.free = self.free[i:].copy()
 
     # -- queries ---------------------------------------------------------
 
     def free_at(self, t: float) -> int:
         """Free nodes at time ``t`` (t >= origin)."""
-        i = bisect.bisect_right(self.times, t) - 1
+        i = int(np.searchsorted(self.times, t, side="right")) - 1
         if i < 0:
-            raise ProfileError(f"time {t} precedes profile origin {self.times[0]}")
-        return self.free[i]
+            raise ProfileError(
+                f"time {t} precedes profile origin {float(self.times[0])}"
+            )
+        return int(self.free[i])
 
     def can_place(
         self,
@@ -202,31 +231,33 @@ class Profile:
         reservation without mutating the profile.
         """
         end = start + duration
-        i = bisect.bisect_right(self.times, start) - 1
+        times, free = self.times, self.free
+        i = int(np.searchsorted(times, start, side="right")) - 1
         if i < 0:
             raise ProfileError(f"time {start} precedes profile origin")
-        n = len(self.times)
-        j = i
-        while j < n and (j == i or self.times[j] < end):
-            seg_start = start if j == i else self.times[j]
-            seg_end = self.times[j + 1] if j + 1 < n else math.inf
-            win_end = seg_end if seg_end < end else end
-            if self.free[j] < nodes:
-                # The base profile is short over [seg_start, win_end);
-                # only the bonus window can bridge the deficit, and only
-                # where it applies.  Splitting the sub-window at the
-                # bonus edges, every uncovered piece keeps the base
-                # availability — so feasibility requires the bonus to
-                # cover the *whole* sub-window and to be large enough.
-                if bonus is None:
-                    return False
-                b_start, b_end, b_nodes = bonus
-                if b_start > seg_start or b_end < win_end:
-                    return False
-                if self.free[j] + b_nodes < nodes:
-                    return False
-            j += 1
-        return True
+        # Segments i..k-1 overlap [start, end): k is the first
+        # breakpoint at or past the window end (k >= i+1 since end > start).
+        k = int(np.searchsorted(times, end, side="left"))
+        seg_free = free[i:k]
+        short = seg_free < nodes
+        if not short.any():
+            return True
+        if bonus is None:
+            return False
+        # Every short sub-window must be wholly inside the bonus window
+        # and bridged by its extra nodes; a partially covered sub-window
+        # keeps the base availability on the uncovered piece.
+        b_start, b_end, b_nodes = bonus
+        idx = np.flatnonzero(short) + i
+        seg_starts = np.maximum(times[idx], start)
+        nxt = np.append(times[1:], np.inf)
+        win_ends = np.minimum(nxt[idx], end)
+        ok = (
+            (seg_starts >= b_start)
+            & (win_ends <= b_end)
+            & (free[idx] + b_nodes >= nodes)
+        )
+        return bool(ok.all())
 
     def find_start(self, nodes: int, duration: float, earliest: float) -> float:
         """Earliest ``t >= earliest`` with ``nodes`` free throughout
@@ -234,6 +265,14 @@ class Profile:
 
         Always succeeds for ``nodes <= total_nodes`` because reservations
         and holds are finite, so the final step has full availability.
+
+        Vectorised: every segment with enough free nodes is a candidate
+        start; a candidate is feasible iff its window ends before the
+        next under-provisioned segment begins.  Both sides are single
+        array expressions, and the earliest feasible candidate is the
+        answer (segment-skipping in the old walk was only ever an
+        optimisation — a candidate blocked at segment ``b`` forces every
+        later candidate before ``b`` to be blocked at ``b`` too).
         """
         if nodes > self.total_nodes:
             raise ProfileError(
@@ -244,35 +283,36 @@ class Profile:
         if duration <= 0:
             raise ValueError(f"duration must be positive, got {duration}")
         times, free = self.times, self.free
-        earliest = max(earliest, times[0])
-        n = len(times)
-        start_idx = bisect.bisect_right(times, earliest) - 1
-        i = start_idx
-        while i < n:
-            if free[i] >= nodes:
-                t = earliest if i == start_idx else times[i]
-                end = t + duration
-                ok = True
-                j = i + 1
-                while j < n and times[j] < end:
-                    if free[j] < nodes:
-                        ok = False
-                        break
-                    j += 1
-                if ok:
-                    return t
-                # Restart the search after the blocking segment.
-                i = j
+        earliest = max(earliest, float(times[0]))
+        start_idx = int(np.searchsorted(times, earliest, side="right")) - 1
+        good = free >= nodes
+        cand = np.flatnonzero(good[start_idx:]) + start_idx
+        if cand.size:
+            # Candidate start times: ``earliest`` inside the segment the
+            # search begins in, the segment's breakpoint afterwards.
+            t_cand = np.maximum(times[cand], earliest)
+            bad_idx = np.flatnonzero(~good)
+            if bad_idx.size:
+                # Time of the first under-provisioned segment after each
+                # candidate (inf when none follows).
+                pos = np.searchsorted(bad_idx, cand)
+                safe = np.minimum(pos, bad_idx.size - 1)
+                next_bad = np.where(
+                    pos < bad_idx.size, times[bad_idx[safe]], np.inf
+                )
             else:
-                i += 1
+                next_bad = np.full(cand.size, np.inf)
+            feasible = np.flatnonzero(t_cand + duration <= next_bad)
+            if feasible.size:
+                return float(t_cand[feasible[0]])
         raise ProfileError(
             f"no feasible start for {nodes} nodes x {duration}s; the profile "
             "tail should always be feasible (capacity leak?)"
         )
 
     def segments(self) -> list[Tuple[float, int]]:
-        """Return ``(time, free)`` breakpoints (copy, for inspection)."""
-        return list(zip(self.times, self.free))
+        """Return ``(time, free)`` breakpoints (Python scalars, a copy)."""
+        return list(zip(self.times.tolist(), self.free.tolist()))
 
     def check_invariants(self) -> None:
         """Verify representation invariants; raise on any breakage.
@@ -286,17 +326,20 @@ class Profile:
                 f"times/free length mismatch: {len(self.times)} != "
                 f"{len(self.free)}"
             )
-        for a, b in zip(self.times, self.times[1:]):
-            if not a < b:
-                raise ProfileError(
-                    f"breakpoints not strictly increasing: {a} >= {b}"
-                )
-        for t, f in zip(self.times, self.free):
-            if not 0 <= f <= self.total_nodes:
-                raise ProfileError(
-                    f"availability {f} at t={t} outside "
-                    f"[0, {self.total_nodes}]"
-                )
+        diffs_ok = np.diff(self.times) > 0
+        if not diffs_ok.all():
+            k = int(np.argmin(diffs_ok))
+            raise ProfileError(
+                "breakpoints not strictly increasing: "
+                f"{float(self.times[k])} >= {float(self.times[k + 1])}"
+            )
+        in_bounds = (self.free >= 0) & (self.free <= self.total_nodes)
+        if not in_bounds.all():
+            k = int(np.argmin(in_bounds))
+            raise ProfileError(
+                f"availability {int(self.free[k])} at t={float(self.times[k])} "
+                f"outside [0, {self.total_nodes}]"
+            )
 
     def __len__(self) -> int:
         return len(self.times)

@@ -1,0 +1,260 @@
+"""Pure-Python reference implementation of the availability profile.
+
+This is the original list-plus-``bisect`` :class:`Profile` kept verbatim
+as a *differential reference* for the vectorised numpy implementation in
+:mod:`repro.sched.profile`.  The property suite in
+``tests/sched/test_profile_properties.py`` drives both implementations
+through identical operation interleavings and asserts exact agreement —
+results, raised errors, and resulting step functions — so any shortcut
+taken by the array version is checked against first principles.
+
+Not used on any hot path; schedulers always use
+:class:`repro.sched.profile.Profile`.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Iterable, Optional, Tuple
+
+from .profile import ProfileError
+
+__all__ = ["ReferenceProfile"]
+
+
+class ReferenceProfile:
+    """Step function of free nodes over ``[origin, inf)`` (list-backed).
+
+    Parameters
+    ----------
+    origin:
+        Left edge of the horizon (usually the current simulated time).
+    free_now:
+        Free nodes at the origin.
+    total_nodes:
+        Capacity bound; availability must stay within ``[0, total]``.
+    """
+
+    __slots__ = ("times", "free", "total_nodes")
+
+    def __init__(self, origin: float, free_now: int, total_nodes: int) -> None:
+        if not 0 <= free_now <= total_nodes:
+            raise ValueError(f"free_now={free_now} outside [0, {total_nodes}]")
+        self.times: list[float] = [float(origin)]
+        self.free: list[int] = [int(free_now)]
+        self.total_nodes = int(total_nodes)
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_running(
+        cls,
+        now: float,
+        total_nodes: int,
+        running: Iterable[Tuple[float, int]],
+    ) -> "ReferenceProfile":
+        """Build the profile implied by running requests."""
+        busy = 0
+        releases = []
+        for end, nodes in running:
+            busy += nodes
+            releases.append((end, nodes))
+        if busy > total_nodes:
+            raise ProfileError(f"running jobs hold {busy} > {total_nodes} nodes")
+        prof = cls(now, total_nodes - busy, total_nodes)
+        for end, nodes in releases:
+            prof.adjust(max(end, now), math.inf, nodes)
+        return prof
+
+    # -- mutation --------------------------------------------------------
+
+    def adjust(self, start: float, end: float, delta: int) -> None:
+        """Add ``delta`` free nodes over ``[start, end)`` (``end`` may be inf)."""
+        if end <= start:
+            raise ValueError(f"empty window [{start}, {end})")
+        if delta == 0:
+            return
+        times, free = self.times, self.free
+        n = len(times)
+        i = bisect.bisect_right(times, start) - 1
+        if i < 0:
+            raise ProfileError(
+                f"time {start} precedes profile origin {times[0]}"
+            )
+        finite = math.isfinite(end)
+        if finite:
+            # Segment containing ``end``; j >= i because end > start.
+            j = bisect.bisect_right(times, end, lo=i) - 1
+            split_end = times[j] != end
+            hi = j if split_end else j - 1
+        else:
+            j = n - 1
+            split_end = False
+            hi = n - 1
+        split_start = times[i] != start
+
+        # Validate the whole window first — failure leaves no trace.
+        total = self.total_nodes
+        for k in range(i, hi + 1):
+            nf = free[k] + delta
+            if not 0 <= nf <= total:
+                raise ProfileError(
+                    f"adjust({start}, {end}, {delta:+d}) drives availability "
+                    f"to {nf} at t={max(times[k], start)} (capacity {total})"
+                )
+
+        if not split_start and not split_end:
+            # Fast path: boundaries already exist, adjust in place.
+            for k in range(i, hi + 1):
+                free[k] += delta
+            return
+
+        # One splice covering segments i..hi, inserting the (at most
+        # two) new breakpoints along the way.
+        new_times: list[float] = []
+        new_free: list[int] = []
+        if split_start:
+            new_times.append(times[i])
+            new_free.append(free[i])
+            new_times.append(start)
+        else:
+            new_times.append(times[i])
+        new_free.append(free[i] + delta)
+        for k in range(i + 1, hi + 1):
+            new_times.append(times[k])
+            new_free.append(free[k] + delta)
+        if split_end:
+            new_times.append(end)
+            new_free.append(free[j])
+        times[i:hi + 1] = new_times
+        free[i:hi + 1] = new_free
+
+    def reserve(self, start: float, duration: float, nodes: int) -> None:
+        """Subtract ``nodes`` over ``[start, start + duration)``."""
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        if nodes <= 0:
+            raise ValueError(f"nodes must be positive, got {nodes}")
+        self.adjust(start, start + duration, -nodes)
+
+    def release_window(self, start: float, end: float, nodes: int) -> None:
+        """Give back ``nodes`` over ``[start, end)`` (undo part of a hold)."""
+        if nodes <= 0:
+            raise ValueError(f"nodes must be positive, got {nodes}")
+        self.adjust(start, end, nodes)
+
+    def trim(self, t: float) -> None:
+        """Drop breakpoints strictly before ``t``; new origin becomes ``t``."""
+        i = bisect.bisect_right(self.times, t) - 1
+        if i <= 0:
+            return
+        self.times = [t] + self.times[i + 1:]
+        self.free = self.free[i:]
+
+    # -- queries ---------------------------------------------------------
+
+    def free_at(self, t: float) -> int:
+        """Free nodes at time ``t`` (t >= origin)."""
+        i = bisect.bisect_right(self.times, t) - 1
+        if i < 0:
+            raise ProfileError(f"time {t} precedes profile origin {self.times[0]}")
+        return self.free[i]
+
+    def can_place(
+        self,
+        start: float,
+        duration: float,
+        nodes: int,
+        bonus: Optional[Tuple[float, float, int]] = None,
+    ) -> bool:
+        """Whether ``nodes`` nodes are free throughout the window."""
+        end = start + duration
+        i = bisect.bisect_right(self.times, start) - 1
+        if i < 0:
+            raise ProfileError(f"time {start} precedes profile origin")
+        n = len(self.times)
+        j = i
+        while j < n and (j == i or self.times[j] < end):
+            seg_start = start if j == i else self.times[j]
+            seg_end = self.times[j + 1] if j + 1 < n else math.inf
+            win_end = seg_end if seg_end < end else end
+            if self.free[j] < nodes:
+                if bonus is None:
+                    return False
+                b_start, b_end, b_nodes = bonus
+                if b_start > seg_start or b_end < win_end:
+                    return False
+                if self.free[j] + b_nodes < nodes:
+                    return False
+            j += 1
+        return True
+
+    def find_start(self, nodes: int, duration: float, earliest: float) -> float:
+        """Earliest ``t >= earliest`` with ``nodes`` free throughout
+        ``[t, t + duration)``.
+        """
+        if nodes > self.total_nodes:
+            raise ProfileError(
+                f"request for {nodes} nodes can never fit in {self.total_nodes}"
+            )
+        if nodes <= 0:
+            raise ValueError(f"nodes must be positive, got {nodes}")
+        if duration <= 0:
+            raise ValueError(f"duration must be positive, got {duration}")
+        times, free = self.times, self.free
+        earliest = max(earliest, times[0])
+        n = len(times)
+        start_idx = bisect.bisect_right(times, earliest) - 1
+        i = start_idx
+        while i < n:
+            if free[i] >= nodes:
+                t = earliest if i == start_idx else times[i]
+                end = t + duration
+                ok = True
+                j = i + 1
+                while j < n and times[j] < end:
+                    if free[j] < nodes:
+                        ok = False
+                        break
+                    j += 1
+                if ok:
+                    return t
+                # Restart the search after the blocking segment.
+                i = j
+            else:
+                i += 1
+        raise ProfileError(
+            f"no feasible start for {nodes} nodes x {duration}s; the profile "
+            "tail should always be feasible (capacity leak?)"
+        )
+
+    def segments(self) -> list[Tuple[float, int]]:
+        """Return ``(time, free)`` breakpoints (copy, for inspection)."""
+        return list(zip(self.times, self.free))
+
+    def check_invariants(self) -> None:
+        """Verify representation invariants; raise on any breakage."""
+        if len(self.times) != len(self.free):
+            raise ProfileError(
+                f"times/free length mismatch: {len(self.times)} != "
+                f"{len(self.free)}"
+            )
+        for a, b in zip(self.times, self.times[1:]):
+            if not a < b:
+                raise ProfileError(
+                    f"breakpoints not strictly increasing: {a} >= {b}"
+                )
+        for t, f in zip(self.times, self.free):
+            if not 0 <= f <= self.total_nodes:
+                raise ProfileError(
+                    f"availability {f} at t={t} outside "
+                    f"[0, {self.total_nodes}]"
+                )
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        segs = ", ".join(f"{t:.1f}:{f}" for t, f in self.segments()[:8])
+        return f"ReferenceProfile[{segs}{'...' if len(self.times) > 8 else ''}]"

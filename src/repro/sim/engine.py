@@ -1,17 +1,25 @@
-"""Heap-based discrete-event simulation engine.
+"""Discrete-event simulation engine over a calendar event queue.
 
 The paper used SimGrid purely as a discrete-event substrate with zero
 network overhead (Section 3.1.2), so any deterministic event loop is an
-equivalent foundation.  This one is deliberately minimal: a binary heap of
-:class:`~repro.sim.events.Event` objects ordered by
-``(time, priority, seq)`` and executed one at a time.
+equivalent foundation.  This one executes
+:class:`~repro.sim.events.Event` callbacks one at a time in exact
+``(time, priority, seq)`` order; the events themselves live in a
+pluggable *event queue*:
 
-Cancellation is lazy: cancelling marks a tombstone flag and the loop
-drops flagged events when they surface at the heap top — no mid-heap
-removal, no re-sift.  The simulator counts tombstones created through
-:meth:`Simulator.cancel` and compacts the heap in one O(n) filter +
-heapify once they dominate, so churn-heavy runs (the CBF reservation
-timer cancels constantly) never drag a mostly-dead heap around.
+* :class:`~repro.sim.calendar.CalendarQueue` (the default) — buckets
+  events by time and orders them with C-level tuple comparisons; O(1)
+  amortised insert/extract and bucket-local tombstone purging;
+* :class:`~repro.sim.heapref.BinaryHeapQueue` — the original binary
+  heap, kept as the differential reference for lockstep and
+  byte-identical-trace testing.
+
+Cancellation is lazy everywhere: cancelling marks a tombstone flag
+(counted by the owning queue — see :meth:`Event.cancel
+<repro.sim.events.Event.cancel>`) and the queue drops flagged events at
+extraction or in an amortised purge sweep once they dominate, so
+churn-heavy runs (the CBF reservation timer cancels constantly) never
+drag a mostly-dead queue around.
 
 Typical usage::
 
@@ -22,15 +30,41 @@ Typical usage::
 
 from __future__ import annotations
 
-import heapq
 import math
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Callable, Iterable, Optional, Protocol
 
+from .calendar import COMPACT_MIN_TOMBSTONES as _COMPACT_MIN_TOMBSTONES
+from .calendar import CalendarQueue
 from .events import Event, EventPriority
 
-#: compact the heap once at least this many tracked tombstones exist
-#: and they outnumber live events (amortised O(1) per cancellation)
-_COMPACT_MIN_TOMBSTONES = 512
+__all__ = ["EventQueue", "SimulationError", "Simulator"]
+
+
+class EventQueue(Protocol):
+    """What the simulator needs from an event store.
+
+    Implementations must preserve the global ``(time, priority, seq)``
+    total order across :meth:`pop`/:meth:`peek` and keep tombstone
+    accounting consistent with :meth:`Event.cancel
+    <repro.sim.events.Event.cancel>` notifications.
+    """
+
+    tombstones: int
+    compactions: int
+
+    def __len__(self) -> int: ...
+    def push(self, event: Event) -> None: ...
+    def pop(self) -> Optional[Event]: ...
+    def peek(self) -> Optional[Event]: ...
+    def note_cancelled(self, event: Event) -> None: ...
+    def compact(self) -> None: ...
+    def clear(self) -> None: ...
+    def iter_pending(self) -> Iterable[Event]: ...
+
+
+#: queue class used by ``Simulator()`` when none is injected; tests
+#: monkeypatch this to run whole experiments on the reference kernel
+_DEFAULT_QUEUE_FACTORY: Callable[[], Any] = CalendarQueue
 
 
 class SimulationError(RuntimeError):
@@ -46,21 +80,26 @@ class Simulator:
     before invoking its callback.  Callbacks may schedule further events,
     including at the current instant (they run after all previously
     scheduled events at that instant with the same priority).
+
+    Parameters
+    ----------
+    queue:
+        Event store to use; defaults to a fresh
+        :class:`~repro.sim.calendar.CalendarQueue`.
     """
 
-    def __init__(self) -> None:
-        self._now: float = 0.0
-        self._heap: list[Event] = []
+    def __init__(self, queue: Optional[EventQueue] = None) -> None:
+        #: current simulated time in seconds.  A plain attribute, not a
+        #: property: ``sim.now`` is read on every submit/cancel/pass in
+        #: the scheduler layer and the descriptor call was measurable.
+        #: Owned by the event loop — components must never assign it.
+        self.now: float = 0.0
+        self._queue: EventQueue = (
+            queue if queue is not None else _DEFAULT_QUEUE_FACTORY()
+        )
         self._seq: int = 0
         self._running: bool = False
         self._executed: int = 0
-        #: tombstones known to sit in the heap (only those created via
-        #: :meth:`cancel`; direct ``Event.cancel`` calls are untracked
-        #: and merely surface lazily as before)
-        self._tombstones: int = 0
-        #: heap compaction sweeps performed (observability counter; the
-        #: metrics registry surfaces it per run)
-        self.compactions: int = 0
         #: optional invariant auditor (``None`` = auditing off; see
         #: :mod:`repro.sanitize.auditor`).  With no auditor attached the
         #: event loop pays one attribute load per event and nothing else.
@@ -69,19 +108,24 @@ class Simulator:
     # -- clock ----------------------------------------------------------
 
     @property
-    def now(self) -> float:
-        """Current simulated time in seconds."""
-        return self._now
-
-    @property
     def events_executed(self) -> int:
         """Number of events executed so far (cancelled events excluded)."""
         return self._executed
 
     @property
     def pending_events(self) -> int:
-        """Number of events still in the heap (including cancelled)."""
-        return len(self._heap)
+        """Number of events still queued (including cancelled)."""
+        return len(self._queue)
+
+    @property
+    def compactions(self) -> int:
+        """Tombstone purge sweeps performed by the event queue."""
+        return self._queue.compactions
+
+    @property
+    def _tombstones(self) -> int:
+        """Cancelled events still sitting in the queue (introspection)."""
+        return self._queue.tombstones
 
     # -- scheduling -----------------------------------------------------
 
@@ -100,14 +144,14 @@ class Simulator:
         """
         if math.isnan(time):
             raise SimulationError("event time is NaN")
-        if time < self._now:
+        if time < self.now:
             raise SimulationError(
-                f"cannot schedule event at t={time} before now={self._now}"
+                f"cannot schedule event at t={time} before now={self.now}"
             )
         ev = Event(time=float(time), priority=int(priority), seq=self._seq,
                    callback=callback, tag=tag)
         self._seq += 1
-        heapq.heappush(self._heap, ev)
+        self._queue.push(ev)
         return ev
 
     def after(
@@ -120,65 +164,37 @@ class Simulator:
         """Schedule ``callback`` after ``delay`` seconds (must be >= 0)."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.at(self._now + delay, callback, priority, tag)
+        return self.at(self.now + delay, callback, priority, tag)
 
     def cancel(self, event: Event) -> None:
-        """Cancel ``event`` lazily, tracking the tombstone for compaction.
+        """Cancel ``event`` lazily.
 
-        Idempotent.  The event object stays in the heap (no re-sift);
-        it is dropped when popped, or swept out wholesale when
-        tombstones outnumber live events.
+        Idempotent.  Equivalent to :meth:`Event.cancel`: the event stays
+        queued (no re-sift), is dropped when popped, or is swept out
+        wholesale once tombstones outnumber live events.
         """
-        if event.cancelled:
-            return
-        event.cancelled = True
-        self._tombstones += 1
-        if (
-            self._tombstones >= _COMPACT_MIN_TOMBSTONES
-            and self._tombstones * 2 >= len(self._heap)
-        ):
-            self._compact()
-
-    def _compact(self) -> None:
-        """Rebuild the heap without tombstones (one filter + heapify).
-
-        In-place slice assignment keeps the list object's identity, so
-        the execution loop's local binding never goes stale.
-        """
-        heap = self._heap
-        heap[:] = [ev for ev in heap if not ev.cancelled]
-        heapq.heapify(heap)
-        self._tombstones = 0
-        self.compactions += 1
-
-    def _note_popped_tombstone(self) -> None:
-        if self._tombstones > 0:
-            self._tombstones -= 1
+        event.cancel()
 
     # -- execution ------------------------------------------------------
 
     def step(self) -> bool:
         """Execute the next non-cancelled event.
 
-        Returns ``True`` if an event was executed, ``False`` if the heap
-        is exhausted.
+        Returns ``True`` if an event was executed, ``False`` if the
+        queue is exhausted.
         """
-        heap = self._heap
-        while heap:
-            ev = heapq.heappop(heap)
-            if ev.cancelled:
-                self._note_popped_tombstone()
-                continue
-            if self.auditor is not None:
-                self.auditor.on_event(self, ev)
-            self._now = ev.time
-            self._executed += 1
-            ev.callback()
-            return True
-        return False
+        ev = self._queue.pop()
+        if ev is None:
+            return False
+        if self.auditor is not None:
+            self.auditor.on_event(self, ev)
+        self.now = ev.time
+        self._executed += 1
+        ev.callback()
+        return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
-        """Run until the heap drains, ``until`` is reached, or ``max_events``.
+        """Run until the queue drains, ``until`` is reached, or ``max_events``.
 
         When ``until`` is given, all events with ``time <= until`` are
         executed and the clock is left at ``min(until, last event time)``;
@@ -187,51 +203,55 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
-        # The heap list object is never replaced (only mutated in
-        # place, see _compact/drain), so local bindings stay valid
-        # across callbacks that schedule or cancel events.
-        heap = self._heap
-        heappop = heapq.heappop
+        queue = self._queue
+        pop = queue.pop
+        bounded = until is not None or max_events is not None
         try:
+            if not bounded:
+                # Hot path: no per-event bound checks beyond the pop.
+                while True:
+                    ev = pop()
+                    if ev is None:
+                        return
+                    if self.auditor is not None:
+                        self.auditor.on_event(self, ev)
+                    self.now = ev.time
+                    self._executed += 1
+                    ev.callback()
             executed = 0
-            while heap:
-                ev = heap[0]
-                if ev.cancelled:
-                    heappop(heap)
-                    self._note_popped_tombstone()
-                    continue
+            while True:
+                ev = pop()
+                if ev is None:
+                    break
                 if max_events is not None and executed >= max_events:
+                    queue.push(ev)  # unexecuted: restore verbatim
                     return
                 if until is not None and ev.time > until:
-                    self._now = max(self._now, until)
+                    queue.push(ev)
+                    self.now = max(self.now, until)
                     return
-                heappop(heap)
                 if self.auditor is not None:
                     self.auditor.on_event(self, ev)
-                self._now = ev.time
+                self.now = ev.time
                 self._executed += 1
                 ev.callback()
                 executed += 1
             if until is not None:
-                self._now = max(self._now, until)
+                self.now = max(self.now, until)
         finally:
             self._running = False
 
     def drain(self) -> None:
         """Discard all pending events without executing them."""
-        self._heap.clear()
-        self._tombstones = 0
+        self._queue.clear()
 
     # -- introspection ---------------------------------------------------
 
     def peek_time(self) -> float:
         """Time of the next pending event, or ``inf`` when empty."""
-        heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)
-            self._note_popped_tombstone()
-        return heap[0].time if heap else math.inf
+        ev = self._queue.peek()
+        return ev.time if ev is not None else math.inf
 
     def iter_pending(self) -> Iterable[Event]:
         """Iterate over live (non-cancelled) pending events, unordered."""
-        return (ev for ev in self._heap if not ev.cancelled)
+        return self._queue.iter_pending()

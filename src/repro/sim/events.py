@@ -62,6 +62,12 @@ class Event:
     cancelled:
         Events are removed lazily: cancelling marks the flag and the
         event loop skips flagged events when popped.
+    owner:
+        The event queue currently holding this event (``None`` once
+        popped or never scheduled).  Set by the queue on push; lets
+        :meth:`cancel` report the tombstone to whichever queue holds
+        the event, so *every* cancellation path feeds the same
+        compaction accounting.
     """
 
     time: float
@@ -70,6 +76,7 @@ class Event:
     callback: Callable[[], None]
     cancelled: bool = field(default=False)
     tag: Any = field(default=None)
+    owner: Any = field(default=None, repr=False, compare=False)
 
     def __lt__(self, other: "Event") -> bool:
         """Total order by ``(time, priority, seq)`` without tuple churn."""
@@ -82,8 +89,15 @@ class Event:
     def cancel(self) -> None:
         """Mark the event so the event loop discards it when popped.
 
-        Prefer :meth:`Simulator.cancel <repro.sim.engine.Simulator.cancel>`
-        where the simulator is at hand — it additionally keeps the
-        tombstone count that triggers heap compaction.
+        Idempotent.  The tombstone is reported to the owning queue (when
+        the event is still scheduled), so direct ``Event.cancel()``
+        calls and :meth:`Simulator.cancel
+        <repro.sim.engine.Simulator.cancel>` are now the same path and
+        both feed the queue's amortised compaction trigger.
         """
+        if self.cancelled:
+            return
         self.cancelled = True
+        owner = self.owner
+        if owner is not None:
+            owner.note_cancelled(self)

@@ -1,0 +1,102 @@
+"""Tests for ``repro bench --compare`` payload diffing."""
+
+import json
+
+import pytest
+
+from repro.bench.compare import (
+    REGRESSION_THRESHOLD,
+    compare_payloads,
+    load_bench_payload,
+)
+
+
+def _payload(**timings):
+    return {"timings_s": timings}
+
+
+class TestComparePayloads:
+    def test_no_regression_within_threshold(self):
+        cmp = compare_payloads(
+            _payload(serial=10.0, parallel=5.0),
+            _payload(serial=11.0, parallel=5.9),
+        )
+        assert cmp.ok
+        assert [r["name"] for r in cmp.rows] == ["parallel", "serial"]
+        assert not cmp.missing
+
+    def test_regression_beyond_threshold_fails(self):
+        cmp = compare_payloads(
+            _payload(serial=10.0), _payload(serial=12.5)
+        )
+        assert not cmp.ok
+        assert [r["name"] for r in cmp.regressions] == ["serial"]
+        assert "REGRESSION" in cmp.render()
+        assert "FAIL" in cmp.render()
+
+    def test_exact_threshold_is_not_a_regression(self):
+        cmp = compare_payloads(_payload(serial=10.0), _payload(serial=12.0))
+        assert cmp.ok  # new == old * (1 + 0.20): boundary passes
+
+    def test_speedup_reported_with_negative_delta(self):
+        cmp = compare_payloads(_payload(serial=10.0), _payload(serial=5.0))
+        assert cmp.ok
+        assert cmp.rows[0]["ratio"] == 0.5
+        assert "-50.0%" in cmp.render()
+
+    def test_missing_benchmarks_reported_not_failed(self):
+        cmp = compare_payloads(
+            _payload(serial=10.0, gone=1.0), _payload(serial=10.0, new=1.0)
+        )
+        assert cmp.ok
+        assert sorted(cmp.missing) == ["gone", "new"]
+        assert "only one payload" in cmp.render()
+
+    def test_custom_threshold(self):
+        old, new = _payload(serial=10.0), _payload(serial=10.5)
+        assert compare_payloads(old, new, threshold=0.10).ok
+        assert not compare_payloads(old, new, threshold=0.01).ok
+        assert REGRESSION_THRESHOLD == 0.20
+
+    def test_zero_old_time_regresses_as_infinite_ratio(self):
+        cmp = compare_payloads(_payload(serial=0.0), _payload(serial=1.0))
+        assert cmp.rows[0]["ratio"] == float("inf")
+        assert not cmp.ok
+
+
+class TestLoadBenchPayload:
+    def test_raw_payload(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(_payload(serial=1.0)))
+        assert load_bench_payload(path)["timings_s"] == {"serial": 1.0}
+
+    def test_trajectory_wrapper_uses_after_half(self, tmp_path):
+        path = tmp_path / "BENCH_6.json"
+        path.write_text(json.dumps({
+            "pr": 6,
+            "before": _payload(serial=9.8),
+            "after": _payload(serial=7.0),
+        }))
+        assert load_bench_payload(path)["timings_s"] == {"serial": 7.0}
+
+    def test_garbage_rejected(self, tmp_path):
+        path = tmp_path / "nope.json"
+        path.write_text(json.dumps({"hello": "world"}))
+        with pytest.raises(ValueError, match="not a bench payload"):
+            load_bench_payload(path)
+
+
+class TestCheckedInTrajectory:
+    def test_bench_6_artifact_is_loadable_and_improved(self):
+        """The repo's own trajectory artifact stays well-formed."""
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parents[2]
+        artifact = root / "BENCH_6.json"
+        data = json.loads(artifact.read_text())
+        assert data["pr"] == 6
+        after = load_bench_payload(artifact)
+        cmp = compare_payloads(data["before"], after)
+        # The PR's own before/after must never read as a regression.
+        assert cmp.ok
+        assert after["timings_s"]["serial"] < data["before"]["timings_s"]["serial"]

@@ -1,0 +1,78 @@
+"""Tests for the ``repro bench --profile`` harness."""
+
+import pstats
+
+from repro.bench.profiling import (
+    PHASE_KEYS,
+    ProfileReport,
+    extract_hotspots,
+    profile_sweep,
+)
+from repro.core.config import ExperimentConfig
+
+
+def _tiny_config():
+    return ExperimentConfig(
+        n_clusters=2, nodes_per_cluster=8, duration=120.0,
+        offered_load=1.0, drain=True, seed=3,
+    )
+
+
+class TestProfileSweep:
+    def test_smoke_attributes_phases_and_hotspots(self):
+        report = profile_sweep(_tiny_config(), ["R2", "ALL"], 1, top=10)
+        assert report.n_simulations == 2
+        assert report.total_s > 0
+        assert set(report.phases) == set(PHASE_KEYS)
+        # The event loop always costs something; generation may round
+        # to ~0 on a tiny grid but must be present and non-negative.
+        assert report.phases["simulate_s"] > 0
+        assert all(v >= 0 for v in report.phases.values())
+        assert set(report.per_scheme) == {"R2", "ALL"}
+        assert report.hotspots, "expected at least one repro-package frame"
+        for row in report.hotspots:
+            assert row["file"].startswith("repro/")
+            assert row["cumtime_s"] >= row["tottime_s"] >= 0
+
+    def test_hotspots_sorted_by_cumulative_time(self):
+        report = profile_sweep(_tiny_config(), ["R2"], 1, top=15)
+        cums = [row["cumtime_s"] for row in report.hotspots]
+        assert cums == sorted(cums, reverse=True)
+
+    def test_render_mentions_every_phase(self):
+        report = profile_sweep(_tiny_config(), ["R2"], 1, top=3)
+        text = report.render()
+        for key in PHASE_KEYS:
+            assert key in text
+        assert "hottest functions" in text
+
+    def test_as_dict_round_trips_fields(self):
+        report = ProfileReport(
+            total_s=1.0, n_simulations=2,
+            phases={"simulate_s": 0.5}, per_scheme={"R2": 0.4},
+            hotspots=[{"function": "f", "file": "repro/x.py", "line": 1,
+                       "ncalls": 2, "tottime_s": 0.1, "cumtime_s": 0.2}],
+        )
+        d = report.as_dict()
+        assert d["phases_s"] == {"simulate_s": 0.5}
+        assert d["per_scheme_s"] == {"R2": 0.4}
+        assert d["hotspots"][0]["function"] == "f"
+
+
+class TestExtractHotspots:
+    def _stats(self):
+        import cProfile
+
+        prof = cProfile.Profile()
+        prof.enable()
+        sum(range(1000))
+        prof.disable()
+        return pstats.Stats(prof)
+
+    def test_package_only_filters_foreign_frames(self):
+        rows = extract_hotspots(self._stats(), top=50, package_only=True)
+        assert all(r["file"].startswith("repro/") for r in rows)
+
+    def test_unfiltered_keeps_builtin_frames(self):
+        rows = extract_hotspots(self._stats(), top=50, package_only=False)
+        assert rows  # the sum() frame at minimum

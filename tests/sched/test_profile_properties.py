@@ -14,6 +14,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sched.profile import Profile, ProfileError
+from repro.sched.profile_ref import ReferenceProfile
 
 TOTAL = 8
 
@@ -155,12 +156,10 @@ def test_bonus_equals_releasing_own_reservation(reservations, own):
         p.reserve(o_start, o_dur, o_nodes)
     except ProfileError:
         return  # own reservation did not fit; nothing to compare
-    released = Profile(0.0, TOTAL, TOTAL)
-    released.times = list(p.times)
-    released.free = list(p.free)
+    released = p.copy()
     released.adjust(o_start, o_start + o_dur, +o_nodes)
     bonus = (o_start, o_start + o_dur, o_nodes)
-    for t in [0.0, o_start, o_start + o_dur] + p.times[:6]:
+    for t in [0.0, o_start, o_start + o_dur, *p.times[:6].tolist()]:
         for duration in (0.5, 5.0, 25.0):
             for nodes in (1, o_nodes, TOTAL):
                 assert p.can_place(t, duration, nodes, bonus=bonus) == \
@@ -197,3 +196,126 @@ def test_trim_preserves_future(reservations, cut):
     p.check_invariants()
     assert [p.free_at(t) for t in probes] == before
     assert math.isfinite(p.times[0])
+
+
+# -- vectorised vs list-backed reference lockstep ---------------------------
+#
+# The numpy Profile replaced the original pure-Python implementation
+# (kept verbatim as ReferenceProfile).  These interleavings drive both
+# through identical operation sequences — mutations, trims and every
+# query — asserting exact agreement on results, raised error types and
+# the resulting step function after every single operation.
+
+profile_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("adjust"), windows),
+        st.tuples(
+            st.just("trim"), st.floats(min_value=0.0, max_value=120.0)
+        ),
+        st.tuples(
+            st.just("find_start"),
+            st.tuples(
+                st.integers(min_value=1, max_value=TOTAL),
+                st.floats(min_value=0.1, max_value=60.0),
+                st.floats(min_value=0.0, max_value=150.0),
+            ),
+        ),
+        st.tuples(
+            st.just("can_place"),
+            st.tuples(
+                st.floats(min_value=0.0, max_value=120.0),
+                st.floats(min_value=0.1, max_value=60.0),
+                st.integers(min_value=1, max_value=TOTAL),
+                st.one_of(
+                    st.none(),
+                    st.tuples(
+                        st.floats(min_value=0.0, max_value=120.0),
+                        st.floats(min_value=0.1, max_value=60.0),
+                        st.integers(min_value=1, max_value=TOTAL),
+                    ),
+                ),
+            ),
+        ),
+        st.tuples(
+            st.just("free_at"), st.floats(min_value=0.0, max_value=200.0)
+        ),
+    ),
+    max_size=25,
+)
+
+
+def _apply(profile, op, arg):
+    """Run one op; return ("ok", result) or ("err", exception type)."""
+    try:
+        if op == "adjust":
+            start, duration, delta = arg
+            return "ok", profile.adjust(start, start + duration, delta)
+        if op == "trim":
+            # Trims are only legal behind the query horizon; clamp to
+            # the origin-relative past the same way CBF does (t <= now).
+            return "ok", profile.trim(arg)
+        if op == "find_start":
+            nodes, duration, earliest = arg
+            return "ok", profile.find_start(nodes, duration, earliest)
+        if op == "can_place":
+            start, duration, nodes, bonus_w = arg
+            bonus = None
+            if bonus_w is not None:
+                b_start, b_len, b_nodes = bonus_w
+                bonus = (b_start, b_start + b_len, b_nodes)
+            return "ok", profile.can_place(start, duration, nodes, bonus=bonus)
+        assert op == "free_at"
+        return "ok", profile.free_at(arg)
+    except (ProfileError, ValueError) as exc:
+        return "err", type(exc)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=profile_ops)
+def test_vectorised_profile_matches_reference_lockstep(ops):
+    """Exact behavioural equivalence of the numpy and list profiles."""
+    vec = Profile(0.0, TOTAL, TOTAL)
+    ref = ReferenceProfile(0.0, TOTAL, TOTAL)
+    horizon = 0.0
+    for op, arg in ops:
+        if op == "trim":
+            # Keep the interleaving legal: never trim past a point the
+            # next query could look behind (mirrors CBF's trim(now)).
+            arg = min(arg, horizon)
+        elif op == "free_at":
+            horizon = max(horizon, arg)
+        elif op == "find_start":
+            horizon = max(horizon, arg[2])
+        elif op == "can_place":
+            horizon = max(horizon, arg[0])
+        got = _apply(vec, op, arg)
+        want = _apply(ref, op, arg)
+        assert got == want, f"{op}{arg}: vectorised {got} != reference {want}"
+        vec.check_invariants()
+        ref.check_invariants()
+        assert vec.segments() == ref.segments(), f"state diverged after {op}"
+        assert len(vec) == len(ref)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    running=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=80.0),
+            st.integers(min_value=1, max_value=4),
+        ),
+        max_size=4,
+    )
+)
+def test_from_running_matches_reference(running):
+    """Construction from running holds agrees between implementations."""
+    try:
+        vec = Profile.from_running(10.0, TOTAL, running)
+    except ProfileError:
+        try:
+            ReferenceProfile.from_running(10.0, TOTAL, running)
+        except ProfileError:
+            return
+        raise AssertionError("reference accepted what vectorised rejected")
+    ref = ReferenceProfile.from_running(10.0, TOTAL, running)
+    assert vec.segments() == ref.segments()

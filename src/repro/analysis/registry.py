@@ -68,6 +68,13 @@ class Scale:
     faults_p_loss: tuple[float, ...] = (0.0, 0.1, 0.3)
     #: cluster outage rates (per cluster-hour) for the fault experiment
     faults_outage_rates: tuple[float, ...] = (0.0, 1.0, 4.0)
+    #: phase-diagram axes (cancellation policy × redundancy degree ×
+    #: service regime × offered load) and its submission window
+    phase_policies: tuple[str, ...] = ("cancel-on-start", "cancel-on-complete")
+    phase_degrees: tuple[int, ...] = (2, 3)
+    phase_regimes: tuple[str, ...] = ("lublin", "bimodal", "bernoulli")
+    phase_loads: tuple[float, ...] = (0.6, 1.8)
+    phase_duration: float = 900.0
 
 
 SCALES: dict[str, Scale] = {
@@ -83,6 +90,10 @@ SCALES: dict[str, Scale] = {
         load_study_duration=1800.0,
         faults_p_loss=(0.0, 0.5),
         faults_outage_rates=(0.0, 4.0),
+        phase_degrees=(2,),
+        phase_regimes=("lublin", "bernoulli"),
+        phase_loads=(1.8,),
+        phase_duration=600.0,
     ),
     "default": Scale(
         name="default",
@@ -108,6 +119,9 @@ SCALES: dict[str, Scale] = {
         load_study_duration=24 * 3600.0,
         faults_p_loss=(0.0, 0.05, 0.1, 0.3),
         faults_outage_rates=(0.0, 0.5, 2.0, 4.0),
+        phase_degrees=(2, 3, 4),
+        phase_loads=(0.4, 0.8, 1.2, 1.6, 2.0),
+        phase_duration=3600.0,
     ),
 }
 
@@ -884,6 +898,107 @@ def faults(scale: Optional[Scale] = None) -> ExperimentReport:
 
 
 # ---------------------------------------------------------------------------
+# Beyond the paper: the redundancy phase diagram
+# ---------------------------------------------------------------------------
+
+#: the phase diagram deliberately runs a small platform — the cell
+#: count, not the platform, is its scale axis
+PHASE_N_CLUSTERS = 4
+PHASE_NODES = 16
+
+
+def phase_base_config(scale: Scale) -> ExperimentConfig:
+    """The fixed (non-swept) part of every phase-diagram cell."""
+    return ExperimentConfig(
+        n_clusters=PHASE_N_CLUSTERS,
+        nodes_per_cluster=PHASE_NODES,
+        duration=scale.phase_duration,
+        drain=True,
+        seed=20060619,
+    )
+
+
+def phase(scale: Optional[Scale] = None) -> ExperimentReport:
+    """When is redundancy harmful? (policy × d × regime × load).
+
+    Sweeps the generalised redundancy-d schemes under both cancellation
+    policies across service-time regimes and offered loads, classifying
+    every cell as helpful/neutral/harmful by mean stretch ratio (vs a
+    shared NONE baseline on the same job streams) and by wasted-work
+    fraction.  This extends Tables 1–4 into the landscape mapped by the
+    modern redundancy literature (see PAPERS.md).
+    """
+    from ..policies.phase import run_phase_diagram
+
+    scale = scale or current_scale()
+    diagram = run_phase_diagram(
+        phase_base_config(scale),
+        policies=scale.phase_policies,
+        degrees=scale.phase_degrees,
+        regimes=scale.phase_regimes,
+        loads=scale.phase_loads,
+        n_replications=scale.n_replications,
+        n_workers=n_workers(),
+        cache=shared_cache(),
+    )
+    columns = [f"ρ={load:g}" for load in scale.phase_loads]
+    stretch_table = Table(
+        "Phase diagram — mean stretch relative to NONE "
+        "(same regime, same streams)",
+        columns=columns,
+    )
+    waste_table = Table(
+        "Phase diagram — wasted work, % of all node-seconds consumed",
+        columns=columns,
+    )
+    classes: dict[str, dict[str, str]] = {}
+    for policy in scale.phase_policies:
+        for d in scale.phase_degrees:
+            for regime in scale.phase_regimes:
+                label = f"{policy}/R{d}/{regime}"
+                row = [
+                    diagram.cell(policy, d, regime, load)
+                    for load in scale.phase_loads
+                ]
+                stretch_table.add_row(label, [c.stretch_ratio for c in row])
+                waste_table.add_row(
+                    label, [100.0 * c.waste_fraction for c in row]
+                )
+                classes[label] = {
+                    col: c.stretch_class for col, c in zip(columns, row)
+                }
+    helpful, harmful = diagram.helpful(), diagram.harmful()
+    return ExperimentReport(
+        exp_id="phase",
+        title="redundancy phase diagram (policy × d × regime × load)",
+        paper_expectation=(
+            "beyond the paper: cancel-on-start redundancy-d helps at "
+            "calibrated loads (the paper's harm verdict presumes its "
+            "uncalibrated overload), while cancel-on-complete is harmful "
+            "under Lublin/bi-modal runtimes yet flips helpful for small d "
+            "under scaled-Bernoulli (Raaijmakers et al.)"
+        ),
+        tables=[stretch_table, waste_table],
+        data={
+            "phase_diagram": diagram.to_payload(),
+            "stretch_class": classes,
+        },
+        notes=[
+            f"{len(helpful)} helpful / {len(harmful)} harmful of "
+            f"{len(diagram.cells)} cells (stretch verdicts at ±"
+            f"{100 * _phase_tolerance():g}%); every cell shares its NONE "
+            "baseline's job streams (common random numbers)",
+        ],
+    )
+
+
+def _phase_tolerance() -> float:
+    from ..policies.phase import STRETCH_TOLERANCE
+
+    return STRETCH_TOLERANCE
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -902,6 +1017,7 @@ REGISTRY: dict[str, tuple[str, ExperimentFn]] = {
     "tab4": ("Table 4: predictability", tab4),
     "sec312": ("Section 3.1.2: requested-time inflation", sec312),
     "faults": ("Fault injection: lost cancellations x cluster outages", faults),
+    "phase": ("Phase diagram: when is redundancy harmful?", phase),
 }
 
 

@@ -162,6 +162,13 @@ def build_parser() -> argparse.ArgumentParser:
         "trajectory wrappers) instead of running; exits non-zero when "
         "any benchmark regressed by more than 20%%",
     )
+    bench.add_argument(
+        "--phase",
+        action="store_true",
+        help="time a reduced phase-diagram sweep (policy x d x regime x "
+        "load) instead of the scheme sweep; the JSON payload carries the "
+        "classified grid",
+    )
 
     check = sub.add_parser(
         "check",
@@ -320,6 +327,73 @@ def cmd_run(
                 table_to_csv(table, path)
                 _log.info("wrote %s", path)
     return 0
+
+
+def cmd_bench_phase(
+    workers: int, replications: int, json_path: Optional[str]
+) -> int:
+    """Time a reduced phase-diagram sweep; emit the classified grid.
+
+    Runs the smoke-scale grid (both cancellation policies, R2, the
+    Lublin and scaled-Bernoulli regimes at ρ = 1.8) and reports timing
+    plus the helpful/harmful classification per cell.  Exits non-zero if
+    the sweep produced no classifiable cells (schema guard for CI).
+    """
+    from .analysis.registry import SCALES, phase_base_config
+    from .core.cache import shared_cache
+
+    try:
+        workers = resolve_workers(workers, source="--workers")
+    except ValueError as exc:
+        _log.error("%s", exc)
+        return 2
+    from .policies.phase import CLASSES, run_phase_diagram
+
+    scale = SCALES["smoke"]
+    _log.info(
+        "bench --phase: %d polic(ies) x %d degree(s) x %d regime(s) x "
+        "%d load(s), %d replication(s), workers=%d",
+        len(scale.phase_policies), len(scale.phase_degrees),
+        len(scale.phase_regimes), len(scale.phase_loads),
+        replications, workers,
+    )
+    t0 = time.perf_counter()
+    diagram = run_phase_diagram(
+        phase_base_config(scale),
+        policies=scale.phase_policies,
+        degrees=scale.phase_degrees,
+        regimes=scale.phase_regimes,
+        loads=scale.phase_loads,
+        n_replications=replications,
+        n_workers=workers,
+        cache=shared_cache(),
+    )
+    elapsed = time.perf_counter() - t0
+    ok = bool(diagram.cells) and all(
+        c.stretch_class in CLASSES and c.waste_class in CLASSES
+        for c in diagram.cells
+    )
+    payload = {
+        "bench": "phase_diagram",
+        "cpu_count": os.cpu_count(),
+        "config": {"replications": replications, "workers": workers},
+        "timings_s": {"sweep": elapsed},
+        "cells_per_second": len(diagram.cells) / elapsed if elapsed else 0.0,
+        "schema_ok": ok,
+        **diagram.to_payload(),
+    }
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if json_path and json_path != "-":
+        Path(json_path).write_text(text + "\n")
+        _log.info("wrote %s", json_path)
+    else:
+        print(text)
+    _log.info(
+        "bench --phase: %d cells in %.2fs (%d helpful, %d harmful)",
+        len(diagram.cells), elapsed,
+        payload["n_helpful"], payload["n_harmful"],
+    )
+    return 0 if ok else 1
 
 
 def cmd_bench_compare(old_path: str, new_path: str) -> int:
@@ -626,6 +700,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "bench":
         if args.compare is not None:
             return cmd_bench_compare(args.compare[0], args.compare[1])
+        if args.phase:
+            return cmd_bench_phase(args.workers, args.replications,
+                                   args.json)
         if args.profile:
             return cmd_bench_profile(args.schemes, args.replications,
                                      args.top, args.json)

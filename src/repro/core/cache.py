@@ -47,7 +47,10 @@ from .results import ExperimentResult
 #: (2: fault-injection fields on ExperimentConfig/ExperimentResult)
 #: (3: observability fields — backfilled, events_executed,
 #:  heap_compactions, phase_timings — on ClusterOutcome/ExperimentResult)
-CACHE_SCHEMA_VERSION = 3
+#: (4: fraction schemes now guarantee >= 2 copies on >= 2 clusters —
+#:  HALF results change on small platforms without a config change —
+#:  plus cancellation_policy/placement/service_regime config fields)
+CACHE_SCHEMA_VERSION = 4
 
 #: default bound on the in-process LRU layer (entries, i.e. replications)
 DEFAULT_MEMORY_ENTRIES = 128

@@ -14,9 +14,11 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
-from ..core.schemes import get_scheme
+from ..core.schemes import PLACEMENTS, get_scheme
 from ..faults import FaultConfig
+from ..policies.cancellation import get_cancellation_policy
 from ..workload.estimates import make_estimate_model
+from ..workload.regimes import make_service_regime
 
 #: paper defaults (Section 3.3)
 DEFAULT_NODES = 128
@@ -41,7 +43,23 @@ class ExperimentConfig:
     algorithm:
         ``"easy"`` (default), ``"cbf"`` or ``"fcfs"``.
     scheme:
-        Redundancy scheme name: NONE, R2, R3, R4, HALF or ALL.
+        Redundancy scheme name: NONE, R2, R3, R4, HALF or ALL, or a
+        generalised redundancy-d form (``R<k>`` for any copy count,
+        ``F<fraction>`` for any platform fraction).
+    cancellation_policy:
+        When sibling cancellations are dispatched:
+        ``"cancel-on-start"`` (default, the paper's protocol) or
+        ``"cancel-on-complete"`` (losers run beside the winner until it
+        finishes; see :mod:`repro.policies.cancellation`).
+    placement:
+        Remote-target placement: ``"uniform"`` random draws (default,
+        the paper's users) or ``"balanced"`` nonadaptive least-loaded
+        placement (no randomness; incompatible with
+        ``target_bias_ratio``).
+    service_regime:
+        Runtime marginal: ``"lublin"`` (default, the paper's model),
+        ``"bernoulli"`` (scaled-Bernoulli rare giants) or ``"bimodal"``
+        (short/long two-point law); see :mod:`repro.workload.regimes`.
     adoption_probability:
         Fraction p of jobs whose users employ redundant requests
         (Figure 4 sweeps p; Sections 3.3's main experiments use 1.0).
@@ -115,6 +133,9 @@ class ExperimentConfig:
     cancellation_latency: float = 0.0
     faults: Optional[FaultConfig] = None
     cbf_compress_interval: Optional[float] = None
+    cancellation_policy: str = "cancel-on-start"
+    placement: str = "uniform"
+    service_regime: str = "lublin"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -137,6 +158,17 @@ class ExperimentConfig:
         # Fail fast on unknown names.
         get_scheme(self.scheme)
         make_estimate_model(self.estimates)
+        get_cancellation_policy(self.cancellation_policy)
+        make_service_regime(self.service_regime)
+        if self.placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement {self.placement!r}; choose from {PLACEMENTS}"
+            )
+        if self.placement == "balanced" and self.target_bias_ratio is not None:
+            raise ValueError(
+                "balanced placement ignores account weights; "
+                "unset target_bias_ratio or use uniform placement"
+            )
         if self.algorithm.lower() not in ("easy", "cbf", "fcfs"):
             raise ValueError(f"unknown algorithm {self.algorithm!r}")
         if isinstance(self.nodes_per_cluster, int):
@@ -168,6 +200,13 @@ class ExperimentConfig:
             else self.nodes_per_cluster
         )
         iat = self.mean_interarrival if self.mean_interarrival else "peak"
+        extras = ""
+        if self.cancellation_policy != "cancel-on-start":
+            extras += f", {self.cancellation_policy}"
+        if self.placement != "uniform":
+            extras += f", {self.placement} placement"
+        if self.service_regime != "lublin":
+            extras += f", {self.service_regime} runtimes"
         faults = ""
         if self.faults is not None and self.faults.enabled:
             faults = (
@@ -178,5 +217,5 @@ class ExperimentConfig:
             f"{self.scheme} on N={self.n_clusters} ({nodes} nodes, "
             f"{self.algorithm.upper()}, iat={iat}, est={self.estimates}, "
             f"p={self.adoption_probability:.0%}, {self.duration / 3600:.2g}h"
-            f"{faults})"
+            f"{extras}{faults})"
         )

@@ -26,6 +26,11 @@ if TYPE_CHECKING:  # typing-only: obs/sanitize import core at runtime
 
 from ..cluster.platform import Platform
 from ..faults import FaultInjector
+from ..policies.cancellation import (
+    DEFAULT_CANCELLATION_POLICY,
+    CancellationPolicy,
+    get_cancellation_policy,
+)
 from ..sched.base import SchedulerDownError
 from ..sched.job import Request, RequestState
 from ..sim.engine import Simulator
@@ -100,9 +105,17 @@ class Coordinator:
     tracer:
         Optional :class:`~repro.obs.trace.TraceRecorder`.  When
         attached, the coordinator emits the protocol-side lifecycle
-        events (``submit``, ``cancel_sent``, ``cancel_lost``); the
-        schedulers emit the queue-side ones.  ``None`` (the default)
-        records nothing and costs one attribute check per event site.
+        events (``submit``, ``cancel_sent``, ``cancel_lost``,
+        ``winner_complete``); the schedulers emit the queue-side ones.
+        ``None`` (the default) records nothing and costs one attribute
+        check per event site.
+    policy:
+        The :class:`~repro.policies.cancellation.CancellationPolicy`
+        deciding *when* sibling cancellations are dispatched (a policy
+        name is also accepted).  The default, ``cancel-on-start``, is
+        the paper's protocol and is byte-identical to the pre-policy
+        coordinator; ``cancel-on-complete`` defers the sweep until the
+        winner finishes, so losers may legally run beside it as waste.
     """
 
     def __init__(
@@ -114,6 +127,7 @@ class Coordinator:
         fault_injector: Optional[FaultInjector] = None,
         tracer: Optional[TraceRecorder] = None,
         auditor: Optional[InvariantAuditor] = None,
+        policy: CancellationPolicy | str = DEFAULT_CANCELLATION_POLICY,
     ) -> None:
         if cancellation_latency < 0:
             raise ValueError(
@@ -129,6 +143,9 @@ class Coordinator:
         self.remote_inflation = remote_inflation
         self.fault_injector = fault_injector
         self.tracer = tracer
+        if isinstance(policy, str):
+            policy = get_cancellation_policy(policy)
+        self.policy = policy
         #: optional :class:`~repro.sanitize.auditor.InvariantAuditor`;
         #: fed the protocol-side facts (lost cancellations, duplicate
         #: starts) it needs to judge cancellation consistency.  ``None``
@@ -147,6 +164,7 @@ class Coordinator:
         self.resubmissions = 0
         self._total_requests = 0
         self._total_cancellations = 0
+        self._finalized = False
         for sched in platform.schedulers:
             sched.add_start_callback(self._on_request_start)
 
@@ -223,6 +241,17 @@ class Coordinator:
                 self.auditor.on_duplicate_start(self, job, request)
             return
         job.winner = request
+        self.policy.on_winner_start(self, job)
+
+    def dispatch_cancellations(self, job: RedundantJob) -> None:
+        """Dispatch the sibling-cancellation sweep for ``job`` now.
+
+        The one entry point policies use: applies the configured scalar
+        latency or per-loser fault-injected delays, draws them in
+        request order (determinism), and skips requests that are no
+        longer PENDING.  Under ``cancel-on-start`` this runs at the
+        winner's start instant — structurally the pre-policy code.
+        """
         injector = self.fault_injector
         if injector is not None and injector.has_cancel_delay:
             # Per-loser delays from the configured distribution replace
@@ -243,6 +272,28 @@ class Coordinator:
                 partial(self._cancel_losers, job),
                 EventPriority.CANCEL,
             )
+
+    def on_winner_complete(self, job: RedundantJob) -> None:
+        """Cancel-on-complete's deferred sweep, at the winner's finish.
+
+        Scheduled by
+        :class:`~repro.policies.cancellation.CancelOnComplete` at
+        ``start + runtime`` with CANCEL priority, so it fires before the
+        winner's FINISH event releases its nodes: still-pending losers
+        are withdrawn before they could start on the freed capacity.
+        Losers that already started are skipped by the PENDING check in
+        the dispatch path and run to completion as tracked waste.
+        """
+        winner = job.winner
+        if winner is None:  # pragma: no cover - defensive
+            return
+        if self.tracer is not None:
+            self.tracer.emit(
+                self.sim.now, "winner_complete",
+                winner.cluster.cluster.index,
+                winner.request_id, job.job_id,
+            )
+        self.dispatch_cancellations(job)
 
     def _cancel_losers(self, job: RedundantJob) -> None:
         for req in job.requests:
@@ -316,6 +367,11 @@ class Coordinator:
     def _try_resubmit(
         self, job: RedundantJob, request: Request, target: int
     ) -> None:
+        if self._finalized:
+            # A recovery scheduled past the horizon can fire while the
+            # queue drains after finalize(); injecting a fresh copy into
+            # a finalized run would corrupt the accounting.
+            return
         if job.winner is not None:
             return  # a sibling already started; don't add churn
         if self.tracer is not None:
@@ -362,7 +418,7 @@ class Coordinator:
 
     def _resubmit_copy(self, job: RedundantJob, lost: Request) -> None:
         """Submit a fresh copy replacing one lost in a queue drop."""
-        if job.winner is not None:
+        if self._finalized or job.winner is not None:
             return
         scheduler = lost.cluster
         fresh = lost.copy_spec()
@@ -389,8 +445,11 @@ class Coordinator:
         horizon, so without this pass those losers would be left PENDING
         forever.  Forced cancellation bypasses fault draws and downed
         daemons: this models the operator purge after the measurement
-        window, not simulated middleware traffic.
+        window, not simulated middleware traffic.  Also latches the
+        finalized flag so stray recovery callbacks draining after the
+        horizon cannot resubmit copies into the closed run.
         """
+        self._finalized = True
         for job in self.jobs:
             if job.winner is None:
                 continue

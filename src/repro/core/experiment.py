@@ -34,6 +34,11 @@ from functools import lru_cache
 
 from ..workload.estimates import make_estimate_model
 from ..workload.lublin import LublinParams, scaled_for_load
+from ..workload.regimes import (
+    ServiceRegime,
+    make_service_regime,
+    regime_scaled_for_load,
+)
 
 
 @lru_cache(maxsize=128)
@@ -54,6 +59,7 @@ def _cached_streams(
     params: "tuple[LublinParams, ...]",
     estimates: str,
     adoption_probability: float,
+    regime: Optional[ServiceRegime] = None,
 ) -> "tuple[list[StreamJob], ...]":
     """Memoised per-replication workload streams.
 
@@ -75,6 +81,7 @@ def _cached_streams(
             params_per_cluster=list(params),
             estimate_model=make_estimate_model(estimates),
             adoption_probability=adoption_probability,
+            regime=regime,
         )
     )
 from .config import ExperimentConfig
@@ -97,16 +104,42 @@ def _resolve_node_counts(
     return list(config.nodes_per_cluster)
 
 
+def _resolve_regime(
+    config: ExperimentConfig, node_counts: list[int]
+) -> Optional[ServiceRegime]:
+    """Resolve and load-calibrate the config's service regime (if any).
+
+    Calibration targets the homogeneous reference cluster (the mean
+    node count, matching the Lublin calibration's reference); on
+    heterogeneous platforms per-cluster arrival rates still vary, so —
+    as with Lublin — ``offered_load`` is the *reference* load there.
+    """
+    regime = make_service_regime(config.service_regime)
+    if regime is None or config.offered_load is None:
+        return regime
+    base = LublinParams()
+    if config.mean_interarrival is not None:
+        base = base.with_mean_interarrival(config.mean_interarrival)
+    reference_nodes = int(round(np.mean(node_counts)))
+    return regime_scaled_for_load(
+        regime, config.offered_load, reference_nodes, base
+    )
+
+
 def _resolve_workload_params(
     config: ExperimentConfig,
     factory: RngFactory,
     replication: int,
     node_counts: list[int],
+    calibrate_load: bool = True,
 ) -> list[LublinParams]:
     base = LublinParams()
     if config.mean_interarrival is not None:
         base = base.with_mean_interarrival(config.mean_interarrival)
-    if config.offered_load is not None:
+    if config.offered_load is not None and calibrate_load:
+        # Skipped when a service regime is active: the regime replaces
+        # the runtime marginal, so Lublin's runtime_scale is inert and
+        # the regime carries its own calibration (_resolve_regime).
         reference_nodes = int(round(np.mean(node_counts)))
         base = _calibrated_params(base, reference_nodes, config.offered_load)
     if not config.heterogeneous:
@@ -187,7 +220,11 @@ def run_single(
     if auditor is not None:
         sim.auditor = auditor
         platform.attach_auditor(auditor)
-    params = _resolve_workload_params(config, factory, replication, node_counts)
+    regime = _resolve_regime(config, node_counts)
+    params = _resolve_workload_params(
+        config, factory, replication, node_counts,
+        calibrate_load=regime is None,
+    )
     streams = _cached_streams(
         config.seed,
         replication,
@@ -196,6 +233,7 @@ def run_single(
         tuple(params),
         config.estimates,
         config.adoption_probability,
+        regime,
     )
     scheme = get_scheme(config.scheme)
     weights = (
@@ -208,6 +246,7 @@ def run_single(
         node_counts,
         rng=factory.generator("rep", replication, "targets"),
         cluster_weights=weights,
+        placement=config.placement,
     )
     injector = None
     if config.faults is not None and config.faults.enabled:
@@ -222,6 +261,7 @@ def run_single(
         fault_injector=injector,
         tracer=tracer,
         auditor=auditor,
+        policy=config.cancellation_policy,
     )
     if injector is not None:
         # Outages can only *begin* inside the submission window; an

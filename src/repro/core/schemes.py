@@ -56,7 +56,10 @@ class RedundancyScheme:
 
         Fraction-based schemes round to the nearest cluster count
         (HALF of 5 clusters → 3 including the local one); the result is
-        clamped to ``[1, n_clusters]``.
+        clamped to ``[1, n_clusters]``.  A fraction scheme additionally
+        guarantees at least 2 copies whenever the platform has at least
+        2 clusters: HALF on 2 clusters used to round to 1, silently
+        degrading to NONE, which made "HALF" lie on small platforms.
         """
         if n_clusters < 1:
             raise ValueError(f"n_clusters must be >= 1, got {n_clusters}")
@@ -65,6 +68,8 @@ class RedundancyScheme:
         else:
             # Round half-up (not banker's): HALF of 5 clusters is 3.
             k = int(math.floor(self.fraction * n_clusters + 0.5))
+            if n_clusters >= 2:
+                k = max(k, 2)
         return max(1, min(k, n_clusters))
 
     @property
@@ -85,15 +90,37 @@ SCHEMES: dict[str, RedundancyScheme] = {
 #: schemes plotted in Figures 1-4, in the paper's legend order
 PAPER_SCHEME_ORDER = ("R2", "R3", "R4", "HALF", "ALL")
 
+#: supported target-placement strategies
+PLACEMENTS = ("uniform", "balanced")
+
 
 def get_scheme(name: str) -> RedundancyScheme:
-    """Look up a scheme by its paper name (case-insensitive)."""
+    """Look up a scheme by name (case-insensitive).
+
+    Beyond the paper's named set, generalised *redundancy-d* schemes
+    parse on the fly: ``R<k>`` for any fixed copy count ``k >= 1``
+    (``R7`` → 7 copies, subsuming R2/R3/R4) and ``F<frac>`` for any
+    platform fraction in (0, 1] (``F0.25`` → a quarter of the clusters,
+    subsuming HALF = ``F0.5`` and ALL = ``F1``).  Parsed schemes obey
+    the same clamping/≥2-copies rules as the named ones.
+    """
+    key = name.upper()
     try:
-        return SCHEMES[name.upper()]
+        return SCHEMES[key]
     except KeyError:
-        raise ValueError(
-            f"unknown scheme {name!r}; choose from {sorted(SCHEMES)}"
-        ) from None
+        pass
+    if len(key) > 1 and key[0] in ("R", "F"):
+        body = key[1:]
+        try:
+            if key[0] == "R":
+                return RedundancyScheme(key, fixed_copies=int(body))
+            return RedundancyScheme(key, fraction=float(body))
+        except ValueError:
+            pass  # non-numeric body or out-of-range: fall through
+    raise ValueError(
+        f"unknown scheme {name!r}; choose from {sorted(SCHEMES)} "
+        "or a generalised 'R<k>' / 'F<fraction>' form"
+    )
 
 
 def geometric_bias_weights(n_clusters: int, ratio: float = 0.5) -> np.ndarray:
@@ -127,6 +154,14 @@ class TargetSelector:
         Optional non-uniform account distribution (Table 2); defaults
         to uniform.  Weights are renormalised over the eligible remote
         clusters for each job.
+    placement:
+        ``"uniform"`` (default) draws remote targets randomly from the
+        eligible set, as the paper's users do.  ``"balanced"`` is the
+        *balanced nonadaptive* placement from the redundancy-d
+        literature: remote copies go to the eligible clusters that have
+        received the fewest copies so far (ties broken by cluster
+        index), consuming no randomness at all.  Balanced placement is
+        incompatible with ``cluster_weights``.
     """
 
     def __init__(
@@ -135,10 +170,23 @@ class TargetSelector:
         node_counts: Sequence[int],
         rng: np.random.Generator,
         cluster_weights: Optional[Sequence[float]] = None,
+        placement: str = "uniform",
     ) -> None:
+        if placement not in PLACEMENTS:
+            raise ValueError(
+                f"unknown placement {placement!r}; choose from {PLACEMENTS}"
+            )
+        if placement == "balanced" and cluster_weights is not None:
+            raise ValueError(
+                "balanced placement ignores account weights; "
+                "drop cluster_weights or use uniform placement"
+            )
         self.scheme = scheme
         self.node_counts = list(node_counts)
         self.rng = rng
+        self.placement = placement
+        #: copies assigned per cluster so far (balanced placement state)
+        self._assigned = [0] * len(self.node_counts)
         if cluster_weights is not None:
             w = np.asarray(cluster_weights, dtype=float)
             if len(w) != len(self.node_counts):
@@ -181,6 +229,15 @@ class TargetSelector:
         if not remotes:
             return [origin]
         take = min(k - 1, len(remotes))
+        if self.placement == "balanced":
+            # Least-loaded-first, ties by index; no RNG draw at all, so
+            # the targets stream stays untouched (common random numbers
+            # across placements are preserved for the *other* streams).
+            picked = sorted(remotes, key=lambda i: (self._assigned[i], i))[:take]
+            self._assigned[origin] += 1
+            for i in picked:
+                self._assigned[i] += 1
+            return [origin] + picked
         if self.cluster_weights is None:
             chosen = self.rng.choice(len(remotes), size=take, replace=False)
             picked = [remotes[int(i)] for i in chosen]

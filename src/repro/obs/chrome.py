@@ -23,7 +23,14 @@ from typing import Iterable, Union
 from .trace import TRACE_SCHEMA_VERSION
 
 #: event types rendered as instants rather than folded into spans
-_INSTANT_TYPES = ("submit", "cancel_sent", "cancel_lost", "outage_down", "outage_up")
+_INSTANT_TYPES = (
+    "submit",
+    "cancel_sent",
+    "cancel_lost",
+    "winner_complete",
+    "outage_down",
+    "outage_up",
+)
 
 
 def _us(t: float) -> float:

@@ -60,6 +60,7 @@ EVENT_TYPES = (
     "cancel_lost",
     "cancel_applied",
     "complete",
+    "winner_complete",
     "outage_down",
     "outage_up",
 )

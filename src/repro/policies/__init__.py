@@ -1,0 +1,30 @@
+"""Pluggable redundancy policies layered over the core protocol.
+
+``repro.policies.cancellation`` defines *when* a job's redundant
+siblings are withdrawn (cancel-on-start vs cancel-on-complete);
+``repro.policies.phase`` sweeps (policy × redundancy-d × service regime
+× load) into a helpful/harmful phase diagram.
+
+Only the cancellation layer is re-exported here: it sits below
+``repro.core`` (the coordinator resolves policies by name), while the
+phase-diagram layer sits above it and must be imported explicitly to
+avoid a circular import.
+"""
+
+from .cancellation import (
+    CANCELLATION_POLICIES,
+    DEFAULT_CANCELLATION_POLICY,
+    CancellationPolicy,
+    CancelOnComplete,
+    CancelOnStart,
+    get_cancellation_policy,
+)
+
+__all__ = [
+    "CANCELLATION_POLICIES",
+    "DEFAULT_CANCELLATION_POLICY",
+    "CancellationPolicy",
+    "CancelOnComplete",
+    "CancelOnStart",
+    "get_cancellation_policy",
+]

@@ -1,0 +1,131 @@
+"""Pluggable cancellation disciplines for the redundant-request protocol.
+
+The paper hard-wires *first-start-wins with cancel-on-start*: the first
+copy of a job to start executing defines the job's metrics and the
+coordinator immediately cancels every queued sibling.  The modern
+redundancy literature (see PAPERS.md: Raaijmakers et al. on scaled
+Bernoulli service requirements; Anton, Ayesta, Jonckheere & Verloop's
+stability survey) shows the harmfulness verdict hinges on exactly this
+discipline, and studies a second one: **cancel-on-complete**, where the
+redundant copies are left in place until the winning copy *finishes*.
+
+This module makes the discipline a first-class policy object:
+
+``cancel-on-start``
+    Today's behaviour, byte-identical to the pre-policy coordinator:
+    sibling cancellations are dispatched the instant a winner starts
+    (subject to the configured latency or fault-injected delays).
+
+``cancel-on-complete``
+    Losers stay queued — and may start and run beside the winner — until
+    the winner completes; only then are the still-pending siblings
+    cancelled (again subject to latency/fault draws).  Copies that ran
+    are charged as waste for their *full* runtime.  A "duplicate start"
+    is expected protocol behaviour here, not an anomaly, which the
+    sanitizer waivers in :mod:`repro.sanitize.auditor` encode.
+
+Policies hold no per-run state: the coordinator owns the jobs and the
+dispatch machinery, and a policy only decides *when* the dispatch
+happens.  That keeps one policy instance shareable across runs and the
+``cancel-on-start`` path structurally identical to the pre-policy code
+(same events, in the same order, with the same RNG draws), which the
+golden-trace test in ``tests/integration`` locks in byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import TYPE_CHECKING
+
+from ..sim.events import EventPriority
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.coordinator import Coordinator, RedundantJob
+
+
+class CancellationPolicy:
+    """When sibling cancellations are dispatched after a winner emerges.
+
+    Subclasses override :meth:`on_winner_start`; the coordinator calls
+    it exactly once per job, at the instant the job's first copy starts
+    (with ``job.winner`` already assigned).  Everything the policy may
+    want to do — dispatch cancellations now, or schedule them for later
+    — goes through the coordinator's public dispatch hooks, so fault
+    draws, tracing and accounting behave identically under every policy.
+
+    Attributes
+    ----------
+    name:
+        The config-facing policy name (``ExperimentConfig.cancellation_policy``).
+    expects_duplicate_starts:
+        ``True`` when a loser legally runs beside a still-running winner
+        under this policy.  The sanitizer reads this to decide whether a
+        duplicate start needs a lost/in-flight cancellation to explain it.
+    """
+
+    name: str = ""
+    expects_duplicate_starts: bool = False
+
+    def on_winner_start(self, coordinator: "Coordinator", job: "RedundantJob") -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class CancelOnStart(CancellationPolicy):
+    """The paper's discipline: cancel siblings the instant a copy starts."""
+
+    name = "cancel-on-start"
+    expects_duplicate_starts = False
+
+    def on_winner_start(self, coordinator: "Coordinator", job: "RedundantJob") -> None:
+        coordinator.dispatch_cancellations(job)
+
+
+class CancelOnComplete(CancellationPolicy):
+    """Keep the redundant copies until the winner *finishes*.
+
+    The winner's completion instant is known the moment it starts
+    (``start + runtime``; the scheduler computes the finish event from
+    the same expression, so the two events carry bit-identical
+    timestamps).  The sweep is scheduled at ``CANCEL`` priority, which
+    orders *before* the winner's ``FINISH`` event at the same instant:
+    pending losers are withdrawn before the winner's nodes free up, so
+    none of them can grab the released nodes in the same scheduling
+    pass.  Losers already running are left alone — a running copy is
+    never a cancellation target — and run to completion as waste.
+    """
+
+    name = "cancel-on-complete"
+    expects_duplicate_starts = True
+
+    def on_winner_start(self, coordinator: "Coordinator", job: "RedundantJob") -> None:
+        winner = job.winner
+        assert winner is not None  # assigned by the caller
+        coordinator.sim.at(
+            coordinator.sim.now + winner.runtime,
+            partial(coordinator.on_winner_complete, job),
+            EventPriority.CANCEL,
+        )
+
+
+#: the policy registry, by config-facing name
+CANCELLATION_POLICIES: dict[str, CancellationPolicy] = {
+    CancelOnStart.name: CancelOnStart(),
+    CancelOnComplete.name: CancelOnComplete(),
+}
+
+#: default policy (the paper's): safe to share — policies are stateless
+DEFAULT_CANCELLATION_POLICY = CANCELLATION_POLICIES[CancelOnStart.name]
+
+
+def get_cancellation_policy(name: str) -> CancellationPolicy:
+    """Look up a cancellation policy by name (case-insensitive)."""
+    try:
+        return CANCELLATION_POLICIES[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown cancellation policy {name!r}; "
+            f"choose from {sorted(CANCELLATION_POLICIES)}"
+        ) from None

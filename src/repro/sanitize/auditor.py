@@ -548,6 +548,11 @@ class InvariantAuditor:
             request.request_id in self._lost_cancel_ids
             or coordinator.cancellation_latency > 0
             or (injector is not None and injector.has_cancel_delay)
+            # Under cancel-on-complete losers legally start while the
+            # winner still runs: the cancellation sweep has not been
+            # dispatched yet, so a duplicate start is the protocol
+            # working as designed, not an anomaly.
+            or coordinator.policy.expects_duplicate_starts
         )
         self._check(
             explained,
@@ -634,6 +639,9 @@ class InvariantAuditor:
                             coordinator.fault_injector is not None
                             and coordinator.fault_injector.has_cancel_delay
                         )
+                        # cancel-on-complete: running losers are the
+                        # policy's design, still counted as waste above
+                        or coordinator.policy.expects_duplicate_starts
                     )
                 )
                 self._check(

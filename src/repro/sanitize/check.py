@@ -70,6 +70,18 @@ def suite_configs(quick: bool) -> list[ExperimentConfig]:
     # The faults experiment's environment, and the latency ablation.
     configs.append(base.with_(scheme="R2", faults=SUITE_FAULTS))
     configs.append(base.with_(scheme="R2", cancellation_latency=30.0))
+    # The policy zoo: cancel-on-complete legalises duplicate starts, so
+    # its waiver logic must hold with and without fault injection.
+    configs.append(
+        base.with_(scheme="R2", cancellation_policy="cancel-on-complete")
+    )
+    configs.append(
+        base.with_(
+            scheme="ALL",
+            cancellation_policy="cancel-on-complete",
+            faults=SUITE_FAULTS,
+        )
+    )
     if not quick:
         configs.append(
             base.with_(algorithm="cbf", scheme="ALL", faults=SUITE_FAULTS)
@@ -81,6 +93,15 @@ def suite_configs(quick: bool) -> list[ExperimentConfig]:
             )
         )
         configs.append(base.with_(scheme="R2", estimates="phi"))
+        configs.append(
+            base.with_(
+                scheme="R3",
+                cancellation_policy="cancel-on-complete",
+                service_regime="bimodal",
+                placement="balanced",
+            )
+        )
+        configs.append(base.with_(scheme="R2", service_regime="bernoulli"))
     return configs
 
 

@@ -17,6 +17,7 @@ from typing import Optional, Sequence
 from ..sim.rng import RngFactory
 from .estimates import EstimateModel, ExactEstimates
 from .lublin import LublinGenerator, LublinParams
+from .regimes import RegimeGenerator, ServiceRegime
 
 
 @dataclass(frozen=True)
@@ -57,12 +58,15 @@ def generate_cluster_stream(
     params: Optional[LublinParams] = None,
     estimate_model: Optional[EstimateModel] = None,
     adoption_probability: float = 1.0,
+    regime: Optional[ServiceRegime] = None,
 ) -> list[StreamJob]:
     """Generate the job stream arriving at one cluster.
 
     Three independent random streams are used so that changing the
     estimate model or the adoption probability never perturbs the
-    workload itself (arrival times, sizes, runtimes).
+    workload itself (arrival times, sizes, runtimes).  An optional
+    service ``regime`` (:mod:`repro.workload.regimes`) swaps the
+    runtime marginal while keeping Lublin arrivals and node counts.
     """
     if not 0.0 <= adoption_probability <= 1.0:
         raise ValueError(f"adoption probability must be in [0,1], got "
@@ -75,7 +79,10 @@ def generate_cluster_stream(
                                     "estimates")
     adopt_rng = rng_factory.generator("rep", replication, "cluster", cluster_index,
                                       "adoption")
-    gen = LublinGenerator(params, max_nodes, work_rng)
+    if regime is not None:
+        gen: LublinGenerator = RegimeGenerator(params, max_nodes, work_rng, regime)
+    else:
+        gen = LublinGenerator(params, max_nodes, work_rng)
     jobs: list[StreamJob] = []
     for raw in gen.jobs_until(duration):
         requested = estimate_model.requested_time(raw.runtime, est_rng)
@@ -101,6 +108,7 @@ def generate_platform_streams(
     params_per_cluster: Optional[Sequence[LublinParams]] = None,
     estimate_model: Optional[EstimateModel] = None,
     adoption_probability: float = 1.0,
+    regime: Optional[ServiceRegime] = None,
 ) -> list[list[StreamJob]]:
     """Generate one stream per cluster.
 
@@ -126,6 +134,7 @@ def generate_platform_streams(
                 params=params,
                 estimate_model=estimate_model,
                 adoption_probability=adoption_probability,
+                regime=regime,
             )
         )
     return streams

@@ -24,6 +24,10 @@ TINY = Scale(
     load_study_duration=600.0,
     faults_p_loss=(0.0, 1.0),
     faults_outage_rates=(0.0,),
+    phase_degrees=(2,),
+    phase_regimes=("lublin",),
+    phase_loads=(1.8,),
+    phase_duration=300.0,
 )
 
 
@@ -31,7 +35,7 @@ class TestStructure:
     def test_all_paper_artifacts_registered(self):
         expected = {"fig1", "fig2", "fig3", "fig4", "fig5",
                     "tab1", "tab2", "tab3", "tab4", "sec4", "sec312",
-                    "faults"}
+                    "faults", "phase"}
         assert expected == set(REGISTRY)
 
     def test_scales_defined(self):
@@ -139,4 +143,19 @@ class TestSmokeRuns:
         assert all(
             v > 0 for row in rel.values() for v in row.values()
         ), "relative stretch must be positive in every cell"
+        assert rep.render()
+
+    def test_phase(self):
+        rep = run_experiment("phase", TINY)
+        payload = rep.data["phase_diagram"]
+        assert payload["kind"] == "repro-phase-diagram"
+        classes = rep.data["stretch_class"]
+        assert set(classes) == {
+            "cancel-on-start/R2/lublin",
+            "cancel-on-complete/R2/lublin",
+        }
+        assert all(
+            c in {"helpful", "neutral", "harmful"}
+            for row in classes.values() for c in row.values()
+        )
         assert rep.render()

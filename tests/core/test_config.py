@@ -19,8 +19,15 @@ class TestValidation:
             {"adoption_probability": 1.5},
             {"adoption_probability": -0.1},
             {"remote_inflation": -0.1},
-            {"scheme": "R99"},
+            {"scheme": "R0"},
+            {"scheme": "F1.5"},
+            {"scheme": "Rx"},
+            {"scheme": "SOMETHING"},
             {"estimates": "psychic"},
+            {"cancellation_policy": "cancel-eventually"},
+            {"placement": "sideways"},
+            {"placement": "balanced", "target_bias_ratio": 0.5},
+            {"service_regime": "uniform"},
             {"algorithm": "sjf"},
             {"nodes_per_cluster": 0},
             {"interarrival_range": (0.0, 20.0)},

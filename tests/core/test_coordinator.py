@@ -216,3 +216,85 @@ class TestInvariants:
     def test_invariant_error_is_an_assertion(self):
         # Callers that caught AssertionError keep working.
         assert issubclass(InvariantError, AssertionError)
+
+
+class TestWasteAccounting:
+    """Regression pin for duplicate-start waste attribution.
+
+    With every cancellation lost (``p_cancel_loss=1.0``) under ALL on k
+    clusters, all k copies of every started job run to completion: the
+    k-1 losers are pure waste.  The ledger must therefore show wasted
+    node-seconds of exactly (k-1)x the useful node-seconds, i.e. a
+    wasted-work fraction of (k-1)/k — any drift means duplicates are
+    double-counted or under-charged.
+    """
+
+    def test_all_copies_lost_cancel_waste_identity(self):
+        from repro.core.config import ExperimentConfig
+        from repro.core.experiment import run_single
+        from repro.faults import FaultConfig
+
+        k = 3
+        cfg = ExperimentConfig(
+            n_clusters=k,
+            nodes_per_cluster=16,
+            duration=300.0,
+            offered_load=2.0,
+            drain=True,
+            seed=20060619,
+            scheme="ALL",
+            faults=FaultConfig(p_cancel_loss=1.0),
+        )
+        r = run_single(cfg, 0, check_invariants=True)
+        assert r.lost_cancellations > 0
+        assert r.useful_node_seconds > 0
+        assert r.wasted_node_seconds == pytest.approx(
+            (k - 1) * r.useful_node_seconds
+        )
+        assert r.wasted_work_fraction == pytest.approx((k - 1) / k)
+
+
+class TestResubmitAfterFinalize:
+    """An outage recovery straddling the horizon must not resubmit."""
+
+    def _dropped_copy(self):
+        sim = Simulator()
+        platform = Platform(sim, [8, 8], algorithm="easy")
+        coord = Coordinator(sim, platform)
+        # Block both clusters far past the horizon so the redundant
+        # job's copies stay PENDING (winner never crowned).
+        for origin in (0, 1):
+            coord.schedule_job(
+                job(origin=origin, nodes=8, runtime=1000.0, redundant=False),
+                [origin],
+            )
+        j = job(origin=0, arrival=1.0, nodes=8)
+        coord.schedule_job(j, [0, 1])
+        # Outage at t=5 loses cluster 1's queue (the pending copy).
+        sim.at(5.0, lambda: platform.schedulers[1].go_down(drop_queue=True))
+        sim.at(10.0, lambda: platform.schedulers[1].come_up())
+        sim.run(until=300.0)
+        rj = coord.jobs[2]
+        lost = next(
+            r for r in rj.requests if r.cluster is platform.schedulers[1]
+        )
+        assert rj.winner is None
+        return sim, coord, rj, lost
+
+    def test_pre_finalize_resubmission_works(self):
+        sim, coord, rj, lost = self._dropped_copy()
+        before = coord.total_requests
+        coord._try_resubmit(rj, lost.copy_spec(), 1)
+        assert coord.resubmissions == 1
+        assert coord.total_requests == before + 1
+
+    def test_post_finalize_resubmission_refused(self):
+        sim, coord, rj, lost = self._dropped_copy()
+        before = coord.total_requests
+        coord.finalize()
+        # A recovery callback scheduled past the horizon fires while the
+        # event queue drains after finalize(): it must be a no-op.
+        coord._try_resubmit(rj, lost.copy_spec(), 1)
+        assert coord.resubmissions == 0
+        assert coord.total_requests == before
+        assert len(rj.requests) == 2

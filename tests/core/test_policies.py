@@ -1,0 +1,300 @@
+"""Tests for the pluggable cancellation-policy layer.
+
+Covers the cancel-on-complete semantics (losers run beside the winner
+until it finishes), the fault-injector interplay the policy legalises
+(lost cancellations of *running* losers are structural no-ops,
+downed-scheduler cancels count exactly once), the ``winner_complete``
+trace event, and the phase-diagram classification built on top.
+"""
+
+import pytest
+
+from repro.cluster.platform import Platform
+from repro.core.config import ExperimentConfig
+from repro.core.coordinator import Coordinator
+from repro.core.experiment import run_single
+from repro.faults import FaultConfig, FaultInjector
+from repro.policies import (
+    CANCELLATION_POLICIES,
+    CancelOnComplete,
+    CancelOnStart,
+    get_cancellation_policy,
+)
+from repro.sched.job import RequestState
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngFactory
+from repro.workload.stream import StreamJob
+
+
+def job(origin=0, arrival=0.0, nodes=4, runtime=10.0, requested=None,
+        redundant=True):
+    return StreamJob(
+        origin=origin,
+        arrival=arrival,
+        nodes=nodes,
+        runtime=runtime,
+        requested_time=requested if requested is not None else runtime,
+        uses_redundancy=redundant,
+    )
+
+
+def make(policy, n_clusters=3, nodes=8, injector=None):
+    sim = Simulator()
+    platform = Platform(sim, [nodes] * n_clusters, algorithm="easy")
+    coord = Coordinator(sim, platform, fault_injector=injector, policy=policy)
+    return sim, platform, coord
+
+
+class TestRegistry:
+    def test_lookup_and_identity(self):
+        assert isinstance(get_cancellation_policy("cancel-on-start"),
+                          CancelOnStart)
+        assert isinstance(get_cancellation_policy("Cancel-On-Complete"),
+                          CancelOnComplete)
+        assert set(CANCELLATION_POLICIES) == {
+            "cancel-on-start", "cancel-on-complete",
+        }
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError, match="unknown cancellation policy"):
+            get_cancellation_policy("cancel-eventually")
+
+    def test_coordinator_accepts_name_or_instance(self):
+        sim = Simulator()
+        platform = Platform(sim, [8], algorithm="easy")
+        by_name = Coordinator(sim, platform, policy="cancel-on-complete")
+        assert by_name.policy.expects_duplicate_starts
+        by_obj = Coordinator(sim, platform, policy=CancelOnStart())
+        assert not by_obj.policy.expects_duplicate_starts
+
+
+class TestCancelOnComplete:
+    def test_loser_runs_until_winner_completes(self):
+        # Both clusters idle: under cancel-on-start the sibling is
+        # cancelled the instant the winner starts; under
+        # cancel-on-complete it starts too and runs to completion.
+        sim, platform, coord = make("cancel-on-complete")
+        j = job(nodes=8, runtime=10.0)
+        coord.schedule_job(j, [0, 1])
+        sim.run()
+        rj = coord.jobs[0]
+        assert rj.winner is not None
+        states = sorted(r.state.value for r in rj.requests)
+        assert states == ["completed", "completed"]
+        assert len(coord.duplicate_starts) == 1
+        # The duplicate is charged for its full runtime.
+        assert coord.wasted_node_seconds(sim.now) == pytest.approx(10.0 * 8)
+        coord.check_invariants()
+
+    def test_pending_loser_cancelled_at_winner_end(self):
+        sim, platform, coord = make("cancel-on-complete")
+        # Occupy cluster 1 well past the winner's completion so the
+        # loser copy there can never start.
+        blocker = job(origin=1, nodes=8, runtime=100.0, redundant=False)
+        coord.schedule_job(blocker, [1])
+        j = job(origin=0, arrival=1.0, nodes=8, runtime=10.0)
+        coord.schedule_job(j, [0, 1])
+        sim.run()
+        rj = coord.jobs[1]
+        winner, loser = rj.winner, [r for r in rj.requests
+                                    if r is not rj.winner][0]
+        assert winner.cluster.cluster.index == 0
+        assert loser.state is RequestState.CANCELLED
+        # Cancelled at the winner's completion instant, not its start.
+        assert loser.cancelled_at == winner.end_time == 11.0
+        assert coord.duplicate_starts == []
+        assert coord.wasted_node_seconds(sim.now) == 0.0
+
+    def test_sweep_beats_simultaneous_node_release(self):
+        # The sweep carries CANCEL priority, so at a shared instant it
+        # orders before FINISH events.  Blocker on cluster 1 ends at
+        # exactly t=11.0 — the same instant the winner completes — and
+        # the pending loser must be withdrawn before the blocker's
+        # nodes free up, never sneaking in a late duplicate start.
+        sim, platform, coord = make("cancel-on-complete")
+        blocker = job(origin=1, nodes=8, runtime=11.0, redundant=False)
+        coord.schedule_job(blocker, [1])
+        j = job(origin=0, arrival=1.0, nodes=8, runtime=10.0)
+        coord.schedule_job(j, [0, 1])
+        sim.run()
+        rj = coord.jobs[1]
+        loser = [r for r in rj.requests if r is not rj.winner][0]
+        assert rj.winner.end_time == 11.0
+        assert loser.state is RequestState.CANCELLED
+        assert loser.start_time is None
+        assert coord.duplicate_starts == []
+
+    def test_lost_cancellation_of_running_loser_is_noop(self):
+        # p_cancel_loss=1.0: every cancellation *sent* is lost.  A loser
+        # that is already RUNNING at sweep time is skipped before any
+        # loss draw, so nothing is sent and nothing can be lost.
+        injector = FaultInjector(
+            FaultConfig(p_cancel_loss=1.0),
+            RngFactory(7).generator("faults"),
+        )
+        sim, platform, coord = make("cancel-on-complete", injector=injector)
+        j = job(nodes=8, runtime=10.0)
+        coord.schedule_job(j, [0, 1])
+        sim.run()
+        assert len(coord.duplicate_starts) == 1
+        assert coord.lost_cancellations == 0
+        assert coord.total_cancellations == 0
+        coord.check_invariants()
+
+    def test_downed_scheduler_cancel_counted_once(self):
+        sim, platform, coord = make("cancel-on-complete")
+        blocker = job(origin=1, nodes=8, runtime=100.0, redundant=False)
+        coord.schedule_job(blocker, [1])
+        j = job(origin=0, arrival=1.0, nodes=8, runtime=10.0)
+        coord.schedule_job(j, [0, 1])
+        # Take cluster 1's daemon down before the winner completes: the
+        # sweep's cancel is rejected and must count exactly once.
+        sim.at(5.0, lambda: platform.schedulers[1].go_down())
+        sim.run()
+        assert coord.lost_cancellations == 1
+        rj = coord.jobs[1]
+        loser = [r for r in rj.requests if r is not rj.winner][0]
+        assert loser.state is RequestState.PENDING
+        # finalize() force-cancels the orphan without recounting it.
+        coord.finalize()
+        assert loser.state is RequestState.CANCELLED
+        assert coord.lost_cancellations == 1
+        coord.check_invariants()
+
+    def test_run_single_deterministic(self):
+        cfg = ExperimentConfig(
+            n_clusters=3, nodes_per_cluster=16, duration=300.0,
+            offered_load=2.0, drain=True, seed=20060619,
+            scheme="R2", cancellation_policy="cancel-on-complete",
+        )
+        a = run_single(cfg, 0, check_invariants=True)
+        b = run_single(cfg, 0)
+        assert a.avg_stretch == b.avg_stretch
+        assert a.wasted_node_seconds == b.wasted_node_seconds
+        assert [j.start_time for j in a.jobs] == [j.start_time for j in b.jobs]
+        assert a.wasted_node_seconds > 0  # losers really do run
+
+    def test_audited_run_accepts_policy(self):
+        from repro.sanitize.auditor import run_single_audited
+
+        cfg = ExperimentConfig(
+            n_clusters=3, nodes_per_cluster=16, duration=300.0,
+            offered_load=2.0, drain=True, seed=20060619,
+            scheme="ALL", cancellation_policy="cancel-on-complete",
+            faults=FaultConfig(p_cancel_loss=0.3, cancel_delay_mean=30.0,
+                               cancel_delay_distribution="exponential"),
+        )
+        _, auditor = run_single_audited(cfg, 0, mode="collect")
+        assert auditor.violations == []
+
+
+class TestWinnerCompleteTrace:
+    def test_event_emitted_per_started_job(self):
+        from repro.obs.trace import run_single_traced
+
+        cfg = ExperimentConfig(
+            n_clusters=3, nodes_per_cluster=16, duration=300.0,
+            offered_load=2.0, drain=True, seed=20060619,
+            scheme="R2", cancellation_policy="cancel-on-complete",
+        )
+        traced = run_single_traced(cfg, replication=0)
+        winner_completes = [e for e in traced.events
+                            if e[1] == "winner_complete"]
+        starts = {e[4] for e in traced.events if e[1] == "start"}
+        assert len(winner_completes) == len(starts) > 0
+        # Each fires at the winner's completion, which is also traced.
+        complete_times = {(e[3], e[0]) for e in traced.events
+                          if e[1] == "complete"}
+        for t, _etype, _cluster, request_id, _job_id in winner_completes:
+            assert (request_id, t) in complete_times
+
+    def test_absent_under_cancel_on_start(self):
+        from repro.obs.trace import run_single_traced
+
+        cfg = ExperimentConfig(
+            n_clusters=3, nodes_per_cluster=16, duration=300.0,
+            offered_load=2.0, drain=True, seed=20060619, scheme="R2",
+        )
+        traced = run_single_traced(cfg, replication=0)
+        assert not any(e[1] == "winner_complete" for e in traced.events)
+
+
+class TestPhaseDiagram:
+    @pytest.fixture(scope="class")
+    def diagram(self):
+        from repro.policies.phase import run_phase_diagram
+
+        base = ExperimentConfig(
+            n_clusters=3, nodes_per_cluster=16, duration=300.0,
+            drain=True, seed=20060619,
+        )
+        return run_phase_diagram(
+            base,
+            policies=("cancel-on-start", "cancel-on-complete"),
+            degrees=(2,), regimes=("lublin",), loads=(1.8,),
+            n_replications=2,
+        )
+
+    def test_demonstrates_helpful_and_harmful(self, diagram):
+        # The acceptance demonstration: same degree, same regime, same
+        # load — the cancellation discipline alone flips the verdict.
+        helpful = diagram.cell("cancel-on-start", 2, "lublin", 1.8)
+        harmful = diagram.cell("cancel-on-complete", 2, "lublin", 1.8)
+        assert helpful.stretch_ratio < 1.0
+        assert helpful.stretch_class == "helpful"
+        assert harmful.stretch_ratio > 1.0
+        assert harmful.stretch_class == "harmful"
+        # Cost side: duplicate runs burn real node-seconds.
+        assert helpful.waste_fraction == pytest.approx(0.0)
+        assert harmful.waste_fraction > 0.05
+        assert harmful.waste_class == "harmful"
+
+    def test_payload_schema(self, diagram):
+        from repro.policies.phase import CLASSES, PHASE_SCHEMA_VERSION
+
+        payload = diagram.to_payload()
+        assert payload["kind"] == "repro-phase-diagram"
+        assert payload["schema_version"] == PHASE_SCHEMA_VERSION
+        assert payload["n_helpful"] >= 1 and payload["n_harmful"] >= 1
+        assert len(payload["cells"]) == 2
+        for cell in payload["cells"]:
+            assert set(cell) == {
+                "policy", "degree", "regime", "load", "stretch_ratio",
+                "waste_fraction", "stretch_class", "waste_class",
+            }
+            assert cell["stretch_class"] in CLASSES
+            assert cell["waste_class"] in CLASSES
+
+    def test_unknown_cell_raises(self, diagram):
+        with pytest.raises(KeyError):
+            diagram.cell("cancel-on-start", 4, "lublin", 1.8)
+
+    def test_axes_validated(self):
+        from repro.policies.phase import run_phase_diagram
+
+        base = ExperimentConfig(n_clusters=3, nodes_per_cluster=16,
+                                duration=300.0, drain=True)
+        with pytest.raises(ValueError, match="at least one value"):
+            run_phase_diagram(base, (), (2,), ("lublin",), (1.8,), 1)
+        with pytest.raises(ValueError, match="degrees must be >= 2"):
+            run_phase_diagram(base, ("cancel-on-start",), (1,),
+                              ("lublin",), (1.8,), 1)
+
+
+class TestClassification:
+    def test_stretch_bands(self):
+        from repro.policies.phase import classify_stretch
+
+        assert classify_stretch(0.5) == "helpful"
+        assert classify_stretch(0.99) == "neutral"
+        assert classify_stretch(1.0) == "neutral"
+        assert classify_stretch(1.01) == "neutral"
+        assert classify_stretch(1.5) == "harmful"
+        assert classify_stretch(float("nan")) == "harmful"
+
+    def test_waste_one_sided(self):
+        from repro.policies.phase import classify_waste
+
+        assert classify_waste(0.0) == "neutral"
+        assert classify_waste(0.04) == "neutral"
+        assert classify_waste(0.2) == "harmful"

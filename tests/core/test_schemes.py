@@ -24,7 +24,7 @@ class TestSchemeDefinitions:
             ("HALF", 10, 5),
             ("ALL", 10, 10),
             ("HALF", 5, 3),      # rounds to nearest
-            ("HALF", 2, 1),
+            ("HALF", 2, 2),      # fraction schemes never degrade to NONE
             ("R4", 3, 3),        # clamped to platform size
             ("ALL", 1, 1),
         ],
@@ -37,7 +37,7 @@ class TestSchemeDefinitions:
 
     def test_unknown_scheme(self):
         with pytest.raises(ValueError, match="unknown scheme"):
-            get_scheme("R99")
+            get_scheme("SOMETHING")
 
     def test_paper_order_covers_redundant_schemes(self):
         assert set(PAPER_SCHEME_ORDER) == set(SCHEMES) - {"NONE"}
@@ -172,3 +172,94 @@ class TestTargetSelector:
         )
         targets = sel.choose(0, 1, uses_redundancy=True)
         assert len(targets) == 2
+
+
+class TestGeneralisedSchemes:
+    @pytest.mark.parametrize(
+        "name,n,expected",
+        [
+            ("R5", 10, 5),
+            ("R7", 10, 7),
+            ("R7", 4, 4),        # clamped to platform size
+            ("F0.25", 10, 3),    # rounds 2.5 up
+            ("F0.25", 4, 2),     # floor of 1 lifted to the 2-copy promise
+            ("F0.9", 10, 9),
+            ("F1.0", 10, 10),    # synonym for ALL
+        ],
+    )
+    def test_parsed_copy_counts(self, name, n, expected):
+        assert get_scheme(name).copies(n) == expected
+
+    @pytest.mark.parametrize("name", ["HALF", "ALL", "F0.25"])
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5])
+    def test_fraction_schemes_never_degrade_to_none(self, name, n):
+        """A fraction scheme on >= 2 clusters always fans out: the
+        HALF-on-2-clusters rounding that silently degraded to NONE is
+        pinned out."""
+        copies = get_scheme(name).copies(n)
+        assert 1 <= copies <= n
+        if n >= 2:
+            assert copies >= 2
+
+    def test_parsed_schemes_are_redundant(self):
+        assert get_scheme("R7").is_redundant
+        assert get_scheme("F0.25").is_redundant
+
+    @pytest.mark.parametrize("name", ["R0", "R-2", "F0.0", "F1.5", "Rx", "F"])
+    def test_malformed_spec_rejected(self, name):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            get_scheme(name)
+
+
+class TestBalancedPlacement:
+    def make(self, scheme="R3", counts=(128,) * 10, seed=0):
+        return TargetSelector(
+            get_scheme(scheme), counts, np.random.default_rng(seed),
+            placement="balanced",
+        )
+
+    def test_deterministic_and_rng_free(self):
+        # Balanced placement must not consume the selection stream:
+        # the generator state is untouched after a choose().
+        rng = np.random.default_rng(0)
+        sel = TargetSelector(
+            get_scheme("R2"), (8,) * 4, rng, placement="balanced"
+        )
+        before = rng.bit_generator.state
+        a = sel.choose(0, 1, uses_redundancy=True)
+        assert rng.bit_generator.state == before
+        sel2 = TargetSelector(
+            get_scheme("R2"), (8,) * 4, np.random.default_rng(99),
+            placement="balanced",
+        )
+        assert sel2.choose(0, 1, uses_redundancy=True) == a
+
+    def test_spreads_load_across_clusters(self):
+        # Round-robin-by-assignment-count: over many picks from one
+        # origin every remote receives (nearly) the same copy count.
+        sel = self.make("R2", counts=(8,) * 5)
+        counts = np.zeros(5)
+        for _ in range(40):
+            t = sel.choose(0, 1, uses_redundancy=True)
+            counts[t[1]] += 1
+        assert counts[1:].max() - counts[1:].min() <= 1
+
+    def test_origin_still_first(self):
+        sel = self.make("R3")
+        targets = sel.choose(4, 1, uses_redundancy=True)
+        assert targets[0] == 4
+        assert len(set(targets)) == 3
+
+    def test_balanced_with_weights_rejected(self):
+        with pytest.raises(ValueError, match="placement"):
+            TargetSelector(
+                get_scheme("R2"), (8, 8), np.random.default_rng(0),
+                cluster_weights=[0.5, 0.5], placement="balanced",
+            )
+
+    def test_unknown_placement_rejected(self):
+        with pytest.raises(ValueError, match="placement"):
+            TargetSelector(
+                get_scheme("R2"), (8, 8), np.random.default_rng(0),
+                placement="sideways",
+            )

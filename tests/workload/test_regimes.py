@@ -1,0 +1,154 @@
+"""Tests for the service-time regimes (scaled Bernoulli, bi-modal)."""
+
+import numpy as np
+import pytest
+
+from repro.workload.lublin import LublinParams
+from repro.workload.regimes import (
+    REGIME_NAMES,
+    BimodalRegime,
+    RegimeGenerator,
+    ScaledBernoulliRegime,
+    empirical_mean_nodes,
+    make_service_regime,
+    regime_scaled_for_load,
+)
+from repro.workload.stream import generate_cluster_stream
+
+
+class TestDefinitions:
+    def test_bernoulli_analytic_mean(self):
+        r = ScaledBernoulliRegime(short=60.0, factor=100.0, p_large=0.02)
+        # 98 % x 60 s + 2 % x 6000 s
+        assert r.mean_runtime() == pytest.approx(0.98 * 60 + 0.02 * 6000)
+        rng = np.random.default_rng(0)
+        draws = [r.sample(rng, nodes=4) for _ in range(5000)]
+        assert np.mean(draws) == pytest.approx(r.mean_runtime(), rel=0.2)
+
+    def test_bimodal_analytic_mean(self):
+        r = BimodalRegime(r_short=60.0, r_long=3600.0, p_long=0.1)
+        assert r.mean_runtime() == pytest.approx(0.9 * 60 + 0.1 * 3600)
+
+    def test_two_point_supports(self):
+        rng = np.random.default_rng(1)
+        bern = ScaledBernoulliRegime(scale=2.0)
+        assert {bern.sample(rng, 1) for _ in range(500)} == {120.0, 12000.0}
+        bim = BimodalRegime(scale=0.5)
+        assert {bim.sample(rng, 1) for _ in range(500)} == {30.0, 1800.0}
+
+    def test_with_scale_preserves_shape(self):
+        r = BimodalRegime().with_scale(3.0)
+        assert r.scale == 3.0
+        assert r.mean_runtime() == pytest.approx(3.0 * BimodalRegime().mean_runtime())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScaledBernoulliRegime(short=-1.0)
+        with pytest.raises(ValueError):
+            ScaledBernoulliRegime(p_large=1.5)
+        with pytest.raises(ValueError):
+            BimodalRegime(r_long=0.0)
+        with pytest.raises(ValueError):
+            BimodalRegime(p_long=-0.1)
+
+    def test_hashable_for_stream_memoisation(self):
+        # Regimes key the cached-stream memo alongside (rep, cluster).
+        a, b = ScaledBernoulliRegime(), ScaledBernoulliRegime()
+        assert {a: 1}[b] == 1
+        assert BimodalRegime() != ScaledBernoulliRegime()
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(REGIME_NAMES) == {"lublin", "bernoulli", "bimodal"}
+
+    def test_lublin_is_null_regime(self):
+        assert make_service_regime("lublin") is None
+
+    def test_mapping_case_insensitive(self):
+        assert isinstance(make_service_regime("Bernoulli"),
+                          ScaledBernoulliRegime)
+        assert isinstance(make_service_regime("BIMODAL"), BimodalRegime)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown service regime"):
+            make_service_regime("uniform")
+
+
+class TestCalibration:
+    def test_scale_hits_target_load_analytically(self):
+        params = LublinParams()
+        max_nodes = 64
+        rho = 1.5
+        scaled = regime_scaled_for_load(
+            BimodalRegime(), rho, max_nodes, params
+        )
+        mean_nodes = empirical_mean_nodes(params, max_nodes)
+        implied_rho = (
+            mean_nodes * scaled.mean_runtime()
+            / (params.mean_interarrival * max_nodes)
+        )
+        assert implied_rho == pytest.approx(rho)
+
+    def test_scale_ignores_prior_scale(self):
+        a = regime_scaled_for_load(BimodalRegime(scale=7.0), 1.0, 32)
+        b = regime_scaled_for_load(BimodalRegime(scale=1.0), 1.0, 32)
+        assert a == b
+
+    def test_invalid_rho(self):
+        with pytest.raises(ValueError, match="rho"):
+            regime_scaled_for_load(BimodalRegime(), 0.0, 32)
+
+    def test_empirical_mean_nodes_memoised_and_plausible(self):
+        params = LublinParams()
+        m1 = empirical_mean_nodes(params, 64)
+        m2 = empirical_mean_nodes(params, 64)
+        assert m1 == m2
+        assert 1.0 <= m1 <= 64.0
+
+
+class TestGeneration:
+    def test_generator_runtimes_on_two_point_support(self):
+        regime = ScaledBernoulliRegime()
+        gen = RegimeGenerator(
+            LublinParams(), 64, np.random.default_rng(3), regime
+        )
+        runtimes = {gen.sample_runtime(gen.sample_nodes())
+                    for _ in range(300)}
+        assert runtimes <= {60.0, 6000.0}
+        assert len(runtimes) == 2
+
+    def test_cluster_stream_uses_regime(self):
+        from repro.sim.rng import RngFactory
+
+        jobs = generate_cluster_stream(
+            RngFactory(42), replication=0, cluster_index=0, max_nodes=64,
+            duration=20_000.0, regime=BimodalRegime(),
+        )
+        assert jobs
+        assert {j.runtime for j in jobs} <= {60.0, 3600.0}
+
+    def test_stream_deterministic_per_regime(self):
+        from repro.sim.rng import RngFactory
+
+        kw = dict(replication=0, cluster_index=0, max_nodes=64,
+                  duration=10_000.0)
+        a = generate_cluster_stream(RngFactory(42), regime=BimodalRegime(),
+                                    **kw)
+        b = generate_cluster_stream(RngFactory(42), regime=BimodalRegime(),
+                                    **kw)
+        assert [(j.arrival, j.nodes, j.runtime) for j in a] == [
+            (j.arrival, j.nodes, j.runtime) for j in b
+        ]
+
+    def test_arrival_process_shared_with_lublin(self):
+        # Regimes replace only the runtime marginal; the arrival count
+        # over a horizon stays in the same ballpark as pure Lublin.
+        from repro.sim.rng import RngFactory
+
+        kw = dict(replication=0, cluster_index=0, max_nodes=64,
+                  duration=50_000.0)
+        lublin = generate_cluster_stream(RngFactory(42), **kw)
+        bimodal = generate_cluster_stream(RngFactory(42),
+                                          regime=BimodalRegime(), **kw)
+        assert len(bimodal) == pytest.approx(len(lublin), rel=0.3)

@@ -75,6 +75,11 @@ class Scale:
     phase_regimes: tuple[str, ...] = ("lublin", "bimodal", "bernoulli")
     phase_loads: tuple[float, ...] = (0.6, 1.8)
     phase_duration: float = 900.0
+    #: knee-study offered loads (ρ) and its fixed (non-drained) window;
+    #: the sweep classifies each load as sustained or saturated from
+    #: online statistics alone (see repro.analysis.knee)
+    knee_loads: tuple[float, ...] = (0.6, 1.0, 1.4, 1.8, 2.4, 3.0)
+    knee_duration: float = 1800.0
 
 
 SCALES: dict[str, Scale] = {
@@ -94,6 +99,8 @@ SCALES: dict[str, Scale] = {
         phase_regimes=("lublin", "bernoulli"),
         phase_loads=(1.8,),
         phase_duration=600.0,
+        knee_loads=(0.6, 1.4, 2.4),
+        knee_duration=600.0,
     ),
     "default": Scale(
         name="default",
@@ -122,6 +129,8 @@ SCALES: dict[str, Scale] = {
         phase_degrees=(2, 3, 4),
         phase_loads=(0.4, 0.8, 1.2, 1.6, 2.0),
         phase_duration=3600.0,
+        knee_loads=(0.4, 0.8, 1.2, 1.6, 2.0, 2.4, 2.8, 3.2),
+        knee_duration=3600.0,
     ),
 }
 
@@ -999,6 +1008,96 @@ def _phase_tolerance() -> float:
 
 
 # ---------------------------------------------------------------------------
+# Beyond the paper: the throughput knee, from online statistics alone
+# ---------------------------------------------------------------------------
+
+def knee_base_config(scale: Scale) -> ExperimentConfig:
+    """The fixed part of every knee cell (the phase diagram's platform)."""
+    return ExperimentConfig(
+        scheme="R2",
+        n_clusters=PHASE_N_CLUSTERS,
+        nodes_per_cluster=PHASE_NODES,
+        duration=scale.knee_duration,
+        drain=False,
+        seed=20060619,
+    )
+
+
+def knee(scale: Optional[Scale] = None) -> ExperimentReport:
+    """Where does each cancellation policy's throughput knee sit?
+
+    Sweeps offered load ρ over a fixed (non-drained) window per
+    cancellation policy and classifies each load as sustained or
+    saturated by completion fraction — computed *entirely* from the
+    streaming estimators and scalar counters (the per-request arrays
+    are stripped before results leave the workers; see
+    :mod:`repro.analysis.knee`).
+    """
+    from .knee import KNEE_COMPLETION_THRESHOLD, run_knee_study
+
+    scale = scale or current_scale()
+    study = run_knee_study(
+        knee_base_config(scale),
+        loads=scale.knee_loads,
+        n_replications=scale.n_replications,
+        n_workers=n_workers(),
+    )
+    columns = [f"ρ={load:g}" for load in study.loads]
+    completion_table = Table(
+        "Knee — completion fraction (completed / submitted, fixed window)",
+        columns=columns,
+    )
+    stretch_table = Table(
+        "Knee — online stretch quantiles (P², merged across replications)",
+        columns=columns,
+    )
+    plot = AsciiPlot(
+        "Knee — completion fraction vs offered load",
+        xlabel="offered load ρ", ylabel="completion fraction",
+        reference_y=KNEE_COMPLETION_THRESHOLD,
+    )
+    for policy in study.policies:
+        row = [study.cell(policy, load) for load in study.loads]
+        completion_table.add_row(
+            policy, [c.completion_fraction for c in row]
+        )
+        stretch_table.add_row(
+            f"{policy} p50", [c.stretch_p50 for c in row]
+        )
+        stretch_table.add_row(
+            f"{policy} p99", [c.stretch_p99 for c in row]
+        )
+        plot.add_series(
+            policy,
+            [(c.load, c.completion_fraction) for c in row
+             if c.completion_fraction == c.completion_fraction],
+        )
+    knees = {p: study.knee(p) for p in study.policies}
+    return ExperimentReport(
+        exp_id="knee",
+        title="throughput knee per cancellation policy (online metrics only)",
+        paper_expectation=(
+            "beyond the paper: completions keep up with submissions below "
+            "saturation and collapse past it; cancel-on-complete burns "
+            "duplicate work, so its knee sits at or below "
+            "cancel-on-start's"
+        ),
+        tables=[completion_table, stretch_table],
+        plots=[plot.render()],
+        data=study.to_payload(),
+        notes=[
+            "classified from online Welford/P² statistics and scalar "
+            "counters alone — per-request arrays never leave the "
+            "workers (completion fraction ≥ "
+            f"{KNEE_COMPLETION_THRESHOLD:g} counts as sustained); "
+            "knees found: "
+            + ", ".join(f"{p} at ρ={v:g}" if v is not None else f"{p}: none"
+                        for p, v in knees.items()),
+        ],
+    )
+
+
+# ---------------------------------------------------------------------------
 # registry
 # ---------------------------------------------------------------------------
 
@@ -1018,6 +1117,7 @@ REGISTRY: dict[str, tuple[str, ExperimentFn]] = {
     "sec312": ("Section 3.1.2: requested-time inflation", sec312),
     "faults": ("Fault injection: lost cancellations x cluster outages", faults),
     "phase": ("Phase diagram: when is redundancy harmful?", phase),
+    "knee": ("Throughput knee per cancellation policy (online metrics)", knee),
 }
 
 

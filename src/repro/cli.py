@@ -18,6 +18,11 @@ Usage::
     repro trace record --out runs/r2 --schemes R2   # traced sweep
     repro trace summary runs/r2/trace.jsonl
     repro trace export-chrome runs/r2/trace.jsonl --out r2.trace.json
+    repro probe record --out runs/p --schemes R2 --cadence 30
+    repro probe summary runs/p/probes.jsonl
+    repro probe plot-ascii runs/p/probes.jsonl --field utilisation
+    repro probe compare runs/a/probes.jsonl runs/b/probes.jsonl
+    repro probe export-chrome runs/p/probes.jsonl --out p.trace.json
 
 Scales are defined in :mod:`repro.analysis.registry`; ``--workers``
 parallelises replications across processes.  ``--cache-dir`` persists
@@ -255,6 +260,79 @@ def build_parser() -> argparse.ArgumentParser:
     filt.add_argument("--t-min", type=float, default=None)
     filt.add_argument("--t-max", type=float, default=None)
 
+    from .obs.probes import DEFAULT_PROBE_CADENCE
+
+    probe = sub.add_parser(
+        "probe",
+        help="record and inspect sim-time probe series (online observability)",
+    )
+    psub = probe.add_subparsers(dest="probe_command", required=True)
+
+    prec = psub.add_parser(
+        "record",
+        help="run a probed sweep; write probes.jsonl + manifest.json",
+    )
+    prec.add_argument("--out", required=True, metavar="DIR",
+                      help="output directory for probes.jsonl + manifest.json")
+    prec.add_argument("--schemes", nargs="+", default=["ALL"],
+                      metavar="SCHEME", help="schemes to probe (default: ALL)")
+    prec.add_argument("--replications", type=int, default=1,
+                      help="replications per scheme (default 1)")
+    prec.add_argument("--workers", type=int, default=1,
+                      help="worker processes (probes stay byte-identical)")
+    prec.add_argument("--cadence", type=float, default=DEFAULT_PROBE_CADENCE,
+                      help="sim-seconds between samples "
+                      f"(default {DEFAULT_PROBE_CADENCE:g})")
+    prec.add_argument("--clusters", type=int, default=5,
+                      help="clusters in the platform (default 5)")
+    prec.add_argument("--nodes", type=int, default=32,
+                      help="nodes per cluster (default 32)")
+    prec.add_argument("--duration", type=float, default=900.0,
+                      help="submission window in seconds (default 900)")
+    prec.add_argument("--load", type=float, default=2.0,
+                      help="offered load rho (default 2.0)")
+    prec.add_argument("--algorithm", default="easy",
+                      help="scheduler algorithm (default easy)")
+    prec.add_argument("--seed", type=int, default=20060619,
+                      help="master seed (default 20060619)")
+
+    psum = psub.add_parser("summary", help="aggregate view of a probe series")
+    psum.add_argument("probes", metavar="PROBES", help="path to probes.jsonl")
+
+    pplot = psub.add_parser(
+        "plot-ascii",
+        help="plot one probe field over sim time as ASCII",
+    )
+    pplot.add_argument("probes", metavar="PROBES", help="path to probes.jsonl")
+    pplot.add_argument("--field", default="utilisation",
+                       help="probe field to plot (default: utilisation); "
+                       "cluster fields: queue_depth busy_nodes utilisation; "
+                       "kernel fields: outstanding_duplicates "
+                       "wasted_node_seconds pending_events compactions")
+    pplot.add_argument("--cluster", type=int, default=None,
+                       help="restrict to one cluster (kernel rows are -1; "
+                       "default: one series per cluster carrying the field)")
+    pplot.add_argument("--config", type=int, default=None,
+                       help="config index within the series")
+    pplot.add_argument("--rep", type=int, default=None,
+                       help="replication index")
+
+    pcmp = psub.add_parser(
+        "compare",
+        help="compare two probe series; exit non-zero if they diverge",
+    )
+    pcmp.add_argument("probes", nargs=2, metavar=("A", "B"),
+                      help="two probes.jsonl paths")
+
+    pexp = psub.add_parser(
+        "export-chrome",
+        help="convert a probe series to Chrome counter tracks "
+        "(chrome://tracing)",
+    )
+    pexp.add_argument("probes", metavar="PROBES", help="path to probes.jsonl")
+    pexp.add_argument("--out", required=True, metavar="PATH",
+                      help="output .json path")
+
     from .lint.cli import add_lint_parser
 
     add_lint_parser(sub)
@@ -470,6 +548,7 @@ def cmd_bench(
     from .core.schemes import PAPER_SCHEME_ORDER
     from .obs.manifest import build_manifest
     from .obs.metrics import MetricsRegistry, aggregate_results
+    from .obs.stream import ONLINE_SCHEMA_VERSION, merge_online_payloads
 
     try:
         workers = resolve_workers(workers, source="--workers")
@@ -542,6 +621,27 @@ def cmd_bench(
         metrics,
     )
 
+    # Streaming estimator payloads (Welford + P²) merged across the
+    # serial sweep's replications, per scheme and overall — the sweep's
+    # headline distributions without holding any per-request arrays.
+    online = {
+        "schema": ONLINE_SCHEMA_VERSION,
+        "baseline": merge_online_payloads(
+            r.online_metrics for r in serial.baseline
+        ),
+        "per_scheme": {
+            s: merge_online_payloads(
+                r.online_metrics for r in serial.per_scheme[s]
+            )
+            for s in schemes
+        },
+        "overall": merge_online_payloads(
+            r.online_metrics
+            for results in serial.per_scheme.values()
+            for r in results
+        ),
+    }
+
     bench_configs = [cfg.with_(scheme="NONE")] + [
         cfg.with_(scheme=s) for s in schemes
     ]
@@ -575,6 +675,7 @@ def cmd_bench(
         "warm_cache_hits": warm_hits,
         "warm_cache_complete": warm_hits == n_tasks,
         "results_identical": identical,
+        "online": online,
         "metrics": metrics.snapshot(),
         "manifest": manifest.to_dict(),
         **stats.as_dict(),
@@ -689,6 +790,139 @@ def cmd_trace(args: argparse.Namespace) -> int:
     )  # pragma: no cover
 
 
+def cmd_probe(args: argparse.Namespace) -> int:
+    """Dispatch the ``repro probe`` sub-subcommands."""
+    from .obs.probes import read_probes, summarize_probes
+
+    if args.probe_command == "record":
+        from .core.config import ExperimentConfig
+        from .obs.probes import (
+            MANIFEST_FILENAME, PROBES_FILENAME, record_probe_sweep,
+        )
+
+        try:
+            workers = resolve_workers(args.workers, source="--workers")
+        except ValueError as exc:
+            _log.error("%s", exc)
+            return 2
+        if args.cadence <= 0.0:
+            _log.error("--cadence must be positive, got %g", args.cadence)
+            return 2
+        configs = [
+            ExperimentConfig(
+                scheme=scheme,
+                algorithm=args.algorithm,
+                n_clusters=args.clusters,
+                nodes_per_cluster=args.nodes,
+                duration=args.duration,
+                offered_load=args.load,
+                drain=True,
+                seed=args.seed,
+            )
+            for scheme in args.schemes
+        ]
+        _log.info(
+            "recording probed sweep: %d config(s) x %d replication(s), "
+            "cadence=%gs, workers=%d",
+            len(configs), args.replications, args.cadence, workers,
+        )
+        _, manifest = record_probe_sweep(
+            configs,
+            args.replications,
+            args.out,
+            cadence=args.cadence,
+            n_workers=workers,
+            command=["repro", "probe", "record"],
+        )
+        out = Path(args.out)
+        _log.info("wrote %s (%d records) and %s",
+                  out / PROBES_FILENAME,
+                  manifest.extra.get("n_probe_records", 0),
+                  out / MANIFEST_FILENAME)
+        return 0
+
+    if args.probe_command == "summary":
+        _, records = read_probes(args.probes)
+        print(json.dumps(summarize_probes(records), indent=2, sort_keys=True))
+        return 0
+
+    if args.probe_command == "plot-ascii":
+        from .analysis.plots import AsciiPlot
+        from .obs.probes import probe_series
+
+        _, records = read_probes(args.probes)
+        clusters = (
+            [args.cluster] if args.cluster is not None
+            else sorted({
+                rec["cluster"] for rec in records if args.field in rec
+            })
+        )
+        plot = AsciiPlot(
+            title=f"{args.field} ({Path(args.probes).name})",
+            xlabel="sim time (s)",
+            ylabel=args.field,
+        )
+        for cluster in clusters:
+            points = probe_series(
+                records, args.field, cluster=cluster,
+                config=args.config, rep=args.rep,
+            )
+            if points:
+                label = "kernel" if cluster == -1 else f"cluster {cluster}"
+                plot.add_series(label, points)
+        if not plot.series:
+            _log.error("no records carry field %r (with those filters)",
+                       args.field)
+            return 2
+        print(plot.render())
+        return 0
+
+    if args.probe_command == "compare":
+        path_a, path_b = args.probes
+        header_a, records_a = read_probes(path_a)
+        header_b, records_b = read_probes(path_b)
+        divergences = []
+        if header_a != header_b:
+            divergences.append("headers differ")
+        if len(records_a) != len(records_b):
+            divergences.append(
+                f"record counts differ: {len(records_a)} vs {len(records_b)}"
+            )
+        first_diff = next(
+            (i for i, (a, b) in enumerate(zip(records_a, records_b))
+             if a != b),
+            None,
+        )
+        if first_diff is not None:
+            divergences.append(f"first differing record at line {first_diff + 2}")
+        report = {
+            "a": str(path_a),
+            "b": str(path_b),
+            "identical": not divergences,
+            "n_records": [len(records_a), len(records_b)],
+            "divergences": divergences,
+        }
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if not divergences else 1
+
+    if args.probe_command == "export-chrome":
+        from .obs.chrome import probes_to_counter_trace
+
+        _, records = read_probes(args.probes)
+        payload = probes_to_counter_trace(records)
+        out = Path(args.out)
+        out.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        _log.info("wrote %s", out)
+        return 0
+
+    raise AssertionError(
+        f"unhandled probe command {args.probe_command}"
+    )  # pragma: no cover
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     setup_logging(verbosity=-1 if args.quiet else args.verbose)
@@ -712,6 +946,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_check(args.quick, args.fuzz, args.config)
     if args.command == "trace":
         return cmd_trace(args)
+    if args.command == "probe":
+        return cmd_probe(args)
     if args.command == "lint":
         from .lint.cli import cmd_lint
 

@@ -50,7 +50,10 @@ from .results import ExperimentResult
 #: (4: fraction schemes now guarantee >= 2 copies on >= 2 clusters —
 #:  HALF results change on small platforms without a config change —
 #:  plus cancellation_policy/placement/service_regime config fields)
-CACHE_SCHEMA_VERSION = 4
+#: (5: online_metrics field on ExperimentResult — streaming Welford/P²
+#:  snapshots now ride every cached result; older pickles lack the
+#:  attribute and must miss)
+CACHE_SCHEMA_VERSION = 5
 
 #: default bound on the in-process LRU layer (entries, i.e. replications)
 DEFAULT_MEMORY_ENTRIES = 128

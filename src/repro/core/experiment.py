@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 if TYPE_CHECKING:  # typing-only: obs/sanitize import core at runtime
+    from ..obs.probes import ProbeSampler
     from ..obs.trace import TraceRecorder
     from ..sanitize.auditor import InvariantAuditor
 
@@ -190,6 +191,8 @@ def run_single(
     check_invariants: bool = False,
     tracer: Optional[TraceRecorder] = None,
     auditor: Optional[InvariantAuditor] = None,
+    online: bool = True,
+    probe: "Optional[ProbeSampler]" = None,
 ) -> ExperimentResult:
     """Run one replication of ``config`` and return its outcomes.
 
@@ -207,6 +210,17 @@ def run_single(
     every scheduler and the coordinator, and runs its end-of-run audit
     after :meth:`~repro.core.coordinator.Coordinator.finalize`.  Same
     strict-no-op discipline as ``tracer`` when ``None``.
+
+    ``online`` (default on) attaches the O(1)-memory streaming
+    estimators of :mod:`repro.obs.stream` to the coordinator and stores
+    their snapshot as ``result.online_metrics``.  The estimators add no
+    events and draw no RNG, so the trajectory — every other result
+    field — is bit-identical either way; ``online=False`` registers no
+    hooks at all and leaves ``online_metrics`` as ``None``.
+
+    ``probe`` optionally attaches a sim-time state sampler (see
+    :class:`repro.obs.probes.ProbeSampler`); the sampler's rows are the
+    caller's to collect.  ``None`` (the default) schedules nothing.
     """
     t0 = time.perf_counter()
     factory = RngFactory(config.seed)
@@ -253,6 +267,14 @@ def run_single(
         injector = FaultInjector(
             config.faults, factory.generator("rep", replication, "faults")
         )
+    online_metrics = None
+    if online:
+        # Runtime import: obs.stream is dependency-free, while this
+        # module is imported *by* repro.obs — a top-level import either
+        # way would be circular.
+        from ..obs.stream import OnlineMetrics
+
+        online_metrics = OnlineMetrics()
     coordinator = Coordinator(
         sim,
         platform,
@@ -262,7 +284,10 @@ def run_single(
         tracer=tracer,
         auditor=auditor,
         policy=config.cancellation_policy,
+        online=online_metrics,
     )
+    if probe is not None:
+        probe.install(sim, platform, coordinator)
     if injector is not None:
         # Outages can only *begin* inside the submission window; an
         # outage near the edge may extend past it (and resolve during a
@@ -340,5 +365,8 @@ def run_single(
             "simulate_s": t_simulated - t_generated,
             "aggregate_s": time.perf_counter() - t_simulated,
         },
+        online_metrics=(
+            online_metrics.to_dict() if online_metrics is not None else None
+        ),
     )
     return result

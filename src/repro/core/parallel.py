@@ -29,8 +29,9 @@ the invariant that makes 2, 3 and 6 sound.
 from __future__ import annotations
 
 # repro-lint: disable-file=DET001 -- perf_counter here only feeds the
-# cache_resolve_s/cache_store_s engine metrics; task results are keyed
-# and reassembled by (config, replication), never by host time
+# cache_resolve_s/cache_store_s engine metrics and the display-only
+# heartbeat ETA; task results are keyed and reassembled by
+# (config, replication), never by host time
 
 import logging
 import math
@@ -102,6 +103,79 @@ class GridStats:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"GridStats({self.as_dict()})"
+
+
+def _fmt_eta(seconds: float) -> str:
+    """Compact ETA rendering: ``42s``, ``3m10s``, ``2h05m``."""
+    seconds = max(0.0, seconds)
+    if seconds < 60.0:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class _Heartbeat:
+    """Live telemetry folded into every per-task progress line.
+
+    Tracks wall-clock throughput (for the ETA), the evolving cache
+    hit-rate, and a count-weighted running estimate of the online
+    p50/p99 stretch read from each result's streaming-estimator payload
+    (see :mod:`repro.obs.stream`).  Arrival order varies with worker
+    scheduling, so the heartbeat is display-only — the authoritative
+    merged statistics are computed from the deterministically ordered
+    results after reassembly.
+    """
+
+    def __init__(self, total: int, cache_hits: int) -> None:
+        self.total = total
+        self.cache_hits = cache_hits
+        self.computed = 0
+        self._t0 = time.perf_counter()
+        self._weight = 0.0
+        self._p50_sum = 0.0
+        self._p99_sum = 0.0
+
+    def observe(self, result: object, computed: bool) -> None:
+        if computed:
+            self.computed += 1
+        # Custom runners return wrapper payloads (TracedRun/ProbedRun
+        # hold the ExperimentResult one level down); anything without
+        # online metrics simply doesn't feed the stretch estimate.
+        payload = getattr(result, "online_metrics", None)
+        if payload is None:
+            inner = getattr(result, "result", None)
+            payload = getattr(inner, "online_metrics", None)
+        if not payload:
+            return
+        stretch = payload.get("metrics", {}).get("stretch")
+        if not stretch or not stretch.get("count"):
+            return
+        n = stretch["count"]
+        quantiles = stretch.get("quantiles", {})
+        p50, p99 = quantiles.get("p50"), quantiles.get("p99")
+        if p50 is None or p99 is None or p50 != p50 or p99 != p99:
+            return
+        self._weight += n
+        self._p50_sum += n * p50
+        self._p99_sum += n * p99
+
+    def suffix(self) -> str:
+        done = self.cache_hits + self.computed
+        fields: list[str] = []
+        if self.computed > 0 and done < self.total:
+            rate = (time.perf_counter() - self._t0) / self.computed
+            fields.append(f"eta {_fmt_eta(rate * (self.total - done))}")
+        if self.cache_hits > 0 and done > 0:
+            fields.append(f"cache {100.0 * self.cache_hits / done:.0f}%")
+        if self._weight > 0.0:
+            fields.append(
+                f"stretch p50 {self._p50_sum / self._weight:.3g} "
+                f"p99 {self._p99_sum / self._weight:.3g}"
+            )
+        return " | " + " | ".join(fields) if fields else ""
 
 
 def resolve_workers(
@@ -245,6 +319,7 @@ def run_grid(
     t_resolve = time.perf_counter()
     fingerprints = [config_fingerprint(cfg) for cfg in unique]
     tasks: list[tuple[int, int]] = []
+    hits: list[ExperimentResult] = []
     for ui, fp in enumerate(fingerprints):
         for rep in reps:
             hit = (
@@ -253,11 +328,17 @@ def run_grid(
             )
             if hit is not None:
                 grid[ui][rep] = hit
+                hits.append(hit)
             else:
                 tasks.append((ui, rep))
 
     total = len(unique) * n_replications
     done = total - len(tasks)
+    heartbeat = _Heartbeat(total, cache_hits=done)
+    for hit in hits:
+        # Seed the live stretch estimate with what the cache already
+        # knows, so the first heartbeat line reflects the whole sweep.
+        heartbeat.observe(hit, computed=False)
     if metrics is not None:
         metrics.add_time("cache_resolve_s", time.perf_counter() - t_resolve)
         if cache is not None:
@@ -277,11 +358,13 @@ def run_grid(
         if progress is not None:
             progress(
                 f"[{done}/{total}] {unique[ui].describe()} rep {rep}"
+                f"{heartbeat.suffix()}"
             )
 
     def record(ui: int, rep: int, result: ExperimentResult) -> None:
         nonlocal done
         grid[ui][rep] = result
+        heartbeat.observe(result, computed=True)
         if cache is not None:
             t_store = time.perf_counter()
             cache.put(unique[ui], rep, result, fingerprint=fingerprints[ui])

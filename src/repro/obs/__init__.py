@@ -14,6 +14,16 @@ strict no-op when disabled:
 ``repro.obs.metrics``
     A counters/gauges/timings registry snapshotted per run and
     aggregated across sweeps into the ``repro bench --json`` payload.
+``repro.obs.stream``
+    O(1)-memory streaming statistics — Welford mean/variance and P²
+    quantile estimators for stretch/wait/slowdown/wasted-work — updated
+    at request completion inside the coordinator and merged across
+    sweep workers with an exactly-associative reduction.
+``repro.obs.probes``
+    A deterministic sim-time probe sampler emitting schema-versioned
+    JSONL time series of system state (queue depths, utilisation,
+    outstanding duplicates, wasted node-seconds, kernel occupancy),
+    byte-identical across worker counts.
 ``repro.obs.manifest``
     A run manifest (config fingerprints, RNG seed derivation, package
     version, platform, wall-clock) written alongside every traced
@@ -26,10 +36,29 @@ strict no-op when disabled:
     processes of the parallel sweep engine.
 """
 
-from .chrome import export_chrome, to_chrome_trace
+from .chrome import export_chrome, probes_to_counter_trace, to_chrome_trace
 from .log import get_logger, setup_logging, worker_log_level
 from .manifest import MANIFEST_SCHEMA_VERSION, RunManifest, build_manifest
 from .metrics import MetricsRegistry, aggregate_results, run_counters
+from .probes import (
+    DEFAULT_PROBE_CADENCE,
+    PROBE_SCHEMA_VERSION,
+    ProbeSampler,
+    probe_series,
+    read_probes,
+    record_probe_sweep,
+    run_single_probed,
+    summarize_probes,
+    write_probes,
+)
+from .stream import (
+    ONLINE_SCHEMA_VERSION,
+    MergedOnlineMetrics,
+    OnlineMetrics,
+    P2Quantile,
+    WelfordAccumulator,
+    merge_online_payloads,
+)
 from .trace import (
     EVENT_TYPES,
     TRACE_SCHEMA_VERSION,
@@ -60,6 +89,22 @@ __all__ = [
     "MANIFEST_SCHEMA_VERSION",
     "to_chrome_trace",
     "export_chrome",
+    "probes_to_counter_trace",
+    "ONLINE_SCHEMA_VERSION",
+    "OnlineMetrics",
+    "MergedOnlineMetrics",
+    "P2Quantile",
+    "WelfordAccumulator",
+    "merge_online_payloads",
+    "PROBE_SCHEMA_VERSION",
+    "DEFAULT_PROBE_CADENCE",
+    "ProbeSampler",
+    "probe_series",
+    "read_probes",
+    "record_probe_sweep",
+    "run_single_probed",
+    "summarize_probes",
+    "write_probes",
     "get_logger",
     "setup_logging",
     "worker_log_level",

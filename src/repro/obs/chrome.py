@@ -9,6 +9,19 @@ point-in-time protocol actions (``submit``, ``cancel_sent``,
 ``cancel_lost``, ``outage_down``, ``outage_up``) become instants
 (``ph: "i"``).  Sim-time seconds map to trace microseconds.
 
+Rows are fully labelled: every process carries ``process_name`` and
+``process_sort_index`` metadata and every thread a ``thread_name``
+(``job N``, or ``cluster`` for queue-level instants), so multi-cluster
+traces render with stable, human-readable rows.  ``pid`` assignment is
+*stable*: pids are allocated over the sorted set of
+``(config, rep, cluster)`` keys, not in first-seen event order, so
+reordering events (or filtering a subset that preserves the key set)
+never reshuffles rows.
+
+Probe time series (see :mod:`repro.obs.probes`) export as counter
+tracks (``ph: "C"``) via :func:`probes_to_counter_trace`, viewable as
+stacked area charts alongside the lifecycle spans.
+
 The exporter is deterministic — identical input events produce
 byte-identical JSON (a golden file in ``tests/obs/test_chrome.py``
 locks the format).
@@ -18,8 +31,9 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, Union
+from typing import Iterable, Optional, Union
 
+from .probes import PROBE_SCHEMA_VERSION
 from .trace import TRACE_SCHEMA_VERSION
 
 #: event types rendered as instants rather than folded into spans
@@ -38,11 +52,45 @@ def _us(t: float) -> float:
     return t * 1_000_000.0
 
 
+def _process_key(ev: dict) -> tuple:
+    return (ev.get("config", 0), ev.get("rep", 0), ev.get("cluster", -1))
+
+
 def to_chrome_trace(events: Iterable[dict]) -> dict:
     """Convert event records (see :mod:`repro.obs.trace`) to trace JSON."""
+    events = list(events)
     trace_events: list[dict] = []
-    #: (config, rep, cluster) -> pid, assigned in first-seen order
+    #: (config, rep, cluster) -> pid, assigned over the *sorted* key set
+    #: so row identity is stable under event reordering/filtering
     pids: dict[tuple, int] = {}
+    scheme_of: dict[tuple, str] = {}
+    for ev in events:
+        key = _process_key(ev)
+        if key not in scheme_of:
+            scheme_of[key] = ev.get("scheme") or ""
+    for pid, key in enumerate(sorted(scheme_of), start=1):
+        pids[key] = pid
+        scheme = scheme_of[key]
+        name = (
+            f"cfg{key[0]} rep{key[1]} cluster{key[2]}"
+            + (f" [{scheme}]" if scheme else "")
+        )
+        trace_events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": name},
+        })
+        trace_events.append({
+            "name": "process_sort_index",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"sort_index": pid},
+        })
+    #: (pid, tid) pairs that carried events — named at the end
+    threads_seen: set[tuple[int, int]] = set()
     #: (config, rep, request) -> (queue_time, pid, tid, job)
     queued: dict[tuple, tuple] = {}
     #: (config, rep, request) -> (start_time, pid, tid, job)
@@ -50,26 +98,11 @@ def to_chrome_trace(events: Iterable[dict]) -> dict:
     t_last = 0.0
 
     def pid_for(ev: dict) -> int:
-        key = (ev.get("config", 0), ev.get("rep", 0), ev.get("cluster", -1))
-        pid = pids.get(key)
-        if pid is None:
-            pid = pids[key] = len(pids) + 1
-            trace_events.append({
-                "name": "process_name",
-                "ph": "M",
-                "pid": pid,
-                "tid": 0,
-                "args": {
-                    "name": (
-                        f"cfg{key[0]} rep{key[1]} cluster{key[2]}"
-                        + (f" [{ev['scheme']}]" if ev.get("scheme") else "")
-                    )
-                },
-            })
-        return pid
+        return pids[_process_key(ev)]
 
     def span(name: str, t0: float, t1: float, pid: int, tid: int,
              args: dict) -> None:
+        threads_seen.add((pid, tid))
         trace_events.append({
             "name": name,
             "ph": "X",
@@ -107,6 +140,7 @@ def to_chrome_trace(events: Iterable[dict]) -> dict:
                     f"queued req {request} (cancelled)",
                     q[0], t, q[1], q[2], {**q[3], "cancelled": True},
                 )
+            threads_seen.add((pid, tid))
             trace_events.append({
                 "name": etype, "ph": "i", "ts": _us(t), "pid": pid,
                 "tid": tid, "s": "t", "args": args,
@@ -116,6 +150,7 @@ def to_chrome_trace(events: Iterable[dict]) -> dict:
             if r is not None:
                 span(f"running req {request}", r[0], t, r[1], r[2], r[3])
         elif etype in _INSTANT_TYPES:
+            threads_seen.add((pid, tid))
             trace_events.append({
                 "name": etype, "ph": "i", "ts": _us(t), "pid": pid,
                 "tid": tid, "s": "t", "args": args,
@@ -132,6 +167,16 @@ def to_chrome_trace(events: Iterable[dict]) -> dict:
         span(f"running req {key[2]}", t0, t_last, pid, tid,
              {**args, "truncated": True})
 
+    # Name every thread row that carried events (sorted: determinism).
+    for pid, tid in sorted(threads_seen):
+        trace_events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": tid,
+            "args": {"name": f"job {tid}" if tid > 0 else "cluster"},
+        })
+
     return {
         "traceEvents": trace_events,
         "displayTimeUnit": "ms",
@@ -142,12 +187,98 @@ def to_chrome_trace(events: Iterable[dict]) -> dict:
     }
 
 
+#: probe record fields rendered as per-cluster counter tracks
+_CLUSTER_COUNTER_FIELDS = ("queue_depth", "busy_nodes", "utilisation")
+
+#: probe record fields rendered as kernel/protocol counter tracks
+_KERNEL_COUNTER_FIELDS = (
+    "outstanding_duplicates",
+    "wasted_node_seconds",
+    "pending_events",
+    "compactions",
+)
+
+
+def probes_to_counter_trace(records: Iterable[dict]) -> dict:
+    """Convert probe records (see :mod:`repro.obs.probes`) to counter tracks.
+
+    Every sample becomes a Chrome counter event (``ph: "C"``): cluster
+    rows chart queue depth, busy nodes and utilisation on the cluster's
+    process row; kernel rows (``cluster == -1``) chart outstanding
+    duplicates, cumulative waste and event-queue occupancy on a
+    dedicated row.  Uses the same stable sorted-key ``pid`` assignment
+    as :func:`to_chrome_trace`, so counters from a probe recording line
+    up with spans from a trace recording of the same sweep.
+    """
+    records = list(records)
+    keys = sorted({_process_key(rec) for rec in records})
+    pids = {key: pid for pid, key in enumerate(keys, start=1)}
+    trace_events: list[dict] = []
+    for key in keys:
+        pid = pids[key]
+        label = (
+            f"cfg{key[0]} rep{key[1]} kernel"
+            if key[2] == -1
+            else f"cfg{key[0]} rep{key[1]} cluster{key[2]}"
+        )
+        trace_events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": label},
+        })
+    for rec in records:
+        pid = pids[_process_key(rec)]
+        fields = (
+            _KERNEL_COUNTER_FIELDS
+            if rec.get("cluster", -1) == -1
+            else _CLUSTER_COUNTER_FIELDS
+        )
+        ts = _us(float(rec.get("t", 0.0)))
+        for field in fields:
+            if field not in rec:
+                continue
+            trace_events.append({
+                "name": field,
+                "ph": "C",
+                "ts": ts,
+                "pid": pid,
+                "tid": 0,
+                "args": {"value": rec[field]},
+            })
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.obs.chrome",
+            "probe_schema": PROBE_SCHEMA_VERSION,
+        },
+    }
+
+
 def export_chrome(
-    events: Iterable[dict], path: Union[str, Path], indent: int = 2
+    events: Iterable[dict], path: Union[str, Path], indent: int = 2,
+    probe_records: Optional[Iterable[dict]] = None,
 ) -> Path:
-    """Write the Chrome trace JSON for ``events`` to ``path``."""
+    """Write the Chrome trace JSON for ``events`` to ``path``.
+
+    ``probe_records`` optionally folds probe counter tracks (see
+    :func:`probes_to_counter_trace`) into the same document; counter
+    rows are re-based past the span rows' pids so the two families
+    never collide.
+    """
     path = Path(path)
     payload = to_chrome_trace(events)
+    if probe_records is not None:
+        counters = probes_to_counter_trace(probe_records)
+        base = max(
+            (e["pid"] for e in payload["traceEvents"]), default=0
+        )
+        for entry in counters["traceEvents"]:
+            entry["pid"] += base
+        payload["traceEvents"].extend(counters["traceEvents"])
+        payload["otherData"]["probe_schema"] = PROBE_SCHEMA_VERSION
     path.write_text(
         json.dumps(payload, indent=indent, sort_keys=True) + "\n",
         encoding="utf-8",

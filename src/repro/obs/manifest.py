@@ -22,9 +22,13 @@ from typing import Optional, Sequence, Union
 
 from ..core.cache import CACHE_SCHEMA_VERSION, config_fingerprint
 from ..core.config import ExperimentConfig
+from .stream import ONLINE_SCHEMA_VERSION
 
 #: bump when the manifest layout changes incompatibly
-MANIFEST_SCHEMA_VERSION = 1
+#: (2: online_schema_version field — every result now carries streaming
+#:  Welford/P² statistics, and an auditable replay must know which
+#:  payload layout was in force)
+MANIFEST_SCHEMA_VERSION = 2
 
 #: one-line statement of how every random stream is derived; recorded
 #: verbatim so an artifact is interpretable without reading the code
@@ -46,6 +50,9 @@ class RunManifest:
     platform: str
     cpu_count: Optional[int]
     cache_schema_version: int
+    #: layout version of the online-metrics payloads riding the results
+    #: (:data:`repro.obs.stream.ONLINE_SCHEMA_VERSION` at record time)
+    online_schema_version: int
     rng_derivation: str
     configs: list[dict]
     n_replications: int
@@ -125,6 +132,7 @@ def build_manifest(
         platform=_platform.platform(),
         cpu_count=os.cpu_count(),
         cache_schema_version=CACHE_SCHEMA_VERSION,
+        online_schema_version=ONLINE_SCHEMA_VERSION,
         rng_derivation=RNG_DERIVATION,
         configs=[describe_config(cfg, i) for i, cfg in enumerate(configs)],
         n_replications=n_replications,

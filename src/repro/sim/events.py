@@ -27,6 +27,9 @@ class EventPriority(enum.IntEnum):
       exactly when nodes free up sees them available, matching batch
       schedulers that process completion notifications eagerly.
     * ``SCHEDULE`` passes run after all state changes at an instant.
+    * ``PROBE`` observation events run last of all, so a sampler sees
+      the settled end-of-instant state (post-cancellation, post-pass)
+      and can never perturb same-instant causality.
     """
 
     CANCEL = 0
@@ -34,6 +37,7 @@ class EventPriority(enum.IntEnum):
     SUBMIT = 2
     SCHEDULE = 3
     CONTROL = 4
+    PROBE = 5
 
 
 @dataclass(eq=False, slots=True)

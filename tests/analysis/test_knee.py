@@ -1,0 +1,135 @@
+"""Tests for the online-metrics-only throughput-knee study."""
+
+import math
+
+import pytest
+
+from repro.analysis.knee import (
+    KNEE_COMPLETION_THRESHOLD,
+    KneeCell,
+    KneeStudy,
+    run_knee_study,
+    run_single_lean,
+)
+from repro.core.config import ExperimentConfig
+
+
+def tiny_config(**overrides):
+    defaults = dict(
+        scheme="R2", algorithm="easy", n_clusters=2, nodes_per_cluster=16,
+        duration=300.0, drain=False, seed=20060619,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
+
+
+def make_cell(policy, load, n_submitted, n_completed):
+    return KneeCell(
+        policy=policy, load=load,
+        n_submitted=n_submitted, n_completed=n_completed,
+        stretch_p50=1.0, stretch_p99=2.0, stretch_mean=1.2,
+        wasted_node_seconds=0.0,
+    )
+
+
+class TestKneeCell:
+    def test_completion_fraction_and_sustained(self):
+        cell = make_cell("cancel-on-start", 1.0, 100, 95)
+        assert cell.completion_fraction == pytest.approx(0.95)
+        assert cell.sustained
+
+    def test_below_threshold_not_sustained(self):
+        cell = make_cell("cancel-on-start", 2.0, 100, 50)
+        assert not cell.sustained
+
+    def test_empty_cell_is_nan_and_not_sustained(self):
+        cell = make_cell("cancel-on-start", 1.0, 0, 0)
+        assert math.isnan(cell.completion_fraction)
+        assert not cell.sustained
+
+
+class TestKneeStudyClassification:
+    def _study(self, fractions):
+        """Build a synthetic study: {load: completed-out-of-100}."""
+        study = KneeStudy(
+            policies=("p",), loads=tuple(sorted(fractions)),
+            n_replications=1,
+        )
+        for load, completed in sorted(fractions.items()):
+            study.cells.append(make_cell("p", load, 100, completed))
+        return study
+
+    def test_knee_is_largest_sustained_load(self):
+        study = self._study({0.5: 99, 1.0: 95, 1.5: 60, 2.0: 30})
+        assert study.knee("p") == 1.0
+
+    def test_no_sustained_load_means_no_knee(self):
+        study = self._study({1.0: 10, 2.0: 5})
+        assert study.knee("p") is None
+
+    def test_cell_lookup_raises_on_miss(self):
+        study = self._study({1.0: 95})
+        assert study.cell("p", 1.0).sustained
+        with pytest.raises(KeyError):
+            study.cell("p", 9.9)
+
+    def test_payload_shape(self):
+        study = self._study({1.0: 95, 2.0: 10})
+        payload = study.to_payload()
+        assert payload["threshold"] == KNEE_COMPLETION_THRESHOLD
+        assert payload["loads"] == [1.0, 2.0]
+        assert payload["knee_load"] == {"p": 1.0}
+        assert [c["sustained"] for c in payload["cells"]] == [True, False]
+
+    def test_payload_serialises_empty_cell_as_none(self):
+        study = KneeStudy(policies=("p",), loads=(1.0,), n_replications=1)
+        study.cells.append(make_cell("p", 1.0, 0, 0))
+        cell = study.to_payload()["cells"][0]
+        assert cell["completion_fraction"] is None
+
+
+class TestLeanRunner:
+    def test_strips_jobs_but_keeps_scalars_and_online(self):
+        full = run_single_lean(tiny_config(duration=120.0))
+        assert full.jobs == []
+        assert full.n_submitted_jobs > 0
+        assert full.online_metrics is not None
+        assert full.online_metrics["metrics"]["stretch"]["count"] > 0
+
+
+class TestRunKneeStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_knee_study(
+            tiny_config(), loads=(0.6, 2.4), n_replications=1
+        )
+
+    def test_cells_cover_the_grid_in_order(self, study):
+        keys = [(c.policy, c.load) for c in study.cells]
+        assert keys == [
+            ("cancel-on-start", 0.6), ("cancel-on-start", 2.4),
+            ("cancel-on-complete", 0.6), ("cancel-on-complete", 2.4),
+        ]
+
+    def test_fractions_are_fractions(self, study):
+        for cell in study.cells:
+            assert 0.0 <= cell.completion_fraction <= 1.0
+            assert cell.n_completed <= cell.n_submitted
+
+    def test_load_monotonicity(self, study):
+        """Same window, more work → strictly lower completion fraction."""
+        for policy in study.policies:
+            light = study.cell(policy, 0.6).completion_fraction
+            heavy = study.cell(policy, 2.4).completion_fraction
+            assert light > heavy
+
+    def test_drain_is_forced_off(self):
+        """A drained base still sweeps fixed windows (else no knee)."""
+        study = run_knee_study(
+            tiny_config(drain=True, duration=120.0),
+            loads=(2.4,), n_replications=1,
+        )
+        cell = study.cell("cancel-on-start", 2.4)
+        # A drained run completes everything; a fixed window at ρ=2.4
+        # cannot.  Incompleteness proves drain=False was applied.
+        assert cell.completion_fraction < 1.0

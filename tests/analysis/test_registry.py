@@ -28,6 +28,8 @@ TINY = Scale(
     phase_regimes=("lublin",),
     phase_loads=(1.8,),
     phase_duration=300.0,
+    knee_loads=(0.6, 2.4),
+    knee_duration=300.0,
 )
 
 
@@ -35,7 +37,7 @@ class TestStructure:
     def test_all_paper_artifacts_registered(self):
         expected = {"fig1", "fig2", "fig3", "fig4", "fig5",
                     "tab1", "tab2", "tab3", "tab4", "sec4", "sec312",
-                    "faults", "phase"}
+                    "faults", "phase", "knee"}
         assert expected == set(REGISTRY)
 
     def test_scales_defined(self):
@@ -143,6 +145,22 @@ class TestSmokeRuns:
         assert all(
             v > 0 for row in rel.values() for v in row.values()
         ), "relative stretch must be positive in every cell"
+        assert rep.render()
+
+    def test_knee(self):
+        rep = run_experiment("knee", TINY)
+        payload = rep.data
+        assert payload["loads"] == [0.6, 2.4]
+        assert set(payload["knee_load"]) == {
+            "cancel-on-start", "cancel-on-complete"
+        }
+        cells = {(c["policy"], c["load"]): c for c in payload["cells"]}
+        assert len(cells) == 4
+        for policy in ("cancel-on-start", "cancel-on-complete"):
+            light = cells[(policy, 0.6)]["completion_fraction"]
+            heavy = cells[(policy, 2.4)]["completion_fraction"]
+            # More offered load over the same window → lower fraction.
+            assert light > heavy
         assert rep.render()
 
     def test_phase(self):

@@ -87,6 +87,68 @@ class TestRunGrid:
         assert any("ALL" in m for m in messages)
 
 
+class TestHeartbeat:
+    """The live per-chunk telemetry folded into progress lines."""
+
+    def test_progress_lines_carry_online_stretch(self):
+        messages = []
+        run_grid([tiny(scheme="R2")], 2, progress=messages.append)
+        # Every computed result feeds the running stretch estimate.
+        assert all("stretch p50" in m and "p99" in m for m in messages)
+
+    def test_warm_run_reports_cache_hit_rate(self):
+        cache = ResultCache(None)
+        run_grid([tiny()], 2, cache=cache)
+        messages = []
+        run_grid([tiny()], 2, cache=cache, progress=messages.append)
+        assert len(messages) == 1
+        assert "2/2" in messages[0] and "cache" in messages[0]
+
+    def test_fmt_eta_ranges(self):
+        from repro.core.parallel import _fmt_eta
+
+        assert _fmt_eta(42.0) == "42s"
+        assert _fmt_eta(190.0) == "3m10s"
+        assert _fmt_eta(2 * 3600.0 + 5 * 60.0) == "2h05m"
+        assert _fmt_eta(-3.0) == "0s"
+
+    def test_suffix_weights_stretch_by_count(self):
+        from repro.core.parallel import _Heartbeat
+
+        def fake(count, p50, p99):
+            class R:
+                online_metrics = {
+                    "metrics": {
+                        "stretch": {
+                            "count": count,
+                            "quantiles": {"p50": p50, "p99": p99},
+                        }
+                    }
+                }
+
+            return R()
+
+        hb = _Heartbeat(total=4, cache_hits=0)
+        hb.observe(fake(1, 1.0, 2.0), computed=True)
+        hb.observe(fake(3, 5.0, 10.0), computed=True)
+        suffix = hb.suffix()
+        # (1*1 + 3*5)/4 = 4, (1*2 + 3*10)/4 = 8
+        assert "stretch p50 4 p99 8" in suffix
+        assert "eta" in suffix  # 2 of 4 done, rate is known
+
+    def test_suffix_empty_without_signal(self):
+        from repro.core.parallel import _Heartbeat
+
+        hb = _Heartbeat(total=2, cache_hits=0)
+
+        class Bare:
+            pass
+
+        hb.observe(Bare(), computed=True)
+        suffix = hb.suffix()
+        assert "stretch" not in suffix and "cache" not in suffix
+
+
 class TestParallelDeterminism:
     def test_run_grid_parallel_bit_identical_to_serial(self):
         serial = run_grid([tiny(), tiny(scheme="R2")], 2, n_workers=1)

@@ -48,9 +48,36 @@ class TestConversion:
         assert {"submit", "cancel_sent", "cancel_applied",
                 "outage_down", "outage_up"} <= instants
         meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
-        names = {e["args"]["name"] for e in meta}
-        assert "cfg0 rep0 cluster0 [R2]" in names
-        assert "cfg0 rep0 cluster1 [R2]" in names
+        process_names = {
+            e["args"]["name"] for e in meta if e["name"] == "process_name"
+        }
+        assert "cfg0 rep0 cluster0 [R2]" in process_names
+        assert "cfg0 rep0 cluster1 [R2]" in process_names
+        # Every process row carries a sort index, every thread a name.
+        sort_indices = [e for e in meta if e["name"] == "process_sort_index"]
+        assert {e["pid"] for e in sort_indices} == {1, 2}
+        thread_names = {
+            (e["pid"], e["tid"]): e["args"]["name"]
+            for e in meta if e["name"] == "thread_name"
+        }
+        assert thread_names  # job 0 rows on both clusters
+        assert all(
+            name == ("cluster" if tid == 0 else f"job {tid}")
+            for (_, tid), name in thread_names.items()
+        )
+
+    def test_pid_assignment_stable_under_reordering(self):
+        """pids come from the sorted key set, not first-seen order."""
+        doc_fwd = to_chrome_trace(FIXTURE_EVENTS)
+        doc_rev = to_chrome_trace(list(reversed(FIXTURE_EVENTS)))
+
+        def pid_names(doc):
+            return {
+                e["pid"]: e["args"]["name"]
+                for e in doc["traceEvents"] if e["name"] == "process_name"
+            }
+
+        assert pid_names(doc_fwd) == pid_names(doc_rev)
 
     def test_truncated_spans_flushed(self):
         doc = to_chrome_trace(FIXTURE_EVENTS[:5])  # no complete/cancel

@@ -1,0 +1,320 @@
+"""Online estimators: Welford exactness, P² accuracy bounds, merge laws.
+
+The accuracy contract under test is the one documented in
+:mod:`repro.obs.stream`: P² error is measured in *CDF space*
+(``|F̂(q̂_p) − p|`` against the exact empirical CDF), IID
+moderate-tailed streams of n ≥ 50 stay within 2/√n, the smoke experiment
+grid stays within 0.15 for the median and 0.05 for p90/p99, and streams
+shorter than five observations are exact.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from bisect import bisect_left, bisect_right
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.stream import (
+    ONLINE_METRIC_NAMES,
+    ONLINE_QUANTILES,
+    ONLINE_SCHEMA_VERSION,
+    MergedOnlineMetrics,
+    OnlineMetrics,
+    P2Quantile,
+    WelfordAccumulator,
+    merge_online_payloads,
+    quantile_label,
+)
+
+_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+def cdf_error(values: list[float], estimate: float, p: float) -> float:
+    """``|F̂(estimate) − p|``, zero if p falls inside a flat CDF step.
+
+    The empirical CDF jumps at ties; an estimate sitting on a plateau
+    is credited with the whole plateau's probability interval.
+    """
+    s = sorted(values)
+    lo = bisect_left(s, estimate) / len(s)
+    hi = bisect_right(s, estimate) / len(s)
+    if lo <= p <= hi:
+        return 0.0
+    return min(abs(p - lo), abs(p - hi))
+
+
+class TestQuantileLabel:
+    def test_canonical_labels(self):
+        assert quantile_label(0.5) == "p50"
+        assert quantile_label(0.9) == "p90"
+        assert quantile_label(0.99) == "p99"
+        assert quantile_label(0.999) == "p99_9"
+
+
+class TestWelford:
+    @settings(max_examples=200, deadline=None)
+    @given(xs=st.lists(_floats, min_size=1, max_size=200))
+    def test_matches_numpy(self, xs):
+        acc = WelfordAccumulator()
+        for x in xs:
+            acc.observe(x)
+        arr = np.array(xs, dtype=float)
+        assert acc.count == len(xs)
+        assert acc.mean == pytest.approx(float(arr.mean()), rel=1e-9, abs=1e-6)
+        assert acc.variance == pytest.approx(
+            float(arr.var()), rel=1e-7, abs=1e-4
+        )
+        assert acc.minimum == float(arr.min())
+        assert acc.maximum == float(arr.max())
+        assert acc.total == pytest.approx(float(arr.sum()), rel=1e-9, abs=1e-6)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        xs=st.lists(_floats, min_size=0, max_size=100),
+        ys=st.lists(_floats, min_size=0, max_size=100),
+    )
+    def test_merge_equals_sequential(self, xs, ys):
+        """Chan's merge of two halves ≈ observing the concatenation."""
+        left, right = WelfordAccumulator(), WelfordAccumulator()
+        for x in xs:
+            left.observe(x)
+        for y in ys:
+            right.observe(y)
+        left.merge(right)
+        seq = WelfordAccumulator()
+        for x in xs + ys:
+            seq.observe(x)
+        assert left.count == seq.count
+        if seq.count:
+            assert left.mean == pytest.approx(seq.mean, rel=1e-9, abs=1e-6)
+            assert left.variance == pytest.approx(
+                seq.variance, rel=1e-6, abs=1e-3
+            )
+            assert left.minimum == seq.minimum
+            assert left.maximum == seq.maximum
+
+    def test_empty_is_nan(self):
+        acc = WelfordAccumulator()
+        assert math.isnan(acc.variance)
+        assert math.isnan(acc.std)
+        assert acc.count == 0 and acc.total == 0.0
+
+
+class TestP2Quantile:
+    def test_rejects_degenerate_p(self):
+        for bad in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                P2Quantile(bad)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(P2Quantile(0.5).value)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        xs=st.lists(_floats, min_size=1, max_size=4),
+        p=st.sampled_from(ONLINE_QUANTILES),
+    )
+    def test_exact_below_five_observations(self, xs, p):
+        """The warm-up buffer interpolates the true empirical quantile."""
+        est = P2Quantile(p)
+        for x in xs:
+            est.observe(x)
+        expected = float(np.quantile(np.array(xs, dtype=float), p))
+        assert est.value == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+        n=st.integers(min_value=50, max_value=400),
+        family=st.sampled_from(["uniform", "exponential", "normal"]),
+        p=st.sampled_from(ONLINE_QUANTILES),
+    )
+    def test_cdf_error_bound_moderate_streams(self, seed, n, family, p):
+        """Documented bound: CDF error ≤ 2/√n on IID moderate streams.
+
+        The contract is about IID draws from well-behaved
+        distributions (hypothesis picks the seed, size and family; the
+        draws are numpy's), not arbitrary adversarial orderings — P²
+        carries no distribution-free rank guarantee and the module
+        docstring says so.
+        """
+        rng = np.random.default_rng(seed)
+        if family == "uniform":
+            xs = rng.uniform(0.0, 1000.0, n)
+        elif family == "exponential":
+            xs = rng.exponential(100.0, n)
+        else:
+            xs = rng.normal(0.0, 50.0, n)
+        xs = [float(x) for x in xs]
+        est = P2Quantile(p)
+        for x in xs:
+            est.observe(x)
+        assert cdf_error(xs, est.value, p) <= 2.0 / math.sqrt(n)
+
+    def test_tracks_a_long_heavy_stream(self):
+        """Deterministic lognormal stream: all three quantiles in bound."""
+        rng = np.random.default_rng(20060619)
+        xs = list(rng.lognormal(mean=1.0, sigma=2.0, size=5000))
+        for p in ONLINE_QUANTILES:
+            est = P2Quantile(p)
+            for x in xs:
+                est.observe(x)
+            assert cdf_error(xs, est.value, p) <= 0.06
+
+
+def _payload_from(values: list[float]) -> dict:
+    om = OnlineMetrics()
+    for v in values:
+        om.observe_completion(wait=v, stretch=v, slowdown=v)
+        om.observe_waste(abs(v))
+    return om.to_dict()
+
+
+class TestOnlineMetrics:
+    def test_payload_shape(self):
+        payload = _payload_from([1.0, 2.0, 3.0])
+        assert payload["schema"] == ONLINE_SCHEMA_VERSION
+        assert tuple(payload["metrics"]) == ONLINE_METRIC_NAMES
+        stretch = payload["metrics"]["stretch"]
+        assert stretch["count"] == 3
+        assert stretch["mean"] == pytest.approx(2.0)
+        assert stretch["quantiles"]["p50"] == pytest.approx(2.0)
+
+    def test_empty_serialises_none_not_nan(self):
+        payload = OnlineMetrics().to_dict()
+        stretch = payload["metrics"]["stretch"]
+        assert stretch["count"] == 0
+        assert stretch["mean"] is None
+        assert stretch["min"] is None
+        assert stretch["quantiles"]["p50"] is None
+        # NaN would make this blow up; None round-trips.
+        assert json.loads(json.dumps(payload, allow_nan=False)) == payload
+
+
+class TestMergedOnlineMetrics:
+    def test_rejects_wrong_schema(self):
+        merged = MergedOnlineMetrics()
+        with pytest.raises(ValueError, match="schema"):
+            merged.add({"schema": ONLINE_SCHEMA_VERSION + 1, "metrics": {}})
+
+    def test_none_parts_are_skipped(self):
+        merged = MergedOnlineMetrics()
+        merged.add(None)
+        assert merged.n_runs == 0
+        assert merged.summary() is None
+        assert merge_online_payloads([None, None]) is None
+
+    def test_count_and_total_sum_over_parts(self):
+        merged = MergedOnlineMetrics()
+        merged.add(_payload_from([1.0, 2.0]))
+        merged.add(_payload_from([3.0]))
+        assert merged.count("stretch") == 3
+        assert merged.total("wasted_node_seconds") == pytest.approx(6.0)
+        mean, var = merged.mean_variance("stretch")
+        assert mean == pytest.approx(2.0)
+        assert var == pytest.approx(np.var([1.0, 2.0, 3.0]))
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        runs=st.lists(
+            st.lists(_floats, min_size=0, max_size=40),
+            min_size=3,
+            max_size=6,
+        ),
+        split=st.integers(min_value=1, max_value=4),
+    )
+    def test_merge_is_exactly_associative(self, runs, split):
+        """(a ⊕ b) ⊕ c and a ⊕ (b ⊕ c) are bit-identical.
+
+        This is the property that lets sweep workers reduce partial
+        grids in any grouping: the merged aggregate depends only on the
+        final part order, never on the merge tree.
+        """
+        payloads = [_payload_from(r) for r in runs]
+        split = min(split, len(payloads) - 1)
+
+        def reduction(groups):
+            accs = []
+            for group in groups:
+                acc = MergedOnlineMetrics()
+                for p in group:
+                    acc.add(p)
+                accs.append(acc)
+            out = accs[0]
+            for acc in accs[1:]:
+                out.merge(acc)
+            return out
+
+        left = reduction([payloads[:split], payloads[split:]])
+        right = reduction([payloads[:1], payloads[1:]])
+        flat = reduction([payloads])
+        assert left.parts == right.parts == flat.parts
+        # Bitwise equality of every derived aggregate, not approx.
+        assert left.summary() == right.summary() == flat.summary()
+
+    def test_quantile_is_count_weighted(self):
+        merged = MergedOnlineMetrics()
+        merged.add(_payload_from([1.0]))
+        merged.add(_payload_from([4.0, 4.0, 4.0]))
+        # (1*1 + 3*4) / 4
+        assert merged.quantile("stretch", 0.5) == pytest.approx(13.0 / 4.0)
+
+    def test_summary_is_strict_json(self):
+        merged = MergedOnlineMetrics()
+        merged.add(_payload_from([]))
+        merged.add(_payload_from([1.0, 5.0]))
+        summary = merged.summary()
+        assert summary["n_runs"] == 2
+        assert json.loads(json.dumps(summary, allow_nan=False)) == summary
+
+
+class TestSmokeGridAccuracy:
+    """Acceptance gate: online quantiles vs exact post-hoc, real runs."""
+
+    def test_online_stretch_quantiles_within_documented_bounds(self):
+        from repro.core.config import ExperimentConfig
+        from repro.core.experiment import run_single
+
+        cfg = ExperimentConfig(
+            scheme="R2", n_clusters=3, nodes_per_cluster=16,
+            duration=900.0, offered_load=2.0, drain=True, seed=20060619,
+        )
+        result = run_single(cfg)
+        stretches = list(result.stretches())
+        assert len(stretches) >= 50  # the bound below presumes real data
+        online = result.online_metrics["metrics"]["stretch"]
+        assert online["count"] == len(stretches)
+        bounds = {0.5: 0.15, 0.9: 0.05, 0.99: 0.05}
+        for p, bound in bounds.items():
+            estimate = online["quantiles"][quantile_label(p)]
+            assert cdf_error(stretches, estimate, p) <= bound, (
+                f"p={p}: estimate {estimate} breaches the documented "
+                f"CDF-error bound {bound}"
+            )
+
+    def test_online_moments_exactly_match_post_hoc(self):
+        from repro.core.config import ExperimentConfig
+        from repro.core.experiment import run_single
+
+        cfg = ExperimentConfig(
+            scheme="HALF", n_clusters=2, nodes_per_cluster=16,
+            duration=600.0, drain=True, seed=7,
+        )
+        result = run_single(cfg)
+        stretches = result.stretches()
+        online = result.online_metrics["metrics"]["stretch"]
+        assert online["count"] == stretches.size
+        assert online["mean"] == pytest.approx(
+            float(stretches.mean()), rel=1e-9
+        )
+        waste = result.online_metrics["metrics"]["wasted_node_seconds"]
+        assert waste["total"] == pytest.approx(
+            result.wasted_node_seconds, rel=1e-9, abs=1e-9
+        )

@@ -126,7 +126,7 @@ class TestLockstep:
         while (ev := cal.pop()) is not None:
             got.append((ev.priority, ev.seq))
         assert got == sorted(got)
-        assert len(got) == 5 * 3
+        assert len(got) == len(EventPriority) * 3
 
     def test_bucket_boundary_does_not_reorder(self):
         """Events straddling a bucket edge still pop in time order."""

@@ -147,6 +147,87 @@ class TestTraceCommand:
         ).read_bytes()
 
 
+class TestProbeCommand:
+    RECORD = ["probe", "record", "--schemes", "R2", "--replications", "1",
+              "--clusters", "2", "--nodes", "16", "--duration", "200",
+              "--cadence", "40"]
+
+    @pytest.fixture(scope="class")
+    def probe_dir(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("probe")
+        assert main(self.RECORD + ["--out", str(out)]) == 0
+        return out
+
+    def test_record_writes_artifacts(self, probe_dir):
+        assert (probe_dir / "probes.jsonl").exists()
+        manifest = json.loads((probe_dir / "manifest.json").read_text())
+        assert manifest["kind"] == "repro-manifest"
+        assert manifest["extra"]["n_probe_records"] > 0
+        assert manifest["extra"]["probe_cadence"] == 40.0
+        assert manifest["online_schema_version"] >= 1
+
+    def test_record_rejects_bad_cadence(self, tmp_path):
+        assert main(["probe", "record", "--out", str(tmp_path / "x"),
+                     "--cadence", "0"]) == 2
+
+    def test_summary(self, probe_dir, capsys):
+        assert main(["probe", "summary",
+                     str(probe_dir / "probes.jsonl")]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["n_records"] > 0
+        assert set(summary["by_cluster"]) == {"0", "1"}
+
+    def test_plot_ascii(self, probe_dir, capsys):
+        assert main(["probe", "plot-ascii",
+                     str(probe_dir / "probes.jsonl"),
+                     "--field", "queue_depth"]) == 0
+        out = capsys.readouterr().out
+        assert "queue_depth" in out
+        assert "cluster 0" in out and "cluster 1" in out
+
+    def test_plot_ascii_unknown_field(self, probe_dir):
+        assert main(["-q", "probe", "plot-ascii",
+                     str(probe_dir / "probes.jsonl"),
+                     "--field", "nonsense"]) == 2
+
+    def test_compare_identical(self, probe_dir, capsys):
+        path = str(probe_dir / "probes.jsonl")
+        assert main(["probe", "compare", path, path]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["identical"] is True
+
+    def test_compare_divergent(self, probe_dir, tmp_path, capsys):
+        other = tmp_path / "other"
+        assert main(["probe", "record", "--schemes", "R3",
+                     "--replications", "1", "--clusters", "2",
+                     "--nodes", "16", "--duration", "200",
+                     "--cadence", "40", "--out", str(other)]) == 0
+        assert main(["probe", "compare",
+                     str(probe_dir / "probes.jsonl"),
+                     str(other / "probes.jsonl")]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["identical"] is False
+        assert report["divergences"]
+
+    def test_export_chrome_counters(self, probe_dir, tmp_path):
+        out = tmp_path / "counters.json"
+        assert main(["probe", "export-chrome",
+                     str(probe_dir / "probes.jsonl"),
+                     "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        counters = [e for e in doc["traceEvents"] if e["ph"] == "C"]
+        assert counters
+        assert all("value" in e["args"] for e in counters)
+
+    def test_record_parallel_identical(self, probe_dir, tmp_path):
+        out = tmp_path / "parallel"
+        assert main(self.RECORD + ["--out", str(out),
+                                   "--workers", "2"]) == 0
+        assert (out / "probes.jsonl").read_bytes() == (
+            probe_dir / "probes.jsonl"
+        ).read_bytes()
+
+
 class TestBenchCommand:
     def test_bench_payload_keys(self, capsys):
         assert main(["-q", "bench", "--replications", "1",
@@ -163,3 +244,11 @@ class TestBenchCommand:
         for phase in ("generate_s", "simulate_s", "aggregate_s",
                       "bench_serial_s", "bench_parallel_s"):
             assert phase in timings
+        online = payload["online"]
+        assert online["schema"] >= 1
+        stretch = online["per_scheme"]["R2"]["metrics"]["stretch"]
+        assert stretch["count"] > 0
+        for q in ("p50", "p90", "p99"):
+            assert stretch["quantiles"][q] is not None
+        assert online["baseline"]["metrics"]["stretch"]["count"] > 0
+        assert online["overall"]["n_runs"] >= 1

@@ -23,6 +23,13 @@ Usage::
     repro probe plot-ascii runs/p/probes.jsonl --field utilisation
     repro probe compare runs/a/probes.jsonl runs/b/probes.jsonl
     repro probe export-chrome runs/p/probes.jsonl --out p.trace.json
+    repro serve --state-dir runs/svc --port 8642    # async sweep service
+    repro worker --url http://127.0.0.1:8642        # lease + compute chunks
+    repro job submit --url http://127.0.0.1:8642 --schemes R2 NONE \\
+        --replications 2 --executor workqueue       # returns a job id
+    repro job wait --url http://127.0.0.1:8642 job-0001
+    repro job result --url http://127.0.0.1:8642 job-0001 --out grid.json
+    repro cache prune --cache-dir ~/.cache/repro    # drop stale-schema files
 
 Scales are defined in :mod:`repro.analysis.registry`; ``--workers``
 parallelises replications across processes.  ``--cache-dir`` persists
@@ -332,6 +339,123 @@ def build_parser() -> argparse.ArgumentParser:
     pexp.add_argument("probes", metavar="PROBES", help="path to probes.jsonl")
     pexp.add_argument("--out", required=True, metavar="PATH",
                       help="output .json path")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the sweep service: submit jobs over HTTP, poll, fetch",
+    )
+    serve.add_argument("--state-dir", required=True, metavar="DIR",
+                       help="service state: jobs/, shared result cache")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1; the wire "
+                       "protocol trusts its peers — keep it loopback)")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="bind port (default 8642; 0 picks a free port)")
+
+    worker = sub.add_parser(
+        "worker",
+        help="lease chunks from a sweep service and compute them",
+    )
+    worker.add_argument("--url", required=True, metavar="URL",
+                        help="service base url, e.g. http://127.0.0.1:8642")
+    worker.add_argument("--worker-id", default=None,
+                        help="worker identity in service logs (default: "
+                        "derived from pid)")
+    worker.add_argument("--poll-interval", type=float, default=0.2,
+                        help="seconds between empty lease polls (default 0.2)")
+    worker.add_argument("--max-chunks", type=int, default=None,
+                        help="exit after this many completed chunks")
+    worker.add_argument("--max-idle-polls", type=int, default=None,
+                        help="exit after this many consecutive empty polls "
+                        "(one-shot drain mode for CI)")
+
+    job = sub.add_parser("job", help="submit and inspect sweep-service jobs")
+    jsub = job.add_subparsers(dest="job_command", required=True)
+
+    def job_url(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--url", required=True, metavar="URL",
+                       help="service base url, e.g. http://127.0.0.1:8642")
+
+    jsubmit = jsub.add_parser(
+        "submit", help="submit a sweep job; prints the job id",
+    )
+    job_url(jsubmit)
+    jsubmit.add_argument("--spec", default=None, metavar="PATH",
+                         help="JobSpec JSON file ('-' for stdin); overrides "
+                         "the config flags below")
+    jsubmit.add_argument("--schemes", nargs="+", default=["R2"],
+                         metavar="SCHEME",
+                         help="one config per scheme (default: R2)")
+    jsubmit.add_argument("--replications", type=int, default=1,
+                         help="replications per config (default 1)")
+    jsubmit.add_argument("--clusters", type=int, default=5,
+                         help="clusters in the platform (default 5)")
+    jsubmit.add_argument("--nodes", type=int, default=32,
+                         help="nodes per cluster (default 32)")
+    jsubmit.add_argument("--duration", type=float, default=900.0,
+                         help="submission window in seconds (default 900)")
+    jsubmit.add_argument("--load", type=float, default=2.0,
+                         help="offered load rho (default 2.0)")
+    jsubmit.add_argument("--algorithm", default="easy",
+                         help="scheduler algorithm (default easy)")
+    jsubmit.add_argument("--seed", type=int, default=20060619,
+                         help="master seed (default 20060619)")
+    jsubmit.add_argument("--executor",
+                         choices=("inprocess", "pool", "workqueue"),
+                         default="inprocess",
+                         help="how the server runs the grid (default "
+                         "inprocess; workqueue needs `repro worker`s)")
+    jsubmit.add_argument("--workers", type=int, default=1,
+                         help="pool executor width (default 1)")
+    jsubmit.add_argument("--chunksize", type=int, default=None,
+                         help="tasks per chunk (default: auto)")
+    jsubmit.add_argument("--lease-ttl", type=float, default=30.0,
+                         help="workqueue lease TTL in seconds (default 30)")
+    jsubmit.add_argument("--max-attempts", type=int, default=3,
+                         help="lease attempts per chunk before the job "
+                         "fails (default 3)")
+    jsubmit.add_argument("--wait", action="store_true",
+                         help="block until the job reaches a terminal state")
+    jsubmit.add_argument("--timeout", type=float, default=None,
+                         help="give up waiting after this many seconds")
+
+    jstatus = jsub.add_parser("status", help="one job's status as JSON")
+    job_url(jstatus)
+    jstatus.add_argument("job_id", metavar="JOB_ID")
+
+    jwait = jsub.add_parser(
+        "wait", help="poll until the job is done/failed/cancelled",
+    )
+    job_url(jwait)
+    jwait.add_argument("job_id", metavar="JOB_ID")
+    jwait.add_argument("--timeout", type=float, default=None,
+                       help="give up after this many seconds")
+    jwait.add_argument("--poll-interval", type=float, default=0.2,
+                       help="seconds between polls (default 0.2)")
+
+    jresult = jsub.add_parser(
+        "result", help="fetch the job's canonical results JSON",
+    )
+    job_url(jresult)
+    jresult.add_argument("job_id", metavar="JOB_ID")
+    jresult.add_argument("--out", default=None, metavar="PATH",
+                         help="write here instead of stdout")
+
+    jcancel = jsub.add_parser("cancel", help="cancel a running job")
+    job_url(jcancel)
+    jcancel.add_argument("job_id", metavar="JOB_ID")
+
+    jlist = jsub.add_parser("list", help="all jobs, one JSON line each")
+    job_url(jlist)
+
+    cache = sub.add_parser("cache", help="manage the on-disk result cache")
+    csub = cache.add_subparsers(dest="cache_command", required=True)
+    cprune = csub.add_parser(
+        "prune",
+        help="delete unreadable or stale-schema cache files",
+    )
+    cprune.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache directory (default: REPRO_CACHE_DIR)")
 
     from .lint.cli import add_lint_parser
 
@@ -923,6 +1047,172 @@ def cmd_probe(args: argparse.Namespace) -> int:
     )  # pragma: no cover
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the sweep service until interrupted.
+
+    The bound endpoint is printed to stdout as one JSON line so shell
+    scripts (and the CI smoke job) can capture it even with ``--port 0``.
+    """
+    from .service.server import SweepService
+
+    service = SweepService(args.state_dir, host=args.host, port=args.port)
+    port = service.start()
+    url = f"http://{args.host}:{port}"
+    print(json.dumps({"url": url, "state_dir": str(args.state_dir)},
+                     sort_keys=True), flush=True)
+    _log.info("sweep service listening on %s (state: %s)",
+              url, args.state_dir)
+    try:
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        _log.info("interrupt: stopping service")
+    finally:
+        service.stop()
+    return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    """Run one queue worker against a sweep service."""
+    from .service.worker import QueueWorker
+
+    worker = QueueWorker(
+        args.url,
+        worker_id=args.worker_id,
+        poll_interval_s=args.poll_interval,
+    )
+    try:
+        completed = worker.run(
+            max_chunks=args.max_chunks,
+            max_idle_polls=args.max_idle_polls,
+        )
+    except KeyboardInterrupt:
+        _log.info("interrupt: worker exiting")
+        return 130
+    print(json.dumps({"chunks_completed": completed}, sort_keys=True))
+    return 0
+
+
+def _job_spec_payload(args: argparse.Namespace) -> dict:
+    """Build the submit payload from ``--spec`` or the config flags."""
+    from .service.jobs import JobSpec
+
+    if args.spec is not None:
+        if args.spec == "-":
+            text = sys.stdin.read()
+        else:
+            text = Path(args.spec).read_text(encoding="utf-8")
+        # Round-trip through JobSpec so a malformed file fails here,
+        # client-side, with a useful message.
+        return JobSpec.from_dict(json.loads(text)).to_dict()
+    from .core.config import ExperimentConfig
+
+    configs = tuple(
+        ExperimentConfig(
+            scheme=scheme,
+            algorithm=args.algorithm,
+            n_clusters=args.clusters,
+            nodes_per_cluster=args.nodes,
+            duration=args.duration,
+            offered_load=args.load,
+            drain=True,
+            seed=args.seed,
+        )
+        for scheme in args.schemes
+    )
+    return JobSpec(
+        configs=configs,
+        n_replications=args.replications,
+        executor=args.executor,
+        n_workers=args.workers,
+        chunksize=args.chunksize,
+        lease_ttl_s=args.lease_ttl,
+        max_attempts=args.max_attempts,
+    ).to_dict()
+
+
+def cmd_job(args: argparse.Namespace) -> int:
+    """Dispatch the ``repro job`` sub-subcommands."""
+    from .service.client import ServiceClient, ServiceError
+
+    client = ServiceClient(args.url)
+    try:
+        if args.job_command == "submit":
+            spec = _job_spec_payload(args)
+            job_id = client.submit(spec)
+            _log.info("submitted %s", job_id)
+            if args.wait:
+                status = client.wait(job_id, timeout=args.timeout)
+                print(json.dumps(status, indent=2, sort_keys=True))
+                return 0 if status.get("state") == "done" else 1
+            print(job_id)
+            return 0
+        if args.job_command == "status":
+            print(json.dumps(client.status(args.job_id), indent=2,
+                             sort_keys=True))
+            return 0
+        if args.job_command == "wait":
+            status = client.wait(
+                args.job_id,
+                timeout=args.timeout,
+                poll_interval_s=args.poll_interval,
+            )
+            print(json.dumps(status, indent=2, sort_keys=True))
+            return 0 if status.get("state") == "done" else 1
+        if args.job_command == "result":
+            data = client.results_bytes(args.job_id)
+            if args.out is not None and args.out != "-":
+                Path(args.out).write_bytes(data)
+                _log.info("wrote %s", args.out)
+            else:
+                sys.stdout.buffer.write(data)
+                sys.stdout.buffer.flush()
+            return 0
+        if args.job_command == "cancel":
+            print(json.dumps(client.cancel(args.job_id), indent=2,
+                             sort_keys=True))
+            return 0
+        if args.job_command == "list":
+            for job in client.jobs():
+                print(json.dumps(job, sort_keys=True,
+                                 separators=(",", ":")))
+            return 0
+    except ServiceError as exc:
+        _log.error("%s", exc)
+        return 1
+    except (OSError, TimeoutError, ValueError,
+            json.JSONDecodeError) as exc:
+        _log.error("%s", exc)
+        return 2
+    raise AssertionError(
+        f"unhandled job command {args.job_command}"
+    )  # pragma: no cover
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Dispatch the ``repro cache`` sub-subcommands."""
+    if args.cache_command == "prune":
+        from .core.cache import ResultCache
+
+        cache_dir = args.cache_dir or os.environ.get("REPRO_CACHE_DIR")
+        if not cache_dir:
+            _log.error(
+                "no cache directory: pass --cache-dir or set REPRO_CACHE_DIR"
+            )
+            return 2
+        cache = ResultCache(cache_dir)
+        removed = cache.prune_stale()
+        _log.info("pruned %d stale file(s) from %s", removed, cache_dir)
+        print(json.dumps(
+            {"cache_dir": str(cache_dir), "removed": removed},
+            sort_keys=True,
+        ))
+        return 0
+    raise AssertionError(
+        f"unhandled cache command {args.cache_command}"
+    )  # pragma: no cover
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     setup_logging(verbosity=-1 if args.quiet else args.verbose)
@@ -948,6 +1238,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_trace(args)
     if args.command == "probe":
         return cmd_probe(args)
+    if args.command == "serve":
+        return cmd_serve(args)
+    if args.command == "worker":
+        return cmd_worker(args)
+    if args.command == "job":
+        return cmd_job(args)
+    if args.command == "cache":
+        return cmd_cache(args)
     if args.command == "lint":
         from .lint.cli import cmd_lint
 

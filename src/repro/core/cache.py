@@ -184,6 +184,46 @@ class ResultCache:
         """Drop the in-process layer (disk entries are untouched)."""
         self._mem.clear()
 
+    def prune_stale(self) -> int:
+        """Delete disk entries written under a superseded schema version.
+
+        Fingerprints embed :data:`CACHE_SCHEMA_VERSION`, so after a
+        schema bump old entries are never *read* again (a lookup
+        computes a new-schema fingerprint and probes new-schema paths
+        only) — which also means the read-path discard never fires on
+        them and they grow the cache directory without bound.  This
+        scans the whole tree, removes every entry whose payload schema
+        is not current (plus unreadable ones), and returns the count.
+        Current-schema entries are untouched.
+        """
+        if self.root is None or not self.root.is_dir():
+            return 0
+        removed = 0
+        for path in sorted(self.root.glob("*/*.pkl")):
+            try:
+                with open(path, "rb") as fh:
+                    payload = pickle.load(fh)
+            except (pickle.UnpicklingError, EOFError, AttributeError,
+                    ValueError, ImportError):
+                # Unreadable under this build: it can never hit either.
+                self._discard(path)
+                removed += 1
+                continue
+            except OSError:
+                # Transient I/O failure: leave the file for next time.
+                continue
+            schema = payload.get("schema") if isinstance(payload, dict) else None
+            if schema != CACHE_SCHEMA_VERSION:
+                self._discard(path)
+                removed += 1
+        for shard in sorted(self.root.iterdir()):
+            if shard.is_dir():
+                try:
+                    shard.rmdir()  # only succeeds once emptied
+                except OSError:
+                    pass
+        return removed
+
     # -- disk layer ------------------------------------------------------
 
     def _disk_get(self, fp: str, replication: int) -> Optional[ExperimentResult]:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Any, Mapping, Optional, Tuple, Union
 
 from ..core.schemes import PLACEMENTS, get_scheme
 from ..faults import FaultConfig
@@ -186,6 +186,14 @@ class ExperimentConfig:
         """Derive a modified configuration (dataclass replace)."""
         return dataclasses.replace(self, **changes)
 
+    def to_dict(self) -> dict:
+        """JSON-ready field mapping; :func:`config_from_dict` inverts it.
+
+        Tuples survive ``dataclasses.asdict`` but not a JSON
+        round-trip; the inverse converts list-valued fields back.
+        """
+        return dataclasses.asdict(self)
+
     @property
     def scheduler_kwargs(self) -> dict:
         if self.algorithm.lower() == "cbf":
@@ -219,3 +227,29 @@ class ExperimentConfig:
             f"p={self.adoption_probability:.0%}, {self.duration / 3600:.2g}h"
             f"{extras}{faults})"
         )
+
+
+def config_from_dict(payload: Mapping[str, Any]) -> ExperimentConfig:
+    """Rebuild an :class:`ExperimentConfig` from :meth:`~ExperimentConfig.to_dict` output.
+
+    Accepts the JSON round-tripped form: list-valued
+    ``nodes_per_cluster``/``interarrival_range`` are restored to tuples
+    and a ``faults`` mapping to a :class:`~repro.faults.FaultConfig`.
+    Unknown keys raise ``ValueError`` (a config from a newer build must
+    not be silently truncated into a different experiment).
+    """
+    data: dict[str, Any] = dict(payload)
+    known = {f.name for f in dataclasses.fields(ExperimentConfig)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(f"unknown ExperimentConfig field(s): {unknown}")
+    npc = data.get("nodes_per_cluster")
+    if isinstance(npc, list):
+        data["nodes_per_cluster"] = tuple(npc)
+    iar = data.get("interarrival_range")
+    if isinstance(iar, list):
+        data["interarrival_range"] = tuple(iar)
+    faults = data.get("faults")
+    if isinstance(faults, dict):
+        data["faults"] = FaultConfig(**faults)
+    return ExperimentConfig(**data)

@@ -1,0 +1,56 @@
+"""Pluggable sweep executors behind one protocol.
+
+An executor owns *how* grid tasks run; the
+:class:`~repro.core.orchestrator.Orchestrator` owns *what* runs and
+what happens to the results.  Executors pull incomplete chunks via
+``orchestrator.pending_chunks()`` and report every finished task
+through ``orchestrator.record`` / ``orchestrator.complete_chunk`` —
+which is why progress, caching, journaling and deterministic
+reassembly are identical across all of them:
+
+* :class:`InProcessExecutor` — the serial path: tasks run in the
+  calling process with per-task retry-once semantics;
+* :class:`PoolExecutor` — one persistent ``ProcessPoolExecutor`` for
+  the whole grid, chunk-retry on task failure and a fresh-pool retry
+  on a worker crash;
+* :class:`WorkQueueExecutor` — chunks are leased to remote workers
+  (``repro worker`` over HTTP via ``repro serve``) with heartbeat
+  renewal and lease-expiry requeue.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol
+
+if TYPE_CHECKING:
+    from ..orchestrator import Orchestrator
+
+from .inprocess import InProcessExecutor
+from .pool import PoolExecutor
+from .workqueue import ChunkLease, ChunkQueue, WorkQueueExecutor
+
+__all__ = [
+    "Executor",
+    "InProcessExecutor",
+    "PoolExecutor",
+    "ChunkLease",
+    "ChunkQueue",
+    "WorkQueueExecutor",
+]
+
+
+class Executor(Protocol):
+    """Strategy protocol: run every pending chunk of an orchestrator."""
+
+    #: short identifier recorded in the run journal
+    name: str
+
+    def execute(self, orchestrator: "Orchestrator") -> None:
+        """Drive ``orchestrator``'s pending chunks to completion.
+
+        Must call ``orchestrator.record`` (or ``complete_chunk``) for
+        every task it finishes and raise
+        :class:`~repro.core.orchestrator.TaskError` when a task cannot
+        be completed.
+        """
+        ...

@@ -1,181 +1,57 @@
 """Parallel sweep engine: one flattened (config x replication) grid.
 
-The seed runner parallelised each scheme's replications separately: one
-process pool per ``run_replications`` call, re-pickling the config for
-every task and synchronising at every scheme boundary.  This module
-replaces that with a single engine used by every sweep:
+This module is the stable façade over the orchestrator/executor split:
 
-1. the whole grid — every config (including the NONE baseline) times
-   every replication — is flattened into one task list;
-2. duplicate configs are deduplicated up front (configs are frozen
-   dataclasses, so equality is exact), which is how the paired baseline
-   is computed once per grid no matter how many callers request it;
-3. a result cache (:mod:`repro.core.cache`) is consulted before any
-   work is scheduled, so warm reruns skip simulation entirely;
-4. remaining tasks run on **one** :class:`ProcessPoolExecutor` for the
-   whole grid.  Workers receive the unique-config table once through
-   the pool initializer; tasks are ``(config_index, replication)``
-   integer pairs, so nothing large is re-pickled per task;
-5. tasks are submitted in chunks (amortising IPC) and collected
-   ``as_completed`` for progress reporting;
-6. results are reassembled by ``(config_index, replication)`` key, so
-   the output is deterministic and bit-identical to a serial run
-   regardless of worker scheduling.
+* :class:`~repro.core.orchestrator.Orchestrator` owns the grid — dedup
+  of duplicate configs, cache resolution before any work is scheduled,
+  chunk planning, progress/heartbeat, the run journal, and
+  deterministic reassembly by ``(config_index, replication)`` key;
+* :mod:`repro.core.executors` owns the running — the in-process serial
+  path, the single persistent process pool, and the HTTP work queue
+  behind ``repro serve``.
 
-``run_single`` is a pure function of ``(config, replication)``; that is
-the invariant that makes 2, 3 and 6 sound.
+:func:`run_grid` keeps the original contract exactly: the whole grid —
+every config (including the NONE baseline) times every replication —
+is flattened into one task list, deduplicated, cache-resolved, chunked
+onto one executor, and reassembled bit-identically to a serial run
+regardless of worker scheduling.  ``run_single`` being a pure function
+of ``(config, replication)`` is the invariant that makes all of that
+sound.
+
+Legacy private names (``_Heartbeat``, ``_fmt_eta``, ``_init_worker``,
+``_run_chunk``, ``_INFLIGHT_PER_WORKER``) are re-exported for
+callers and tests that grew against the single-module engine.
 """
 
 from __future__ import annotations
 
-# repro-lint: disable-file=DET001 -- perf_counter here only feeds the
-# cache_resolve_s/cache_store_s engine metrics and the display-only
-# heartbeat ETA; task results are keyed and reassembled by
-# (config, replication), never by host time
-
-import logging
-import math
-import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
-from typing import TYPE_CHECKING, Callable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 if TYPE_CHECKING:  # typing-only: obs imports core at runtime
     from ..obs.metrics import MetricsRegistry
 
-from .cache import ResultCache, config_fingerprint
+from .cache import ResultCache
 from .config import ExperimentConfig
-from .experiment import run_single
+from .executors import InProcessExecutor, PoolExecutor
+from .executors.pool import _INFLIGHT_PER_WORKER  # noqa: F401  (re-export)
+from .executors.pool import _init_worker, _PoolBroken, _run_chunk  # noqa: F401
+from .experiment import run_single  # noqa: F401  (re-export; tests patch it)
+from .orchestrator import (  # noqa: F401  (re-exports)
+    GridStats,
+    Heartbeat,
+    Orchestrator,
+    ProgressFn,
+    RunnerFn,
+    SweepCancelled,
+    TaskError,
+    default_chunksize,
+    fmt_eta,
+)
 from .results import ExperimentResult
 
-# Plain stdlib logger under the shared namespace: repro.obs.log owns
-# configuration (handler/level), so core stays import-independent of obs.
-_log = logging.getLogger("repro.core.parallel")
-
-ProgressFn = Callable[[str], None]
-RunnerFn = Callable[[ExperimentConfig, int], ExperimentResult]
-
-#: soft cap on in-flight chunks per worker (bounds parent-side memory
-#: while keeping every worker busy)
-_INFLIGHT_PER_WORKER = 2
-
-
-class TaskError(RuntimeError):
-    """A grid task failed, identified by its ``(config, replication)``.
-
-    All constructor arguments flow through ``RuntimeError.__init__`` so
-    the exception survives the pickle round-trip from worker processes.
-    """
-
-    def __init__(self, description: str, replication: int, cause: str) -> None:
-        super().__init__(description, replication, cause)
-        self.description = description
-        self.replication = replication
-        self.cause = cause
-
-    def __str__(self) -> str:
-        return (
-            f"task ({self.description}, rep {self.replication}) "
-            f"failed: {self.cause}"
-        )
-
-
-class GridStats:
-    """Failure/retry accounting for grid runs (surfaces in bench JSON)."""
-
-    def __init__(self) -> None:
-        #: failure counts keyed by ``"<config.describe()> rep <r>"``
-        self.failures: dict[str, int] = {}
-        self.retries = 0
-
-    def record_failure(self, key: str) -> None:
-        self.failures[key] = self.failures.get(key, 0) + 1
-
-    @property
-    def total_failures(self) -> int:
-        return sum(self.failures.values())
-
-    def as_dict(self) -> dict:
-        return {
-            "task_failures": dict(self.failures),
-            "task_retries": self.retries,
-        }
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"GridStats({self.as_dict()})"
-
-
-def _fmt_eta(seconds: float) -> str:
-    """Compact ETA rendering: ``42s``, ``3m10s``, ``2h05m``."""
-    seconds = max(0.0, seconds)
-    if seconds < 60.0:
-        return f"{seconds:.0f}s"
-    minutes, secs = divmod(int(round(seconds)), 60)
-    if minutes < 60:
-        return f"{minutes}m{secs:02d}s"
-    hours, minutes = divmod(minutes, 60)
-    return f"{hours}h{minutes:02d}m"
-
-
-class _Heartbeat:
-    """Live telemetry folded into every per-task progress line.
-
-    Tracks wall-clock throughput (for the ETA), the evolving cache
-    hit-rate, and a count-weighted running estimate of the online
-    p50/p99 stretch read from each result's streaming-estimator payload
-    (see :mod:`repro.obs.stream`).  Arrival order varies with worker
-    scheduling, so the heartbeat is display-only — the authoritative
-    merged statistics are computed from the deterministically ordered
-    results after reassembly.
-    """
-
-    def __init__(self, total: int, cache_hits: int) -> None:
-        self.total = total
-        self.cache_hits = cache_hits
-        self.computed = 0
-        self._t0 = time.perf_counter()
-        self._weight = 0.0
-        self._p50_sum = 0.0
-        self._p99_sum = 0.0
-
-    def observe(self, result: object, computed: bool) -> None:
-        if computed:
-            self.computed += 1
-        # Custom runners return wrapper payloads (TracedRun/ProbedRun
-        # hold the ExperimentResult one level down); anything without
-        # online metrics simply doesn't feed the stretch estimate.
-        payload = getattr(result, "online_metrics", None)
-        if payload is None:
-            inner = getattr(result, "result", None)
-            payload = getattr(inner, "online_metrics", None)
-        if not payload:
-            return
-        stretch = payload.get("metrics", {}).get("stretch")
-        if not stretch or not stretch.get("count"):
-            return
-        n = stretch["count"]
-        quantiles = stretch.get("quantiles", {})
-        p50, p99 = quantiles.get("p50"), quantiles.get("p99")
-        if p50 is None or p99 is None or p50 != p50 or p99 != p99:
-            return
-        self._weight += n
-        self._p50_sum += n * p50
-        self._p99_sum += n * p99
-
-    def suffix(self) -> str:
-        done = self.cache_hits + self.computed
-        fields: list[str] = []
-        if self.computed > 0 and done < self.total:
-            rate = (time.perf_counter() - self._t0) / self.computed
-            fields.append(f"eta {_fmt_eta(rate * (self.total - done))}")
-        if self.cache_hits > 0 and done > 0:
-            fields.append(f"cache {100.0 * self.cache_hits / done:.0f}%")
-        if self._weight > 0.0:
-            fields.append(
-                f"stretch p50 {self._p50_sum / self._weight:.3g} "
-                f"p99 {self._p99_sum / self._weight:.3g}"
-            )
-        return " | " + " | ".join(fields) if fields else ""
+# Legacy aliases from the pre-split engine.
+_Heartbeat = Heartbeat
+_fmt_eta = fmt_eta
 
 
 def resolve_workers(
@@ -205,68 +81,6 @@ def resolve_workers(
     return n
 
 
-class _PoolBroken(Exception):
-    """Internal: the process pool died; ``suspects`` were in flight."""
-
-    def __init__(self, suspects: list[tuple[int, int]]) -> None:
-        super().__init__(suspects)
-        self.suspects = suspects
-
-
-# -- worker side ---------------------------------------------------------
-
-_WORKER_CONFIGS: Sequence[ExperimentConfig] = ()
-_WORKER_RUNNER: Optional[RunnerFn] = None
-
-
-def _init_worker(
-    configs: Sequence[ExperimentConfig], runner: Optional[RunnerFn] = None
-) -> None:
-    """Pool initializer: unpickle the unique-config table once per worker."""
-    global _WORKER_CONFIGS, _WORKER_RUNNER
-    # repro-lint: disable=PAR001 -- the pool initializer installs the
-    # per-process config table exactly once, before any task runs; this
-    # is the mechanism that *avoids* per-task state shipping
-    _WORKER_CONFIGS = configs
-    # repro-lint: disable=PAR001 -- same single-shot initializer install
-    _WORKER_RUNNER = runner
-    # Spawned workers inherit no handler state; mirror the parent's
-    # logging setup from the environment (deferred import: obs imports
-    # this module at its own import time).
-    from ..obs.log import setup_worker_logging
-
-    setup_worker_logging()
-
-
-def _run_chunk(
-    tasks: Sequence[tuple[int, int]],
-) -> list[tuple[int, int, ExperimentResult]]:
-    """Run a chunk of ``(config_index, replication)`` tasks in one worker.
-
-    Any task exception is wrapped in :class:`TaskError` so the parent
-    learns *which* ``(config, replication)`` failed, not just that
-    something somewhere in the chunk raised.
-    """
-    fn = _WORKER_RUNNER if _WORKER_RUNNER is not None else run_single
-    out = []
-    for ci, rep in tasks:
-        cfg = _WORKER_CONFIGS[ci]
-        try:
-            out.append((ci, rep, fn(cfg, rep)))
-        except Exception as exc:
-            raise TaskError(cfg.describe(), rep, repr(exc)) from exc
-    return out
-
-
-# -- parent side ---------------------------------------------------------
-
-def default_chunksize(n_tasks: int, n_workers: int) -> int:
-    """Chunk so each worker sees a few chunks (load balance vs IPC cost)."""
-    if n_tasks <= 0:
-        return 1
-    return max(1, math.ceil(n_tasks / (max(1, n_workers) * 4)))
-
-
 def run_grid(
     configs: Sequence[ExperimentConfig],
     n_replications: int,
@@ -277,7 +91,7 @@ def run_grid(
     progress: Optional[ProgressFn] = None,
     runner: Optional[RunnerFn] = None,
     stats: Optional[GridStats] = None,
-    metrics: Optional[MetricsRegistry] = None,
+    metrics: Optional["MetricsRegistry"] = None,
 ) -> list[list[ExperimentResult]]:
     """Run every config for every replication; return results per config.
 
@@ -296,263 +110,31 @@ def run_grid(
     ``inc``/``add_time``): cache hit/miss counters, tasks executed, and
     wall-clock spent resolving/storing cache entries.
     """
-    if n_replications < 1:
-        raise ValueError(f"need >= 1 replication, got {n_replications}")
     if not configs:
+        if n_replications < 1:
+            raise ValueError(f"need >= 1 replication, got {n_replications}")
         return []
-
-    # 1+2. Deduplicate the grid (frozen dataclasses hash by content).
-    unique: list[ExperimentConfig] = []
-    index_of: dict[ExperimentConfig, int] = {}
-    slots: list[int] = []
-    for cfg in configs:
-        ui = index_of.get(cfg)
-        if ui is None:
-            ui = index_of[cfg] = len(unique)
-            unique.append(cfg)
-        slots.append(ui)
-
-    reps = range(first_replication, first_replication + n_replications)
-    grid: list[dict[int, ExperimentResult]] = [{} for _ in unique]
-
-    # 3. Resolve cache hits before scheduling any work.
-    t_resolve = time.perf_counter()
-    fingerprints = [config_fingerprint(cfg) for cfg in unique]
-    tasks: list[tuple[int, int]] = []
-    hits: list[ExperimentResult] = []
-    for ui, fp in enumerate(fingerprints):
-        for rep in reps:
-            hit = (
-                cache.get(unique[ui], rep, fingerprint=fp)
-                if cache is not None else None
-            )
-            if hit is not None:
-                grid[ui][rep] = hit
-                hits.append(hit)
-            else:
-                tasks.append((ui, rep))
-
-    total = len(unique) * n_replications
-    done = total - len(tasks)
-    heartbeat = _Heartbeat(total, cache_hits=done)
-    for hit in hits:
-        # Seed the live stretch estimate with what the cache already
-        # knows, so the first heartbeat line reflects the whole sweep.
-        heartbeat.observe(hit, computed=False)
-    if metrics is not None:
-        metrics.add_time("cache_resolve_s", time.perf_counter() - t_resolve)
-        if cache is not None:
-            metrics.inc("cache_hits", done)
-            metrics.inc("cache_misses", len(tasks))
-        metrics.inc("tasks_executed", len(tasks))
-    _log.debug(
-        "grid: %d config(s) x %d rep(s) = %d task(s), %d from cache",
-        len(unique), n_replications, total, done,
+    orchestrator = Orchestrator(
+        configs,
+        n_replications,
+        first_replication=first_replication,
+        cache=cache,
+        chunksize=chunksize,
+        n_workers=n_workers,
+        progress=progress,
+        runner=runner,
+        stats=stats,
+        metrics=metrics,
     )
-    if progress is not None and done > 0:
-        # Without this line a fully warm rerun would print nothing at
-        # all — per-task notes only cover freshly simulated work.
-        progress(f"[{done}/{total}] {done} task(s) resolved from cache")
-
-    def note(ui: int, rep: int) -> None:
-        if progress is not None:
-            progress(
-                f"[{done}/{total}] {unique[ui].describe()} rep {rep}"
-                f"{heartbeat.suffix()}"
-            )
-
-    def record(ui: int, rep: int, result: ExperimentResult) -> None:
-        nonlocal done
-        grid[ui][rep] = result
-        heartbeat.observe(result, computed=True)
-        if cache is not None:
-            t_store = time.perf_counter()
-            cache.put(unique[ui], rep, result, fingerprint=fingerprints[ui])
-            if metrics is not None:
-                metrics.add_time(
-                    "cache_store_s", time.perf_counter() - t_store
-                )
-        done += 1
-        note(ui, rep)
-
-    # 4-5. Execute what is left: serial fast path, else one pool.
-    if tasks:
-        if n_workers <= 1 or len(tasks) == 1:
-            _run_serial(unique, tasks, record, runner, stats)
-        else:
-            _run_parallel(
-                unique, tasks, n_workers, chunksize, record, runner, stats
-            )
-
-    # 6. Deterministic reassembly in (config, replication) order.
-    per_unique = [
-        [grid[ui][rep] for rep in reps] for ui in range(len(unique))
-    ]
-    return [list(per_unique[ui]) for ui in slots]
-
-
-def _run_serial(
-    unique: Sequence[ExperimentConfig],
-    tasks: Sequence[tuple[int, int]],
-    record: Callable[[int, int, ExperimentResult], None],
-    runner: Optional[RunnerFn],
-    stats: Optional[GridStats],
-) -> None:
-    """In-process execution with the same retry-once semantics."""
-    for ui, rep in tasks:
-        # Late-bound module global so tests can monkeypatch run_single.
-        fn = runner if runner is not None else run_single
-        try:
-            result = fn(unique[ui], rep)
-        except Exception as first:
-            key = f"{unique[ui].describe()} rep {rep}"
-            _log.warning("task %s failed (%r); retrying once", key, first)
-            if stats is not None:
-                stats.record_failure(key)
-                stats.retries += 1
-            try:
-                result = fn(unique[ui], rep)
-            except Exception as exc:
-                if stats is not None:
-                    stats.record_failure(key)
-                raise TaskError(
-                    unique[ui].describe(), rep, repr(exc)
-                ) from exc
-        record(ui, rep, result)
-
-
-def _run_parallel(
-    unique: Sequence[ExperimentConfig],
-    tasks: list[tuple[int, int]],
-    n_workers: int,
-    chunksize: Optional[int],
-    record: Callable[[int, int, ExperimentResult], None],
-    runner: Optional[RunnerFn] = None,
-    stats: Optional[GridStats] = None,
-) -> None:
-    """Fan a task list over one persistent pool, chunked, as-completed.
-
-    Failure handling, two tiers:
-
-    * a task raising inside a worker surfaces as :class:`TaskError`;
-      its chunk is retried once on the same (healthy) pool;
-    * a worker *crashing* breaks the whole pool and cannot tell us
-      which task did it — every in-flight task is a suspect.  The
-      remaining work is retried once on a fresh pool; a second crash
-      raises :class:`TaskError` naming the first suspect.
-    """
-    n_workers = min(n_workers, len(tasks))
-    if chunksize is None:
-        chunksize = default_chunksize(len(tasks), n_workers)
-    chunks = {
-        cid: tasks[k:k + chunksize]
-        for cid, k in enumerate(range(0, len(tasks), chunksize))
-    }
-    for attempt in (0, 1):
-        try:
-            _drain_pool(
-                unique, chunks, n_workers, record, runner, stats,
-                allow_chunk_retry=(attempt == 0),
-            )
-            return
-        except _PoolBroken as broken:
-            ci, rep = broken.suspects[0]
-            _log.warning(
-                "worker pool crashed with %d task(s) in flight "
-                "(first suspect: %s rep %d)%s",
-                len(broken.suspects), unique[ci].describe(), rep,
-                "" if attempt == 1 else "; rerunning on a fresh pool",
-            )
-            if stats is not None:
-                stats.record_failure(f"{unique[ci].describe()} rep {rep}")
-            if attempt == 1:
-                raise TaskError(
-                    unique[ci].describe(),
-                    rep,
-                    "worker process crashed (BrokenProcessPool); "
-                    f"{len(broken.suspects)} in-flight task(s) suspected",
-                ) from broken
-            if stats is not None:
-                stats.retries += 1
-
-
-def _drain_pool(
-    unique: Sequence[ExperimentConfig],
-    chunks: dict[int, list[tuple[int, int]]],
-    n_workers: int,
-    record: Callable[[int, int, ExperimentResult], None],
-    runner: Optional[RunnerFn],
-    stats: Optional[GridStats],
-    allow_chunk_retry: bool,
-) -> None:
-    """Run ``chunks`` on one pool, removing each as it completes.
-
-    On a pool crash, raises :class:`_PoolBroken` with every in-flight
-    task as a suspect; ``chunks`` still holds all unfinished work so the
-    caller can rerun it on a fresh pool.
-    """
-    retried: set[int] = set()
-    with ProcessPoolExecutor(
-        max_workers=n_workers,
-        initializer=_init_worker,
-        initargs=(tuple(unique), runner),
-    ) as pool:
-        backlog = iter(list(chunks.items()))
-        in_flight: dict = {}
-
-        def submit(cid: int, chunk: list[tuple[int, int]]) -> None:
-            try:
-                fut = pool.submit(_run_chunk, chunk)
-            except BrokenProcessPool:
-                # The pool died under us; surface every in-flight task
-                # (plus this one) as a suspect for the outer retry.
-                suspects = list(chunk)
-                for _, other in in_flight.values():
-                    suspects.extend(other)
-                raise _PoolBroken(suspects) from None
-            in_flight[fut] = (cid, chunk)
-
-        def submit_next() -> None:
-            item = next(backlog, None)
-            if item is not None:
-                submit(*item)
-
-        for _ in range(n_workers * _INFLIGHT_PER_WORKER):
-            submit_next()
-        while in_flight:
-            finished, _ = wait(in_flight, return_when=FIRST_COMPLETED)
-            crashed: list[tuple[int, int]] = []
-            for fut in finished:
-                cid, chunk = in_flight.pop(fut)
-                try:
-                    results = fut.result()
-                except TaskError as err:
-                    _log.warning("worker task failed: %s", err)
-                    if stats is not None:
-                        stats.record_failure(
-                            f"{err.description} rep {err.replication}"
-                        )
-                    if allow_chunk_retry and cid not in retried:
-                        retried.add(cid)
-                        if stats is not None:
-                            stats.retries += 1
-                        submit(cid, chunk)
-                        continue
-                    raise
-                except BrokenProcessPool:
-                    # Don't raise yet: sibling futures in this batch may
-                    # hold completed results worth keeping.
-                    crashed.extend(chunk)
-                    continue
-                for ci, rep, result in results:
-                    record(ci, rep, result)
-                del chunks[cid]
-                submit_next()
-            if crashed:
-                suspects = crashed
-                for _, other in in_flight.values():
-                    suspects.extend(other)
-                raise _PoolBroken(suspects)
+    orchestrator.prepare()
+    pending = orchestrator.n_pending
+    if pending == 0:
+        return orchestrator.assemble()
+    if n_workers <= 1 or pending == 1:
+        executor: InProcessExecutor | PoolExecutor = InProcessExecutor()
+    else:
+        executor = PoolExecutor(n_workers=n_workers)
+    return orchestrator.execute(executor)
 
 
 class SweepEngine:
@@ -572,7 +154,7 @@ class SweepEngine:
         chunksize: Optional[int] = None,
         progress: Optional[ProgressFn] = None,
         stats: Optional[GridStats] = None,
-        metrics: Optional[MetricsRegistry] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         self.n_workers = max(1, int(n_workers))
         self.cache = cache

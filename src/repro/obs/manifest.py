@@ -15,6 +15,7 @@ import json
 import os
 import platform as _platform
 import sys
+import threading
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -91,6 +92,67 @@ class RunManifest:
     @classmethod
     def load(cls, path: Union[str, Path]) -> "RunManifest":
         return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+class RunJournal:
+    """Append-only JSONL progress journal for resumable sweeps.
+
+    The orchestrator appends one entry per lifecycle event (grid
+    prepared, executor attached, chunk completed); ``repro serve``
+    keeps one journal per job next to its manifest.  Together with the
+    disk result cache the journal is what makes a killed server or
+    worker resumable: completed work is *recovered* through the cache,
+    while the journal records — auditable after the fact — which chunks
+    completed when, so tests and operators can verify a resume really
+    did re-run only the incomplete remainder.
+
+    Entries are flushed and fsynced per append (events are chunk-, not
+    task-grained, so durability costs little) and a torn final line
+    from a crash mid-write is skipped on read.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._seq = len(self.entries()) if self.path.exists() else 0
+
+    def append(self, entry: dict) -> dict:
+        """Durably append one event; returns the record as written."""
+        with self._lock:
+            record = {
+                "seq": self._seq,
+                # repro-lint: disable=DET001 -- journal timestamps are
+                # provenance metadata (when did this chunk land), never
+                # simulation input
+                "unix": time.time(),
+                **entry,
+            }
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            self._seq += 1
+        return record
+
+    def entries(self) -> list[dict]:
+        """Every intact record, in append order."""
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return []
+        out: list[dict] = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(json.loads(line))
+            except ValueError:
+                # Torn tail from a crash mid-append: ignore it; the
+                # cache, not the journal, is the source of truth.
+                continue
+        return out
 
 
 def describe_config(config: ExperimentConfig, index: int = 0) -> dict:

@@ -1,0 +1,181 @@
+"""HTTP client for the sweep service (CLI, workers, tests, CI).
+
+Plain ``http.client`` — one short-lived connection per call, matching
+the server's connection-per-request model.  Every method raises
+:class:`ServiceError` on a non-2xx response (carrying the server's
+error message) and lets ``OSError`` propagate for transport failures
+so callers can distinguish "server said no" from "server unreachable".
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Optional, Sequence
+from urllib.parse import urlsplit
+
+from ..core.results import ExperimentResult
+from .jobs import encode_chunk_results
+
+#: job states that end the wait loop
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class ServiceError(RuntimeError):
+    """The service answered with an error status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(status, message)
+        self.status = status
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"HTTP {self.status}: {self.message}"
+
+
+class ServiceClient:
+    """Typed wrapper over the sweep service's JSON API."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        parts = urlsplit(base_url if "//" in base_url else f"//{base_url}")
+        if parts.scheme not in ("", "http"):
+            raise ValueError(f"only http:// is supported, got {base_url!r}")
+        if not parts.hostname:
+            raise ValueError(f"no host in service url {base_url!r}")
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        raw: bool = False,
+    ) -> Any:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+        finally:
+            conn.close()
+        if response.status >= 400:
+            try:
+                message = json.loads(data.decode("utf-8"))["error"]
+            except (ValueError, KeyError, UnicodeDecodeError):
+                message = data.decode("utf-8", "replace").strip()
+            raise ServiceError(response.status, message)
+        if raw:
+            return data
+        if not data:
+            return {}
+        return json.loads(data.decode("utf-8"))
+
+    # -- job API ---------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def submit(self, spec: dict) -> str:
+        """Submit a job spec (JobSpec.to_dict form); returns the job id."""
+        return self._request("POST", "/v1/jobs", payload=spec)["job_id"]
+
+    def jobs(self) -> list[dict]:
+        return self._request("GET", "/v1/jobs")["jobs"]
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> dict:
+        return self._request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def results_bytes(self, job_id: str) -> bytes:
+        """The job's canonical results JSON, exactly as stored."""
+        data = self._request(
+            "GET", f"/v1/jobs/{job_id}/results", raw=True
+        )
+        assert isinstance(data, bytes)
+        return data
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        poll_interval_s: float = 0.2,
+    ) -> dict:
+        """Poll until the job reaches a terminal state; returns it.
+
+        Raises ``TimeoutError`` (with the last status attached) if
+        ``timeout`` elapses first.
+        """
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        while True:
+            status = self.status(job_id)
+            if status.get("state") in TERMINAL_STATES:
+                return status
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status.get('state')!r} after "
+                    f"{timeout:g}s"
+                )
+            time.sleep(poll_interval_s)
+
+    # -- work-queue API (workers) ----------------------------------------
+
+    def lease(self, worker_id: str) -> Optional[dict]:
+        """Lease the next chunk; None when no work is available."""
+        granted = self._request(
+            "POST", "/v1/queue/lease", payload={"worker_id": worker_id}
+        )
+        if granted.get("lease") is None:
+            return None
+        return granted
+
+    def heartbeat(self, job_id: str, chunk_id: int, token: int) -> bool:
+        return bool(self._request(
+            "POST", "/v1/queue/heartbeat",
+            payload={
+                "job_id": job_id, "chunk_id": chunk_id, "token": token,
+            },
+        ).get("alive"))
+
+    def complete(
+        self,
+        job_id: str,
+        chunk_id: int,
+        token: int,
+        results: Sequence[tuple[int, int, ExperimentResult]],
+    ) -> bool:
+        return bool(self._request(
+            "POST", "/v1/queue/complete",
+            payload={
+                "job_id": job_id,
+                "chunk_id": chunk_id,
+                "token": token,
+                "results": encode_chunk_results(results),
+            },
+        ).get("fresh_lease"))
+
+    def fail(
+        self, job_id: str, chunk_id: int, token: int, cause: str
+    ) -> bool:
+        return bool(self._request(
+            "POST", "/v1/queue/fail",
+            payload={
+                "job_id": job_id, "chunk_id": chunk_id, "token": token,
+                "cause": cause,
+            },
+        ).get("accepted"))

@@ -1,0 +1,310 @@
+"""Minimal asyncio HTTP/1.1 server — stdlib sockets, no frameworks.
+
+``asyncio.start_server`` gives us the listening socket and per
+connection streams; this module adds just enough HTTP/1.1 on top for a
+JSON control API: request-line + header parsing, ``Content-Length``
+bodies, and one response per connection (``Connection: close``).
+Deliberately not supported: chunked transfer, keep-alive, pipelining,
+TLS — the service binds loopback by default and every client we ship
+(:mod:`repro.service.client`, the worker, curl in CI) speaks this
+subset.
+
+Handlers are synchronous callables ``(HttpRequest) -> HttpResponse``;
+the routes in :mod:`repro.service.server` only touch in-memory state
+under short-lived locks and small files, so they run directly on the
+event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import threading
+from typing import Callable, Optional
+from urllib.parse import parse_qs, unquote, urlsplit
+
+_log = logging.getLogger("repro.service.http")
+
+#: refuse request bodies beyond this (the largest legitimate payload is
+#: a completed chunk of pickled results; smoke-scale chunks are ~100 kB)
+MAX_BODY_BYTES = 256 * 1024 * 1024
+MAX_HEADER_BYTES = 64 * 1024
+
+
+class HttpError(Exception):
+    """Raise inside a handler to produce a non-200 JSON response."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(status, message)
+        self.status = status
+        self.message = message
+
+
+class HttpRequest:
+    """One parsed request: method, path, query mapping, body bytes."""
+
+    def __init__(
+        self, method: str, target: str, headers: dict[str, str], body: bytes
+    ) -> None:
+        self.method = method
+        parts = urlsplit(target)
+        self.path = unquote(parts.path)
+        self.query: dict[str, str] = {
+            k: v[-1] for k, v in parse_qs(parts.query).items()
+        }
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> dict:
+        """Decode the body as a JSON object (400 on anything else)."""
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            raise HttpError(400, "request body is not valid JSON") from None
+        if not isinstance(payload, dict):
+            raise HttpError(400, "request body must be a JSON object")
+        return payload
+
+
+class HttpResponse:
+    """Status + body; :meth:`json` builds the common case."""
+
+    REASONS = {
+        200: "OK", 201: "Created", 204: "No Content", 400: "Bad Request",
+        404: "Not Found", 405: "Method Not Allowed", 409: "Conflict",
+        413: "Payload Too Large", 500: "Internal Server Error",
+        503: "Service Unavailable",
+    }
+
+    def __init__(
+        self, status: int = 200, body: bytes = b"",
+        content_type: str = "application/octet-stream",
+    ) -> None:
+        self.status = status
+        self.body = body
+        self.content_type = content_type
+
+    @classmethod
+    def json(cls, payload: object, status: int = 200) -> "HttpResponse":
+        data = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        return cls(status, data, "application/json")
+
+    def encode(self) -> bytes:
+        reason = self.REASONS.get(self.status, "Unknown")
+        head = (
+            f"HTTP/1.1 {self.status} {reason}\r\n"
+            f"Content-Type: {self.content_type}\r\n"
+            f"Content-Length: {len(self.body)}\r\n"
+            f"Connection: close\r\n"
+            f"\r\n"
+        )
+        return head.encode("ascii") + self.body
+
+
+Handler = Callable[[HttpRequest], HttpResponse]
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError:
+        return None  # connection closed before a full request arrived
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, "headers too large") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, "headers too large")
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        method, target, version = lines[0].split(" ", 2)
+    except ValueError:
+        raise HttpError(400, f"malformed request line {lines[0]!r}") from None
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol {version!r}")
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise HttpError(400, f"bad Content-Length {length_text!r}") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise HttpError(413, f"body of {length} bytes refused")
+    body = await reader.readexactly(length) if length else b""
+    return HttpRequest(method.upper(), target, headers, body)
+
+
+class HttpServer:
+    """Serve a synchronous handler over ``asyncio.start_server``."""
+
+    def __init__(
+        self, handler: Handler, host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.handler = handler
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> int:
+        """Bind and start accepting; returns the bound port."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=MAX_HEADER_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        _log.info("listening on http://%s:%d", self.host, self.port)
+        return self.port
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await _read_request(reader)
+                if request is None:
+                    return
+                response = self.handler(request)
+            except HttpError as err:
+                response = HttpResponse.json(
+                    {"error": err.message}, status=err.status
+                )
+            except Exception:  # repro-lint: disable=EXC001 -- connection
+                # boundary: one bad request must not take the service
+                # down; the traceback is logged and the client gets 500
+                _log.exception("handler crashed")
+                response = HttpResponse.json(
+                    {"error": "internal server error"}, status=500
+                )
+            writer.write(response.encode())
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-response; nothing to salvage
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+
+RouteHandler = Callable[..., HttpResponse]
+
+
+class Router:
+    """Tiny path router: literal segments plus ``{name}`` captures."""
+
+    def __init__(self) -> None:
+        self._routes: list[tuple[str, list[str], RouteHandler]] = []
+
+    def add(self, method: str, pattern: str, handler: RouteHandler) -> None:
+        self._routes.append(
+            (method.upper(), pattern.strip("/").split("/"), handler)
+        )
+
+    def dispatch(self, request: HttpRequest) -> HttpResponse:
+        segments = request.path.strip("/").split("/")
+        path_matched = False
+        for method, pattern, handler in self._routes:
+            params = self._match(pattern, segments)
+            if params is None:
+                continue
+            path_matched = True
+            if method != request.method:
+                continue
+            return handler(request, **params)
+        if path_matched:
+            raise HttpError(405, f"method {request.method} not allowed here")
+        raise HttpError(404, f"no route for {request.path}")
+
+    @staticmethod
+    def _match(
+        pattern: list[str], segments: list[str]
+    ) -> Optional[dict[str, str]]:
+        if len(pattern) != len(segments):
+            return None
+        params: dict[str, str] = {}
+        for part, segment in zip(pattern, segments):
+            if part.startswith("{") and part.endswith("}"):
+                if not segment:
+                    return None
+                params[part[1:-1]] = segment
+            elif part != segment:
+                return None
+        return params
+
+
+def run_server_in_thread(
+    handler: Handler, host: str = "127.0.0.1", port: int = 0,
+) -> "ThreadedHttpServer":
+    """Start an :class:`HttpServer` on a daemon thread (tests, service).
+
+    Returns once the socket is bound; ``.port`` is the live port and
+    ``.stop()`` shuts the loop down.
+    """
+    server = HttpServer(handler, host, port)
+    started = threading.Event()
+    box: dict[str, object] = {}
+
+    def runner() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        box["loop"] = loop
+        try:
+            loop.run_until_complete(server.start())
+            started.set()
+            loop.run_forever()
+        finally:
+            loop.run_until_complete(server.close())
+            loop.close()
+
+    thread = threading.Thread(
+        target=runner, name="repro-http", daemon=True
+    )
+    thread.start()
+    if not started.wait(timeout=10.0):
+        raise RuntimeError("HTTP server failed to start within 10 s")
+    loop = box["loop"]
+    assert isinstance(loop, asyncio.AbstractEventLoop)
+    return ThreadedHttpServer(server, loop, thread)
+
+
+class ThreadedHttpServer:
+    """Handle to a server running on its own event-loop thread."""
+
+    def __init__(
+        self,
+        server: HttpServer,
+        loop: asyncio.AbstractEventLoop,
+        thread: threading.Thread,
+    ) -> None:
+        self.server = server
+        self.loop = loop
+        self.thread = thread
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self.loop.is_running():
+            self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=timeout)

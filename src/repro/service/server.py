@@ -1,0 +1,406 @@
+"""``repro serve``: the sweep service tying orchestrator to HTTP.
+
+One :class:`SweepService` owns a :class:`~repro.service.jobs.JobStore`,
+runs each submitted job's orchestrator on a daemon thread, and exposes
+the control API:
+
+==========  =================================  =============================
+method      path                               purpose
+==========  =================================  =============================
+GET         /healthz                           liveness + running-job count
+POST        /v1/jobs                           submit a JobSpec, returns id
+GET         /v1/jobs                           list all jobs' statuses
+GET         /v1/jobs/{id}                      status + live progress
+POST        /v1/jobs/{id}/cancel               cooperative cancellation
+GET         /v1/jobs/{id}/results              canonical results JSON
+POST        /v1/queue/lease                    worker: lease next chunk
+POST        /v1/queue/heartbeat                worker: extend a lease
+POST        /v1/queue/complete                 worker: deliver chunk results
+POST        /v1/queue/fail                     worker: report a chunk failure
+==========  =================================  =============================
+
+Live progress comes from ``Orchestrator.status()`` — done/total, cache
+hit-rate and the streaming p50/p99 stretch the heartbeat accumulates
+from each result's online-metrics payload — plus the chunk queue's
+lease state for work-queue jobs.
+
+At startup the service re-launches every job left ``pending`` or
+``running`` by a previous process: the rebuilt orchestrator resolves
+all completed work from the shared disk cache, so a killed server (or
+worker) resumes by re-running only incomplete chunks.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+from ..core.executors import (
+    InProcessExecutor,
+    PoolExecutor,
+    WorkQueueExecutor,
+)
+from ..core.executors.workqueue import ChunkQueue
+from ..core.orchestrator import Orchestrator, SweepCancelled, TaskError
+from ..obs.manifest import RunJournal, build_manifest
+from .http import (
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    Router,
+    ThreadedHttpServer,
+    run_server_in_thread,
+)
+from .jobs import (
+    JobSpec,
+    JobStore,
+    canonical_grid_payload,
+    decode_chunk_results,
+)
+
+_log = logging.getLogger("repro.service.server")
+
+
+class _JobRuntime:
+    """In-memory handle on one executing job."""
+
+    def __init__(self, job_id: str, spec: JobSpec) -> None:
+        self.job_id = job_id
+        self.spec = spec
+        self.orchestrator: Optional[Orchestrator] = None
+        self.queue: Optional[ChunkQueue] = None
+        self.thread: Optional[threading.Thread] = None
+        self.done = threading.Event()
+
+
+class SweepService:
+    """The HTTP sweep service: job lifecycle + work-queue routing."""
+
+    def __init__(
+        self,
+        state_dir: Union[str, Path],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.store = JobStore(state_dir)
+        self.host = host
+        self.port = port
+        self._running: dict[str, _JobRuntime] = {}
+        self._lock = threading.Lock()
+        self._http: Optional[ThreadedHttpServer] = None
+        self.router = Router()
+        self.router.add("GET", "/healthz", self._route_health)
+        self.router.add("POST", "/v1/jobs", self._route_submit)
+        self.router.add("GET", "/v1/jobs", self._route_list)
+        self.router.add("GET", "/v1/jobs/{job_id}", self._route_status)
+        self.router.add(
+            "POST", "/v1/jobs/{job_id}/cancel", self._route_cancel
+        )
+        self.router.add(
+            "GET", "/v1/jobs/{job_id}/results", self._route_results
+        )
+        self.router.add("POST", "/v1/queue/lease", self._route_lease)
+        self.router.add(
+            "POST", "/v1/queue/heartbeat", self._route_heartbeat
+        )
+        self.router.add("POST", "/v1/queue/complete", self._route_complete)
+        self.router.add("POST", "/v1/queue/fail", self._route_fail)
+
+    # -- lifecycle -------------------------------------------------------
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        return self.router.dispatch(request)
+
+    def start(self) -> int:
+        """Resume incomplete jobs, bind the socket; returns the port."""
+        resumed = self.resume_incomplete()
+        if resumed:
+            _log.info("resumed %d incomplete job(s): %s",
+                      len(resumed), ", ".join(resumed))
+        self._http = run_server_in_thread(self.handle, self.host, self.port)
+        self.port = self._http.port
+        return self.port
+
+    def stop(self) -> None:
+        if self._http is not None:
+            self._http.stop()
+            self._http = None
+
+    def wait_idle(self, timeout: float = 60.0) -> bool:
+        """Block until no job is executing (tests/shutdown helper)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                running = [
+                    rt for rt in self._running.values()
+                    if not rt.done.is_set()
+                ]
+            if not running:
+                return True
+            time.sleep(0.02)
+        return False
+
+    def resume_incomplete(self) -> list[str]:
+        """Re-launch every job a previous process left unfinished."""
+        resumed = []
+        for job_id in self.store.job_ids():
+            try:
+                state = self.store.read_status(job_id).get("state")
+            except (KeyError, ValueError):
+                state = "pending"  # spec exists but status is torn
+            if state in ("pending", "running"):
+                self._launch(job_id, self.store.spec(job_id))
+                resumed.append(job_id)
+        return resumed
+
+    def submit(self, spec: JobSpec) -> str:
+        job_id = self.store.create_job(spec)
+        self._launch(job_id, spec)
+        return job_id
+
+    # -- job execution ---------------------------------------------------
+
+    def _launch(self, job_id: str, spec: JobSpec) -> None:
+        runtime = _JobRuntime(job_id, spec)
+        with self._lock:
+            self._running[job_id] = runtime
+        thread = threading.Thread(
+            target=self._run_job, args=(runtime,),
+            name=f"repro-{job_id}", daemon=True,
+        )
+        runtime.thread = thread
+        thread.start()
+
+    def _make_executor(
+        self, runtime: _JobRuntime,
+    ) -> Union[InProcessExecutor, PoolExecutor, WorkQueueExecutor]:
+        spec = runtime.spec
+        if spec.executor == "pool":
+            return PoolExecutor(n_workers=spec.n_workers)
+        if spec.executor == "workqueue":
+            def publish(queue: ChunkQueue) -> None:
+                runtime.queue = queue
+
+            return WorkQueueExecutor(
+                lease_ttl_s=spec.lease_ttl_s,
+                max_attempts=spec.max_attempts,
+                on_queue_ready=publish,
+            )
+        return InProcessExecutor()
+
+    def _run_job(self, runtime: _JobRuntime) -> None:
+        job_id, spec = runtime.job_id, runtime.spec
+        jdir = self.store.job_dir(job_id)
+        self.store.write_status(job_id, "running", executor=spec.executor)
+        journal = RunJournal(jdir / "journal.jsonl")
+        orchestrator = Orchestrator(
+            list(spec.configs),
+            spec.n_replications,
+            first_replication=spec.first_replication,
+            cache=self.store.cache(),
+            chunksize=spec.chunksize,
+            n_workers=spec.n_workers,
+            journal=journal,
+        )
+        runtime.orchestrator = orchestrator
+        executor = self._make_executor(runtime)
+        t0 = time.perf_counter()
+        try:
+            grids = orchestrator.execute(executor)
+        except SweepCancelled:
+            _log.info("job %s cancelled", job_id)
+            journal.append({"event": "cancelled"})
+            self.store.write_status(job_id, "cancelled")
+        except TaskError as err:
+            _log.error("job %s failed: %s", job_id, err)
+            journal.append({"event": "failed", "error": str(err)})
+            self.store.write_status(job_id, "failed", error=str(err))
+        except Exception as exc:  # repro-lint: disable=EXC001 -- job
+            # thread boundary: an escaping exception must land in the
+            # persisted status (clients poll it), not die silently on a
+            # daemon thread
+            _log.exception("job %s crashed", job_id)
+            journal.append({"event": "failed", "error": repr(exc)})
+            self.store.write_status(job_id, "failed", error=repr(exc))
+        else:
+            wall = time.perf_counter() - t0
+            self.store.write_results(
+                job_id, canonical_grid_payload(grids)
+            )
+            build_manifest(
+                list(spec.configs),
+                spec.n_replications,
+                first_replication=spec.first_replication,
+                n_workers=spec.n_workers,
+                wall_time_s=wall,
+                extra={
+                    "job_id": job_id,
+                    "executor": spec.executor,
+                    "service": True,
+                },
+            ).write(jdir / "manifest.json")
+            journal.append({"event": "done", "total": orchestrator.total})
+            self.store.write_status(
+                job_id, "done", executor=spec.executor,
+                total=orchestrator.total,
+            )
+        finally:
+            runtime.done.set()
+            with self._lock:
+                self._running.pop(job_id, None)
+
+    # -- routes: jobs ----------------------------------------------------
+
+    def _route_health(self, request: HttpRequest) -> HttpResponse:
+        with self._lock:
+            running = len(self._running)
+        return HttpResponse.json({"ok": True, "jobs_running": running})
+
+    def _route_submit(self, request: HttpRequest) -> HttpResponse:
+        payload = request.json()
+        try:
+            spec = JobSpec.from_dict(payload)
+        except (TypeError, ValueError) as exc:
+            raise HttpError(400, f"bad job spec: {exc}") from exc
+        job_id = self.submit(spec)
+        return HttpResponse.json({"job_id": job_id}, status=201)
+
+    def _route_list(self, request: HttpRequest) -> HttpResponse:
+        jobs = []
+        for job_id in self.store.job_ids():
+            try:
+                jobs.append(self.store.read_status(job_id))
+            except (KeyError, ValueError):
+                jobs.append({"job_id": job_id, "state": "unknown"})
+        return HttpResponse.json({"jobs": jobs})
+
+    def _status_payload(self, job_id: str) -> dict:
+        try:
+            payload = self.store.read_status(job_id)
+        except KeyError:
+            raise HttpError(404, f"no such job {job_id!r}") from None
+        with self._lock:
+            runtime = self._running.get(job_id)
+        if runtime is not None and runtime.orchestrator is not None:
+            payload["progress"] = runtime.orchestrator.status()
+            if runtime.queue is not None:
+                payload["queue"] = runtime.queue.snapshot()
+        return payload
+
+    def _route_status(
+        self, request: HttpRequest, job_id: str
+    ) -> HttpResponse:
+        return HttpResponse.json(self._status_payload(job_id))
+
+    def _route_cancel(
+        self, request: HttpRequest, job_id: str
+    ) -> HttpResponse:
+        try:
+            status = self.store.read_status(job_id)
+        except KeyError:
+            raise HttpError(404, f"no such job {job_id!r}") from None
+        with self._lock:
+            runtime = self._running.get(job_id)
+        if runtime is not None and runtime.orchestrator is not None:
+            runtime.orchestrator.cancel()
+            return HttpResponse.json({"job_id": job_id, "cancelling": True})
+        if status.get("state") in ("pending", "running"):
+            # Not executing in this process (e.g. pre-resume window).
+            self.store.write_status(job_id, "cancelled")
+            return HttpResponse.json({"job_id": job_id, "cancelling": True})
+        raise HttpError(
+            409, f"job {job_id} is {status.get('state')}; nothing to cancel"
+        )
+
+    def _route_results(
+        self, request: HttpRequest, job_id: str
+    ) -> HttpResponse:
+        try:
+            status = self.store.read_status(job_id)
+        except KeyError:
+            raise HttpError(404, f"no such job {job_id!r}") from None
+        body = self.store.read_results(job_id)
+        if body is None:
+            raise HttpError(
+                404,
+                f"job {job_id} has no results yet "
+                f"(state: {status.get('state')})",
+            )
+        return HttpResponse(200, body, "application/json")
+
+    # -- routes: work queue ----------------------------------------------
+
+    def _live_queues(self) -> list[tuple[str, _JobRuntime, ChunkQueue]]:
+        with self._lock:
+            runtimes = sorted(self._running.items())
+        return [
+            (job_id, rt, rt.queue)
+            for job_id, rt in runtimes
+            if rt.queue is not None
+        ]
+
+    def _route_lease(self, request: HttpRequest) -> HttpResponse:
+        worker_id = str(request.json().get("worker_id", "anonymous"))
+        for job_id, runtime, queue in self._live_queues():
+            lease = queue.lease(worker_id)
+            if lease is None:
+                continue
+            assert runtime.orchestrator is not None
+            configs = [
+                cfg.to_dict() for cfg in runtime.orchestrator.unique
+            ]
+            return HttpResponse.json({
+                "job_id": job_id,
+                "lease": lease.to_dict(),
+                "configs": configs,
+            })
+        return HttpResponse.json({"job_id": None, "lease": None})
+
+    def _queue_for(self, payload: dict) -> tuple[str, ChunkQueue]:
+        job_id = str(payload.get("job_id", ""))
+        with self._lock:
+            runtime = self._running.get(job_id)
+        if runtime is None or runtime.queue is None:
+            raise HttpError(
+                404, f"job {job_id!r} has no active work queue"
+            )
+        return job_id, runtime.queue
+
+    @staticmethod
+    def _lease_ref(payload: dict) -> tuple[int, int]:
+        try:
+            return int(payload["chunk_id"]), int(payload["token"])
+        except (KeyError, TypeError, ValueError):
+            raise HttpError(
+                400, "payload needs integer chunk_id and token"
+            ) from None
+
+    def _route_heartbeat(self, request: HttpRequest) -> HttpResponse:
+        payload = request.json()
+        _, queue = self._queue_for(payload)
+        chunk_id, token = self._lease_ref(payload)
+        alive = queue.heartbeat(chunk_id, token)
+        return HttpResponse.json({"alive": alive})
+
+    def _route_complete(self, request: HttpRequest) -> HttpResponse:
+        payload = request.json()
+        _, queue = self._queue_for(payload)
+        chunk_id, token = self._lease_ref(payload)
+        try:
+            results = decode_chunk_results(str(payload.get("results", "")))
+        except ValueError as exc:
+            raise HttpError(400, str(exc)) from exc
+        fresh = queue.complete(chunk_id, token, results)
+        return HttpResponse.json({"accepted": True, "fresh_lease": fresh})
+
+    def _route_fail(self, request: HttpRequest) -> HttpResponse:
+        payload = request.json()
+        _, queue = self._queue_for(payload)
+        chunk_id, token = self._lease_ref(payload)
+        ok = queue.fail(
+            chunk_id, token, str(payload.get("cause", "unspecified"))
+        )
+        return HttpResponse.json({"accepted": ok})

@@ -1,0 +1,143 @@
+"""``repro worker``: lease chunks from a sweep service and compute them.
+
+A worker is stateless: it polls ``POST /v1/queue/lease``, reconstructs
+the unique-config table shipped with each lease, runs the pure
+``run_single(config, replication)`` for every task in the chunk —
+heartbeating the lease after each task so slow chunks aren't requeued
+under it — and delivers the results with ``POST /v1/queue/complete``.
+If a task raises, the chunk is reported via ``POST /v1/queue/fail`` and
+the server decides whether to requeue (attempt budget) or fail the job.
+
+Workers can die at any point without corrupting anything: an
+unheartbeated lease expires and the chunk is recomputed elsewhere, and
+a completion that races its own lease expiry is still accepted (results
+are pure, the orchestrator's record is idempotent).
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import os
+import threading
+import time
+from typing import Optional
+
+from ..core.config import ExperimentConfig, config_from_dict
+from ..core.experiment import run_single
+from .client import ServiceClient, ServiceError
+
+_log = logging.getLogger("repro.service.worker")
+
+_WORKER_SEQ = itertools.count(1)
+
+
+def default_worker_id() -> str:
+    """Stable-enough worker identity: host pid + per-process counter."""
+    return f"worker-{os.getpid()}-{next(_WORKER_SEQ)}"
+
+
+class QueueWorker:
+    """One lease/compute/complete loop against a sweep service."""
+
+    def __init__(
+        self,
+        base_url: str,
+        worker_id: Optional[str] = None,
+        poll_interval_s: float = 0.2,
+    ) -> None:
+        self.client = ServiceClient(base_url)
+        self.worker_id = worker_id or default_worker_id()
+        self.poll_interval_s = poll_interval_s
+        self._stop = threading.Event()
+
+    def stop(self) -> None:
+        """Ask the loop to exit after the current chunk."""
+        self._stop.set()
+
+    def run(
+        self,
+        max_chunks: Optional[int] = None,
+        max_idle_polls: Optional[int] = None,
+    ) -> int:
+        """Lease and compute chunks until stopped; returns chunks done.
+
+        ``max_idle_polls`` bounds consecutive empty polls (used by
+        one-shot CI workers: drain the queue, then exit);
+        ``max_chunks`` bounds total work.  Connection errors while the
+        server restarts are retried at the polling cadence.
+        """
+        completed = 0
+        idle = 0
+        while not self._stop.is_set():
+            if max_chunks is not None and completed >= max_chunks:
+                break
+            try:
+                granted = self.client.lease(self.worker_id)
+            except (ServiceError, OSError) as exc:
+                _log.warning("lease failed (%s); retrying", exc)
+                idle += 1
+                if max_idle_polls is not None and idle >= max_idle_polls:
+                    break
+                time.sleep(self.poll_interval_s)
+                continue
+            if granted is None:
+                idle += 1
+                if max_idle_polls is not None and idle >= max_idle_polls:
+                    break
+                time.sleep(self.poll_interval_s)
+                continue
+            idle = 0
+            if self._process(granted):
+                completed += 1
+        return completed
+
+    def _process(self, granted: dict) -> bool:
+        job_id = granted["job_id"]
+        lease = granted["lease"]
+        chunk_id, token = lease["chunk_id"], lease["token"]
+        configs: list[ExperimentConfig] = [
+            config_from_dict(c) for c in granted["configs"]
+        ]
+        results = []
+        _log.info(
+            "%s: computing job %s chunk %d (%d task(s), attempt %d)",
+            self.worker_id, job_id, chunk_id, len(lease["tasks"]),
+            lease["attempt"],
+        )
+        try:
+            for ci, rep in lease["tasks"]:
+                results.append((ci, rep, run_single(configs[ci], rep)))
+                # Renew after every task: a chunk of slow simulations
+                # must not outlive its own lease.
+                self._heartbeat(job_id, chunk_id, token)
+        except Exception as exc:  # repro-lint: disable=EXC001 -- worker
+            # loop boundary: the failure is reported to the server
+            # (which owns retry/give-up policy) and the worker moves on
+            _log.exception(
+                "%s: job %s chunk %d failed", self.worker_id, job_id,
+                chunk_id,
+            )
+            try:
+                self.client.fail(job_id, chunk_id, token, repr(exc))
+            except (ServiceError, OSError):
+                _log.warning("could not report failure; lease will expire")
+            return False
+        try:
+            self.client.complete(job_id, chunk_id, token, results)
+        except (ServiceError, OSError) as exc:
+            _log.warning(
+                "%s: completion of job %s chunk %d not delivered (%s); "
+                "lease will expire and the chunk will be recomputed",
+                self.worker_id, job_id, chunk_id, exc,
+            )
+            return False
+        return True
+
+    def _heartbeat(self, job_id: str, chunk_id: int, token: int) -> None:
+        try:
+            self.client.heartbeat(job_id, chunk_id, token)
+        except (ServiceError, OSError):
+            # Lost heartbeats only risk a duplicate computation, never
+            # a wrong result; keep computing.
+            _log.debug("heartbeat for chunk %d failed", chunk_id)

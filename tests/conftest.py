@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import logging
+
 import pytest
 
 from repro.cluster.cluster import Cluster
@@ -25,6 +27,24 @@ def make_request(
         submit_time=submit_time,
         **kwargs,
     )
+
+
+@pytest.fixture(autouse=True)
+def _isolate_repro_logger():
+    """Undo ``setup_logging`` side effects between tests.
+
+    Any test that drives ``repro.cli.main`` installs a stderr handler
+    on the ``repro`` logger and turns propagation off; left in place,
+    the handler points at a captured (and later closed) stream and
+    caplog-based tests downstream never see their records.
+    """
+    logger = logging.getLogger("repro")
+    level, propagate = logger.level, logger.propagate
+    handlers = list(logger.handlers)
+    yield
+    logger.setLevel(level)
+    logger.propagate = propagate
+    logger.handlers[:] = handlers
 
 
 @pytest.fixture

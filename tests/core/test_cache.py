@@ -209,6 +209,74 @@ class TestCorruptionHandling:
         assert cached is not None and results_equal(cached, result)
 
 
+class TestPruneStale:
+    """``repro cache prune``: stale-schema files are unreachable by the
+    read path (fingerprints embed the schema version, so lookups probe
+    new-schema paths only) and used to accumulate forever."""
+
+    def _entry_path(self, cache, cfg, rep):
+        return cache._path(config_fingerprint(cfg), rep)
+
+    def _age_schema(self, path):
+        payload = pickle.loads(path.read_bytes())
+        payload["schema"] = CACHE_SCHEMA_VERSION - 1
+        path.write_bytes(pickle.dumps(payload))
+
+    def test_removes_stale_keeps_current(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cfg = tiny()
+        result = run_single(cfg, 0)
+        cache.put(cfg, 0, result)
+        cache.put(cfg, 1, result)
+        stale = self._entry_path(cache, cfg, 0)
+        keep = self._entry_path(cache, cfg, 1)
+        self._age_schema(stale)
+        assert cache.prune_stale() == 1
+        assert not stale.exists()
+        assert keep.exists()
+        cache.clear_memory()
+        assert cache.get(cfg, 1) is not None
+        assert cache.stats.discarded == 1
+
+    def test_removes_unreadable_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cfg = tiny()
+        cache.put(cfg, 0, run_single(cfg, 0))
+        junk = self._entry_path(cache, cfg, 0)
+        junk.write_bytes(b"not a pickle")
+        assert cache.prune_stale() == 1
+        assert not junk.exists()
+
+    def test_empty_shard_dirs_are_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cfg = tiny()
+        cache.put(cfg, 0, run_single(cfg, 0))
+        path = self._entry_path(cache, cfg, 0)
+        self._age_schema(path)
+        assert cache.prune_stale() == 1
+        assert not path.parent.exists(), "emptied shard dir pruned too"
+
+    def test_idempotent_and_safe_on_missing_root(self, tmp_path):
+        cache = ResultCache(tmp_path / "never-created")
+        assert cache.prune_stale() == 0
+        assert ResultCache(None).prune_stale() == 0
+
+    def test_cli_prune_reports_removals(self, tmp_path, capsys):
+        import json as json_mod
+
+        from repro.cli import main
+
+        cache = ResultCache(tmp_path)
+        cfg = tiny()
+        cache.put(cfg, 0, run_single(cfg, 0))
+        self._age_schema(self._entry_path(cache, cfg, 0))
+        assert main(
+            ["-q", "cache", "prune", "--cache-dir", str(tmp_path)]
+        ) == 0
+        report = json_mod.loads(capsys.readouterr().out)
+        assert report == {"cache_dir": str(tmp_path), "removed": 1}
+
+
 class TestSharedCache:
     def test_disabled_by_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_NO_CACHE", "1")

@@ -148,6 +148,75 @@ class TestHeartbeat:
         suffix = hb.suffix()
         assert "stretch" not in suffix and "cache" not in suffix
 
+    def test_eta_counts_only_computed_remaining(self, monkeypatch):
+        """Regression: the ETA must scale the *simulation* rate by the
+        simulations still outstanding, not by every remaining task.  On
+        a warm run, 8 instant cache hits must not multiply into the
+        projection."""
+        from repro.core import orchestrator
+
+        clock = {"t": 0.0}
+        monkeypatch.setattr(
+            orchestrator.time, "perf_counter", lambda: clock["t"]
+        )
+        hb = orchestrator.Heartbeat(total=10, pending=2)
+        for _ in range(8):  # warm tasks resolve instantly from cache
+            hb.observe(object(), computed=False)
+        clock["t"] = 5.0  # one real simulation took 5s
+        hb.observe(object(), computed=True)
+        # One computation left: the ETA is one rate interval, 5s.
+        assert hb.eta_seconds() == pytest.approx(5.0)
+        clock["t"] = 9.0
+        hb.observe(object(), computed=True)
+        assert hb.eta_seconds() is None, "nothing left to compute"
+
+    def test_fully_warm_run_has_no_eta(self):
+        cache = ResultCache(None)
+        run_grid([tiny()], 2, cache=cache)
+        messages = []
+        run_grid([tiny()], 2, cache=cache, progress=messages.append)
+        assert "eta" not in messages[0]
+
+    def test_observe_counts_cache_hits_dynamically(self):
+        """Regression: mid-run cache hits (``computed=False``) must be
+        folded into the hit-rate, not silently dropped."""
+        from repro.core.parallel import _Heartbeat
+
+        hb = _Heartbeat(total=4)
+        hb.observe(object(), computed=False)
+        hb.observe(object(), computed=True)
+        assert hb.cache_hits == 1
+        assert hb.done == 2
+        assert "cache 50%" in hb.suffix()
+
+    def test_observe_tolerates_nan_free_payload_shapes(self):
+        """Regression: the online payload contract serialises undefined
+        values as ``None`` at *any* level; none of these may raise."""
+        from repro.core.parallel import _Heartbeat
+
+        shapes = [
+            None,
+            "not a dict",
+            {},
+            {"metrics": None},
+            {"metrics": {"stretch": None}},
+            {"metrics": {"stretch": {"count": 0}}},
+            {"metrics": {"stretch": {"count": 2, "quantiles": None}}},
+            {"metrics": {"stretch": {
+                "count": 2, "quantiles": {"p50": None, "p99": 4.0},
+            }}},
+            {"metrics": {"stretch": {
+                "count": 2,
+                "quantiles": {"p50": float("nan"), "p99": float("nan")},
+            }}},
+        ]
+        hb = _Heartbeat(total=len(shapes), cache_hits=0)
+        for payload in shapes:
+            record = type("R", (), {"online_metrics": payload})()
+            hb.observe(record, computed=True)
+        assert hb.computed == len(shapes)
+        assert "stretch" not in hb.suffix(), "no valid sample arrived"
+
 
 class TestParallelDeterminism:
     def test_run_grid_parallel_bit_identical_to_serial(self):

@@ -1,0 +1,135 @@
+"""Tests for the minimal HTTP layer under the sweep service."""
+
+import http.client
+import json
+
+import pytest
+
+from repro.service.http import (
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    Router,
+    run_server_in_thread,
+)
+
+
+def request(method="GET", target="/", headers=None, body=b""):
+    return HttpRequest(method, target, headers or {}, body)
+
+
+class TestHttpRequest:
+    def test_path_and_query_split(self):
+        req = request(target="/v1/jobs?limit=3&limit=5&q=a%20b")
+        assert req.path == "/v1/jobs"
+        assert req.query == {"limit": "5", "q": "a b"}
+
+    def test_json_happy_path(self):
+        req = request(body=b'{"a": 1}')
+        assert req.json() == {"a": 1}
+
+    def test_json_empty_body_is_empty_object(self):
+        assert request().json() == {}
+
+    @pytest.mark.parametrize("body", [b"not json", b"[1, 2]", b'"str"'])
+    def test_json_rejects_non_objects(self, body):
+        with pytest.raises(HttpError) as err:
+            request(body=body).json()
+        assert err.value.status == 400
+
+
+class TestHttpResponse:
+    def test_encode_carries_length_and_close(self):
+        wire = HttpResponse.json({"ok": True}).encode()
+        head, _, body = wire.partition(b"\r\n\r\n")
+        assert b"HTTP/1.1 200 OK" in head
+        assert f"Content-Length: {len(body)}".encode() in head
+        assert b"Connection: close" in head
+        assert json.loads(body) == {"ok": True}
+
+
+class TestRouter:
+    def make(self):
+        router = Router()
+        router.add("GET", "/v1/jobs", lambda req: HttpResponse.json("list"))
+        router.add(
+            "GET", "/v1/jobs/{job_id}",
+            lambda req, job_id: HttpResponse.json(job_id),
+        )
+        router.add(
+            "POST", "/v1/jobs/{job_id}/cancel",
+            lambda req, job_id: HttpResponse.json(f"cancel {job_id}"),
+        )
+        return router
+
+    def body(self, response):
+        return json.loads(response.body)
+
+    def test_literal_and_capture_dispatch(self):
+        router = self.make()
+        assert self.body(router.dispatch(request(target="/v1/jobs"))) == "list"
+        assert self.body(
+            router.dispatch(request(target="/v1/jobs/job-0001"))
+        ) == "job-0001"
+        assert self.body(router.dispatch(
+            request("POST", "/v1/jobs/job-7/cancel")
+        )) == "cancel job-7"
+
+    def test_wrong_method_is_405(self):
+        with pytest.raises(HttpError) as err:
+            self.make().dispatch(request("DELETE", "/v1/jobs"))
+        assert err.value.status == 405
+
+    def test_unknown_path_is_404(self):
+        with pytest.raises(HttpError) as err:
+            self.make().dispatch(request(target="/v1/nope"))
+        assert err.value.status == 404
+
+
+class TestThreadedServer:
+    """Real sockets: one loopback server per test, stdlib client."""
+
+    def roundtrip(self, handler, method="GET", path="/", body=None):
+        server = run_server_in_thread(handler)
+        try:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", server.port, timeout=10.0
+            )
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            return response.status, response.read()
+        finally:
+            server.stop()
+
+    def test_request_response_roundtrip(self):
+        def echo(req):
+            return HttpResponse.json({
+                "method": req.method,
+                "path": req.path,
+                "body": req.json(),
+            })
+
+        status, body = self.roundtrip(
+            echo, "POST", "/echo", json.dumps({"x": 1}).encode()
+        )
+        assert status == 200
+        assert json.loads(body) == {
+            "method": "POST", "path": "/echo", "body": {"x": 1},
+        }
+
+    def test_http_error_becomes_json_error(self):
+        def refuse(req):
+            raise HttpError(409, "not now")
+
+        status, body = self.roundtrip(refuse)
+        assert status == 409
+        assert json.loads(body) == {"error": "not now"}
+
+    def test_handler_crash_becomes_500(self):
+        def crash(req):
+            raise RuntimeError("kaboom")
+
+        status, body = self.roundtrip(crash)
+        assert status == 500
+        assert "internal" in json.loads(body)["error"]

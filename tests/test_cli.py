@@ -252,3 +252,131 @@ class TestBenchCommand:
             assert stretch["quantiles"][q] is not None
         assert online["baseline"]["metrics"]["stretch"]["count"] > 0
         assert online["overall"]["n_runs"] >= 1
+
+
+class TestServiceCommands:
+    """The ``serve``/``worker``/``job``/``cache`` surface of the CLI."""
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["serve", "--state-dir", "runs/svc"]
+        )
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8642
+
+    def test_worker_parser_defaults(self):
+        args = build_parser().parse_args(
+            ["worker", "--url", "http://127.0.0.1:1"]
+        )
+        assert args.max_chunks is None
+        assert args.max_idle_polls is None
+        assert args.poll_interval == pytest.approx(0.2)
+
+    def test_job_submit_defaults(self):
+        args = build_parser().parse_args(
+            ["job", "submit", "--url", "http://127.0.0.1:1"]
+        )
+        assert args.job_command == "submit"
+        assert args.schemes == ["R2"]
+        assert args.executor == "inprocess"
+        assert not args.wait
+
+    def test_job_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["job"])
+
+    def test_bad_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([
+                "job", "submit", "--url", "u", "--executor", "telegraph",
+            ])
+
+    def test_spec_payload_from_flags(self):
+        from repro.cli import _job_spec_payload
+
+        args = build_parser().parse_args([
+            "job", "submit", "--url", "u", "--schemes", "R2", "NONE",
+            "--replications", "3", "--executor", "workqueue",
+            "--clusters", "2", "--nodes", "8", "--duration", "120",
+        ])
+        payload = _job_spec_payload(args)
+        assert [c["scheme"] for c in payload["configs"]] == ["R2", "NONE"]
+        assert payload["n_replications"] == 3
+        assert payload["executor"] == "workqueue"
+        assert payload["configs"][0]["n_clusters"] == 2
+
+    def test_spec_payload_from_file_validates(self, tmp_path):
+        from repro.cli import _job_spec_payload
+        from repro.service.jobs import JobSpec
+
+        good = tmp_path / "spec.json"
+        args = build_parser().parse_args([
+            "job", "submit", "--url", "u", "--spec", str(good),
+        ])
+        payload = _job_spec_payload(
+            build_parser().parse_args([
+                "job", "submit", "--url", "u",
+            ])
+        )
+        good.write_text(json.dumps(payload), encoding="utf-8")
+        assert JobSpec.from_dict(_job_spec_payload(args)) == \
+            JobSpec.from_dict(payload)
+
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"configs": [], "n_replications": 1}))
+        bad_args = build_parser().parse_args([
+            "job", "submit", "--url", "u", "--spec", str(bad),
+        ])
+        with pytest.raises(ValueError):
+            _job_spec_payload(bad_args)
+
+    def test_job_commands_against_live_service(self, tmp_path, capsys):
+        from repro.core.config import ExperimentConfig
+        from repro.core.parallel import run_grid
+        from repro.service.jobs import canonical_grid_json
+        from repro.service.server import SweepService
+
+        service = SweepService(tmp_path / "state", port=0)
+        port = service.start()
+        url = f"http://127.0.0.1:{port}"
+        try:
+            assert main([
+                "-q", "job", "submit", "--url", url,
+                "--schemes", "NONE", "--replications", "1",
+                "--clusters", "2", "--nodes", "8", "--duration", "120",
+                "--wait", "--timeout", "120",
+            ]) == 0
+            status = json.loads(capsys.readouterr().out)
+            assert status["state"] == "done"
+            job_id = status["job_id"]
+
+            assert main(["-q", "job", "list", "--url", url]) == 0
+            lines = capsys.readouterr().out.strip().splitlines()
+            assert any(json.loads(ln)["job_id"] == job_id for ln in lines)
+
+            out_path = tmp_path / "grid.json"
+            assert main([
+                "-q", "job", "result", "--url", url, job_id,
+                "--out", str(out_path),
+            ]) == 0
+            reference = run_grid([ExperimentConfig(
+                scheme="NONE", algorithm="easy", n_clusters=2,
+                nodes_per_cluster=8, duration=120.0, offered_load=2.0,
+                drain=True, seed=20060619,
+            )], 1)
+            assert out_path.read_bytes() == (
+                canonical_grid_json(reference) + "\n"
+            ).encode()
+
+            assert main([
+                "-q", "job", "status", "--url", url, "job-9999",
+            ]) == 1, "404 from the service maps to exit code 1"
+        finally:
+            service.wait_idle(timeout=30.0)
+            service.stop()
+
+    def test_unreachable_service_is_exit_2(self, capsys):
+        assert main([
+            "-q", "job", "list", "--url", "http://127.0.0.1:9",
+        ]) == 2

@@ -39,6 +39,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import Optional, Union
 
+from ..contracts import declared_pure
 from .config import ExperimentConfig
 from .results import ExperimentResult
 
@@ -59,6 +60,7 @@ CACHE_SCHEMA_VERSION = 5
 DEFAULT_MEMORY_ENTRIES = 128
 
 
+@declared_pure
 def config_fingerprint(
     config: ExperimentConfig, schema_version: int = CACHE_SCHEMA_VERSION
 ) -> str:

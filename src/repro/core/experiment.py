@@ -28,6 +28,7 @@ if TYPE_CHECKING:  # typing-only: obs/sanitize import core at runtime
     from ..sanitize.auditor import InvariantAuditor
 
 from ..cluster.platform import HETEROGENEOUS_NODE_CHOICES, Platform
+from ..contracts import declared_pure
 from ..faults import FaultInjector
 from ..sim.engine import Simulator
 from ..sim.rng import RngFactory
@@ -185,6 +186,7 @@ def _job_outcome(job: RedundantJob) -> JobOutcome:
     )
 
 
+@declared_pure
 def run_single(
     config: ExperimentConfig,
     replication: int = 0,

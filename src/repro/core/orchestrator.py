@@ -341,33 +341,37 @@ class Orchestrator:
         """Resolve the cache, seed the heartbeat, plan the chunks.
 
         Idempotent; every execution path calls it before pulling work.
+        Cache resolution and chunk planning run on locals; the shared
+        grid/heartbeat/chunk state is installed under the lock in one
+        step at the end, so concurrent readers (``status()``, the
+        ``done`` property) never observe a half-prepared orchestrator.
         """
-        if self._prepared:
-            return self
-        self._prepared = True
+        with self._lock:
+            if self._prepared:
+                return self
+            self._prepared = True
         t_resolve = time.perf_counter()
-        self.fingerprints = [config_fingerprint(cfg) for cfg in self.unique]
+        fingerprints = [config_fingerprint(cfg) for cfg in self.unique]
         tasks: list[Task] = []
         hits: list[tuple[Task, ExperimentResult]] = []
-        for ui, fp in enumerate(self.fingerprints):
+        for ui, fp in enumerate(fingerprints):
             for rep in self.reps:
                 hit = (
                     self.cache.get(self.unique[ui], rep, fingerprint=fp)
                     if self.cache is not None else None
                 )
                 if hit is not None:
-                    self._grid[ui][rep] = hit
                     hits.append(((ui, rep), hit))
                 else:
                     tasks.append((ui, rep))
 
         done = self.total - len(tasks)
-        self.heartbeat = Heartbeat(self.total, pending=len(tasks))
+        heartbeat = Heartbeat(self.total, pending=len(tasks))
         for _, hit in hits:
             # Seed the live stretch estimate with what the cache
             # already knows, so the first heartbeat line reflects the
             # whole sweep (each observe also counts the cache hit).
-            self.heartbeat.observe(hit, computed=False)
+            heartbeat.observe(hit, computed=False)
         if self.metrics is not None:
             self.metrics.add_time(
                 "cache_resolve_s", time.perf_counter() - t_resolve
@@ -393,20 +397,26 @@ class Orchestrator:
             size = default_chunksize(
                 len(tasks), min(self.n_workers, max(1, len(tasks)))
             )
-        self._chunks = {
+        chunks = {
             cid: tasks[k:k + size]
             for cid, k in enumerate(range(0, len(tasks), size))
         }
-        self._open_chunks = {
-            cid: set(chunk) for cid, chunk in self._chunks.items()
-        }
+        with self._lock:
+            for (ui, rep), hit in hits:
+                self._grid[ui][rep] = hit
+            self.fingerprints = fingerprints
+            self.heartbeat = heartbeat
+            self._chunks = chunks
+            self._open_chunks = {
+                cid: set(chunk) for cid, chunk in chunks.items()
+            }
         if self.journal is not None:
             self.journal.append({
                 "event": "prepared",
                 "total": self.total,
                 "from_cache": done,
                 "pending": len(tasks),
-                "chunks": len(self._chunks),
+                "chunks": len(chunks),
                 "chunksize": size,
             })
         return self
@@ -437,19 +447,22 @@ class Orchestrator:
                 return
             self._grid[ci][rep] = result
             self.heartbeat.observe(result, computed=computed)
-            finished: list[int] = []
+            finished: list[tuple[int, list[Task]]] = []
             for cid in list(self._open_chunks):
                 tasks = self._open_chunks[cid]
                 tasks.discard((ci, rep))
                 if not tasks:
                     del self._open_chunks[cid]
-                    finished.append(cid)
+                    finished.append((cid, list(self._chunks[cid])))
             done = self.heartbeat.done
+            suffix = self.heartbeat.suffix()
+            fingerprint = self.fingerprints[ci]
+        # cache store, progress and journal I/O stay outside the lock:
+        # only the snapshot above needs mutual exclusion
         if computed and self.cache is not None:
             t_store = time.perf_counter()
             self.cache.put(
-                self.unique[ci], rep, result,
-                fingerprint=self.fingerprints[ci],
+                self.unique[ci], rep, result, fingerprint=fingerprint,
             )
             if self.metrics is not None:
                 self.metrics.add_time(
@@ -458,14 +471,14 @@ class Orchestrator:
         if self.progress is not None:
             self.progress(
                 f"[{done}/{self.total}] {self.unique[ci].describe()} "
-                f"rep {rep}{self.heartbeat.suffix()}"
+                f"rep {rep}{suffix}"
             )
         if self.journal is not None:
-            for cid in finished:
+            for cid, chunk_tasks in finished:
                 self.journal.append({
                     "event": "chunk_done",
                     "chunk": cid,
-                    "tasks": [[a, b] for a, b in self._chunks[cid]],
+                    "tasks": [[a, b] for a, b in chunk_tasks],
                     "done": done,
                     "total": self.total,
                 })
@@ -482,7 +495,9 @@ class Orchestrator:
     def execute(self, executor: "Executor") -> list[list[ExperimentResult]]:
         """Run every pending chunk on ``executor``; return the grid."""
         self.prepare()
-        if self._open_chunks:
+        with self._lock:
+            has_pending = bool(self._open_chunks)
+        if has_pending:
             if self.journal is not None:
                 self.journal.append({
                     "event": "execute", "executor": executor.name,

@@ -10,13 +10,42 @@ from __future__ import annotations
 
 import argparse
 
+from pathlib import Path
+
 from ..obs.log import get_logger
 from .baseline import Baseline, BaselineError
+from .cache import DEFAULT_CACHE_DIR
 from .engine import EXIT_USAGE, LintUsageError, run_lint
 from .report import render_json, render_text
 from .rules import catalogue
 
 _log = get_logger("lint")
+
+
+def _changed_paths(ref: str) -> set[Path]:
+    """Files changed vs ``ref`` plus untracked files, resolved."""
+    import subprocess
+
+    out = b""
+    for cmd in (
+        ["git", "diff", "--name-only", "-z", ref, "--"],
+        ["git", "ls-files", "--others", "--exclude-standard", "-z"],
+    ):
+        try:
+            proc = subprocess.run(cmd, capture_output=True, check=True)
+        except FileNotFoundError as exc:
+            raise LintUsageError("--changed requires git on PATH") from exc
+        except subprocess.CalledProcessError as exc:
+            detail = exc.stderr.decode("utf-8", "replace").strip()
+            raise LintUsageError(
+                f"--changed: git failed ({detail or ref!r} not resolvable?)"
+            ) from exc
+        out += proc.stdout
+    return {
+        Path(name).resolve()
+        for name in out.decode("utf-8", "replace").split("\0")
+        if name
+    }
 
 
 def add_lint_parser(sub: "argparse._SubParsersAction") -> None:
@@ -43,6 +72,29 @@ def add_lint_parser(sub: "argparse._SubParsersAction") -> None:
         choices=("text", "json"),
         default="text",
         help="report format on stdout (default: text)",
+    )
+    lint.add_argument(
+        "--changed",
+        nargs="?",
+        const="HEAD",
+        default=None,
+        metavar="REF",
+        help=(
+            "only report findings for files changed vs the git ref "
+            "(default HEAD) plus untracked files; the whole tree is "
+            "still analyzed for project-wide effect summaries"
+        ),
+    )
+    lint.add_argument(
+        "--cache",
+        nargs="?",
+        const=DEFAULT_CACHE_DIR,
+        default=None,
+        metavar="DIR",
+        help=(
+            "incremental cache directory keyed by content hash "
+            f"(default when enabled: {DEFAULT_CACHE_DIR})"
+        ),
     )
     lint.add_argument(
         "--baseline",
@@ -78,10 +130,29 @@ def cmd_lint(args: argparse.Namespace) -> int:
         _log.error("no paths given; try 'repro lint src/'")
         return EXIT_USAGE
     try:
-        result = run_lint(args.paths, rules=args.rules, baseline=args.baseline)
+        changed = (
+            _changed_paths(args.changed) if args.changed is not None else None
+        )
+        result = run_lint(
+            args.paths,
+            rules=args.rules,
+            baseline=args.baseline,
+            changed=changed,
+            cache_dir=args.cache,
+        )
     except (LintUsageError, BaselineError) as exc:
         _log.error("%s", exc)
         return EXIT_USAGE
+    if args.cache is not None:
+        _log.info(
+            "analyzed %d file(s), %d served from cache (%s)",
+            result.files_checked, result.files_cached, args.cache,
+        )
+    if changed is not None:
+        _log.info(
+            "--changed %s: reporting findings for changed files only",
+            args.changed,
+        )
 
     if args.write_baseline is not None:
         unwaived = [f for f in result.findings if not f.waived]

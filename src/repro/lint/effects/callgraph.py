@@ -1,0 +1,79 @@
+"""Project call graph: index every module's facts, resolve call sites.
+
+Resolution is name-based and optimistic: a :class:`CallRecord` either
+resolves to exactly one project function (module function, imported
+function, method found by walking the class-hierarchy chain recorded in
+:class:`ClassFacts.bases`) or to nothing.  ``direct`` records whose
+target names a project *class* resolve to its ``__init__`` when one is
+defined — constructing an object runs its initialiser's effects.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .model import CallRecord, ClassFacts, FunctionFacts, ModuleFacts
+
+
+class CallGraph:
+    """Function/class/lock index over a set of extracted modules."""
+
+    def __init__(self, modules: list[ModuleFacts]) -> None:
+        self.functions: dict[str, FunctionFacts] = {}
+        self.function_path: dict[str, str] = {}
+        self.classes: dict[str, ClassFacts] = {}
+        self.class_path: dict[str, str] = {}
+        #: every ``<class id>.<attr>`` that names a real lock attribute
+        self.known_locks: set[str] = set()
+        for mod in sorted(modules, key=lambda m: m.display_path):
+            for fn in mod.functions:
+                self.functions.setdefault(fn.qualid, fn)
+                self.function_path.setdefault(fn.qualid, mod.display_path)
+            for cls in mod.classes:
+                self.classes.setdefault(cls.qualid, cls)
+                self.class_path.setdefault(cls.qualid, mod.display_path)
+                for attr in cls.lock_attrs:
+                    self.known_locks.add(f"{cls.qualid}.{attr}")
+        # resolved out-edges per function, in call-record order, deduped
+        self._out: dict[str, list[tuple[str, CallRecord]]] = {}
+        for qualid, fn in self.functions.items():
+            seen: set[str] = set()
+            edges: list[tuple[str, CallRecord]] = []
+            for rec in fn.calls:
+                target = self.resolve(rec)
+                if target is not None and target not in seen:
+                    seen.add(target)
+                    edges.append((target, rec))
+            self._out[qualid] = edges
+
+    def resolve(self, rec: CallRecord) -> Optional[str]:
+        """Project function a call record denotes, or None."""
+        if rec.kind == "direct":
+            if rec.target in self.functions:
+                return rec.target
+            if rec.target in self.classes:
+                return self.resolve_method(rec.target, "__init__")
+            return None
+        cls, _, method = rec.target.partition("|")
+        return self.resolve_method(cls, method)
+
+    def resolve_method(self, cls: str, method: str) -> Optional[str]:
+        """Find ``method`` on ``cls`` or the nearest base defining it."""
+        seen: set[str] = set()
+        queue = [cls]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            qualid = f"{current}.{method}"
+            if qualid in self.functions:
+                return qualid
+            info = self.classes.get(current)
+            if info is not None:
+                queue.extend(info.bases)
+        return None
+
+    def callees(self, qualid: str) -> list[tuple[str, CallRecord]]:
+        """Resolved (target, call record) out-edges, document order."""
+        return self._out.get(qualid, [])

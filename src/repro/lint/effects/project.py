@@ -1,0 +1,78 @@
+"""ProjectContext: the whole-project view handed to project rules.
+
+Assembled by the engine after every file's facts exist (freshly
+extracted or loaded from the incremental cache).  Carries the call
+graph, lazily computed lock-acquisition fixpoint, per-file source lines
+(for finding snippets) and the engine's waiver tables — so a rule can
+honour an *origin-line* pragma in one file while anchoring its finding
+in another, and the pragma still counts as used for the LNT002 audit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..findings import Finding, Severity
+from ..pragmas import WaiverTable
+from .analysis import transitive_acquires
+from .callgraph import CallGraph
+from .model import ModuleFacts
+
+
+class ProjectContext:
+    """Everything a :class:`~repro.lint.rules.base.ProjectRule` may ask."""
+
+    def __init__(
+        self,
+        modules: list[ModuleFacts],
+        lines: dict[str, list[str]],
+        waivers: Optional[dict[str, WaiverTable]] = None,
+    ) -> None:
+        self.modules = sorted(modules, key=lambda m: m.display_path)
+        self.lines = lines
+        self.waivers = waivers or {}
+        self.graph = CallGraph(self.modules)
+        self._acquires: Optional[dict[str, set[str]]] = None
+
+    @property
+    def acquires(self) -> dict[str, set[str]]:
+        """Transitive lock-acquisition sets (computed once, on demand)."""
+        if self._acquires is None:
+            self._acquires = transitive_acquires(self.graph)
+        return self._acquires
+
+    def snippet(self, path: str, line: int) -> str:
+        lines = self.lines.get(path, [])
+        if 0 < line <= len(lines):
+            return lines[line - 1].strip()
+        return ""
+
+    def try_waive(self, rule: str, path: str, line: int) -> bool:
+        """Consume a waiver at an arbitrary project location.
+
+        Used for origin-line suppression: a PURE001 pragma on the line
+        *performing* an effect excuses every declared-pure chain that
+        reaches it (and is marked used, keeping the LNT002 audit
+        honest).
+        """
+        table = self.waivers.get(path)
+        return table is not None and table.try_waive(rule, line)
+
+    def finding(
+        self,
+        rule_id: str,
+        severity: Severity,
+        path: str,
+        line: int,
+        col: int,
+        message: str,
+    ) -> Finding:
+        return Finding(
+            rule=rule_id,
+            severity=severity,
+            path=path,
+            line=line,
+            col=col,
+            message=message,
+            snippet=self.snippet(path, line),
+        )

@@ -3,7 +3,22 @@
 Determinism is a design requirement here too (the linter lints itself):
 files are visited in sorted path order and findings are reported in
 ``(path, line, col, rule)`` order, so two runs over the same tree are
-byte-identical.
+byte-identical — including a cold run versus a warm run from the
+incremental cache.
+
+The run is two-phase.  Phase one analyzes each file independently:
+per-file rules plus extraction of the interprocedural effect summary
+(:mod:`repro.lint.effects`); both are served from the content-hash
+cache when one is configured.  Phase two assembles every summary into
+one :class:`~repro.lint.effects.project.ProjectContext` and runs the
+project rules (PURE001/PURE002, RACE001/RACE002, XPB001, BLK001) over
+the whole call graph.  Waivers, the pragma audit and the baseline are
+applied last, so project findings can be excused by pragmas in *any*
+file they reference.
+
+``--changed`` scoping restricts which files' findings are *reported*;
+the whole tree is still analyzed so project summaries stay complete (a
+changed caller is judged against unchanged callees' true effects).
 """
 
 from __future__ import annotations
@@ -13,10 +28,15 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from .baseline import Baseline
+from .cache import LintCache
 from .context import FileContext
+from .effects.extract import extract_module
+from .effects.model import ModuleFacts
+from .effects.project import ProjectContext
 from .findings import Finding, Severity
 from .pragmas import WaiverTable
 from .rules import all_rules, known_rule_ids
+from .rules.base import ProjectRule
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
@@ -35,6 +55,8 @@ class LintResult:
 
     findings: list[Finding] = field(default_factory=list)
     files_checked: int = 0
+    files_cached: int = 0  # served from the incremental cache (not in
+    # the report payload: cold and warm runs must stay byte-identical)
 
     @property
     def active(self) -> list[Finding]:
@@ -103,18 +125,35 @@ def _display_path(path: Path) -> str:
         return path.as_posix()
 
 
-def lint_file(
+@dataclass
+class _FileAnalysis:
+    """Phase-one output for one file."""
+
+    path: Path
+    display: str
+    source: str
+    findings: list[Finding]  # raw per-file rule findings (incl. LNT000)
+    facts: Optional[ModuleFacts]
+    cached: bool = False
+
+
+def _analyze_file(
     path: Path,
-    rule_filter: Optional[set[str]] = None,
-    display_path: Optional[str] = None,
-) -> list[Finding]:
-    """Lint one file: rule findings plus pragma meta-findings."""
-    display = display_path if display_path is not None else _display_path(path)
-    source = path.read_text(encoding="utf-8")
+    display: str,
+    source: str,
+    cache: Optional[LintCache],
+) -> _FileAnalysis:
+    """Per-file rules + effect extraction, cache-served when possible."""
+    if cache is not None:
+        entry = cache.load(display, source)
+        if entry is not None:
+            findings, facts = entry
+            return _FileAnalysis(path, display, source, findings, facts,
+                                 cached=True)
     try:
         ctx = FileContext(path, display, source)
     except SyntaxError as exc:
-        return [
+        findings = [
             Finding(
                 rule="LNT000",
                 severity=Severity.ERROR,
@@ -124,29 +163,97 @@ def lint_file(
                 message=f"syntax error: {exc.msg}",
             )
         ]
-    findings: list[Finding] = []
-    for rule in all_rules().values():
-        if rule_filter is not None and rule.id not in rule_filter:
-            continue
-        findings.extend(rule.check(ctx))
+        facts = None
+    else:
+        findings = []
+        for rule in all_rules().values():
+            if not isinstance(rule, ProjectRule):
+                findings.extend(rule.check(ctx))
+        facts = extract_module(ctx)
+    if cache is not None:
+        cache.store(display, source, findings, facts)
+    return _FileAnalysis(path, display, source, findings, facts)
 
-    waivers = WaiverTable(display, ctx.source)
+
+def _run_pipeline(
+    analyses: list[_FileAnalysis],
+    rule_filter: Optional[set[str]],
+    baseline: Optional[Baseline],
+    report_paths: Optional[set[Path]],
+) -> list[Finding]:
+    """Phase two: project rules, waivers, audit, baseline, sort."""
+    tables = {
+        a.display: WaiverTable(a.display, a.source) for a in analyses
+    }
+    lines = {a.display: a.source.splitlines() for a in analyses}
+
+    findings: list[Finding] = []
+    for a in analyses:
+        findings.extend(a.findings)
+    project = ProjectContext(
+        [a.facts for a in analyses if a.facts is not None], lines, tables
+    )
+    for rule in all_rules().values():
+        if isinstance(rule, ProjectRule):
+            findings.extend(rule.check_project(project))
+
+    # waivers apply before scoping/filtering so every pragma's usage is
+    # known when its file's audit runs
     for f in findings:
-        f.waived = waivers.try_waive(f.rule, f.line)
-    meta = waivers.audit(known_rule_ids(), ctx.lines)
+        table = tables.get(f.path)
+        f.waived = table.try_waive(f.rule, f.line) if table else False
+
+    reported: Optional[set[str]] = None
+    if report_paths is not None:
+        reported = {a.display for a in analyses if a.path in report_paths}
+        findings = [f for f in findings if f.path in reported]
     if rule_filter is not None:
-        meta = [m for m in meta if m.rule in rule_filter]
-    findings.extend(meta)
+        findings = [f for f in findings if f.rule in rule_filter]
+
+    for a in analyses:
+        if reported is not None and a.display not in reported:
+            continue
+        meta = tables[a.display].audit(known_rule_ids(), lines[a.display])
+        if rule_filter is not None:
+            meta = [m for m in meta if m.rule in rule_filter]
+        findings.extend(meta)
+
+    if baseline is not None:
+        for f in findings:
+            if not f.waived:
+                baseline.absorb(f)
     findings.sort(key=Finding.sort_key)
     return findings
+
+
+def lint_file(
+    path: Path,
+    rule_filter: Optional[set[str]] = None,
+    display_path: Optional[str] = None,
+) -> list[Finding]:
+    """Lint one file as a single-file project (fixtures, spot checks).
+
+    Project rules see a one-module call graph, so contracts and lock
+    discipline are still checked — against file-local knowledge only.
+    """
+    display = display_path if display_path is not None else _display_path(path)
+    source = path.read_text(encoding="utf-8")
+    analysis = _analyze_file(path, display, source, None)
+    return _run_pipeline([analysis], rule_filter, None, None)
 
 
 def run_lint(
     paths: Sequence[str | Path],
     rules: Optional[Sequence[str]] = None,
     baseline: Optional[str | Path] = None,
+    changed: Optional[set[Path]] = None,
+    cache_dir: Optional[str | Path] = None,
 ) -> LintResult:
     """Lint ``paths``; apply ``rules`` filter and ``baseline`` if given.
+
+    ``changed`` (resolved paths) restricts which files' findings are
+    reported — the whole tree is still analyzed for project summaries.
+    ``cache_dir`` enables the incremental content-hash cache.
 
     Raises :class:`LintUsageError` for unknown rules or unreadable
     paths/baselines (CLI exit code 2); returns a :class:`LintResult`
@@ -164,15 +271,17 @@ def run_lint(
     base: Optional[Baseline] = None
     if baseline is not None:
         base = Baseline.load(baseline)
+    cache = LintCache(cache_dir) if cache_dir is not None else None
 
-    result = LintResult()
+    analyses = []
     for path in collect_files(paths):
-        file_findings = lint_file(path, rule_filter)
-        if base is not None:
-            for f in file_findings:
-                if not f.waived:
-                    base.absorb(f)
-        result.findings.extend(file_findings)
-        result.files_checked += 1
-    result.findings.sort(key=Finding.sort_key)
+        display = _display_path(path)
+        source = path.read_text(encoding="utf-8")
+        analyses.append(_analyze_file(path, display, source, cache))
+
+    result = LintResult(
+        findings=_run_pipeline(analyses, rule_filter, base, changed),
+        files_checked=len(analyses),
+        files_cached=sum(1 for a in analyses if a.cached),
+    )
     return result

@@ -8,8 +8,16 @@ emitted by the waiver machinery rather than an AST visitor) so
 from __future__ import annotations
 
 from ..findings import Severity
-from . import api, determinism, exceptions, parallel  # noqa: F401  (registration)
-from .base import Rule, all_rules, get_rule, register
+from . import (  # noqa: F401  (registration)
+    api,
+    boundary,
+    concurrency,
+    determinism,
+    exceptions,
+    parallel,
+    purity,
+)
+from .base import ProjectRule, Rule, all_rules, get_rule, register
 
 # Descriptions of the meta rules the engine emits itself.
 META_RULE_SUMMARIES: dict[str, tuple[Severity, str]] = {
@@ -51,6 +59,7 @@ def catalogue() -> list[tuple[str, str, str]]:
 
 
 __all__ = [
+    "ProjectRule",
     "Rule",
     "register",
     "all_rules",

@@ -11,10 +11,13 @@ once per run and feeds it every file context.
 from __future__ import annotations
 
 import ast
-from typing import Callable, Iterator, Type
+from typing import TYPE_CHECKING, Callable, Iterator, Type
 
 from ..context import FileContext
 from ..findings import Finding, Severity
+
+if TYPE_CHECKING:
+    from ..effects.project import ProjectContext
 
 
 class Rule:
@@ -46,6 +49,23 @@ class Rule:
             message=message,
             snippet=ctx.line_at(line),
         )
+
+
+class ProjectRule(Rule):
+    """A rule that needs the whole-project interprocedural view.
+
+    The engine runs ``check(ctx)`` per file for ordinary rules, then
+    builds one :class:`~repro.lint.effects.project.ProjectContext` —
+    every file's effect summaries, the call graph, the lock fixpoint —
+    and runs ``check_project`` on it for rules subclassing this.
+    Findings may anchor in *any* analyzed file.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        raise NotImplementedError
 
 
 _REGISTRY: dict[str, Rule] = {}

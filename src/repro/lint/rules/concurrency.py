@@ -1,0 +1,110 @@
+"""Lock discipline: RACE001 (guarded attrs touched unlocked) and
+RACE002 (lock-order cycles across classes).
+
+The service layer is a small zoo of lock-owning classes —
+``Orchestrator``, ``ChunkQueue``, ``JobStore``, ``SweepService``,
+``RunJournal`` — each guarding its mutable state with one
+``threading.Lock``.  The discipline model is declarative and local:
+
+* an instance attribute **written inside ``with self.<lock>:`` by any
+  method outside ``__init__``** is *guarded* — writing under the lock
+  is the class's own statement that the attribute is shared;
+* RACE001 then flags **every** access (read or write) of a guarded
+  attribute outside a lock region.  ``__init__``/``__post_init__`` are
+  exempt (no concurrent aliases exist yet), and so are methods named
+  ``*_locked`` — the project convention for "caller must hold the
+  lock"; calling such a helper *without* the lock is itself flagged;
+* RACE002 builds the project-wide lock-order graph — an edge ``A → B``
+  whenever some region holding ``A`` acquires ``B``, directly or
+  through any transitively resolved call — and reports each cycle once:
+  two threads taking the same pair of locks in opposite orders is a
+  deadlock waiting for load.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..effects.analysis import lock_cycles, lock_order_edges
+from ..findings import Finding, Severity
+from .base import ProjectRule, register
+
+if TYPE_CHECKING:
+    from ..effects.project import ProjectContext
+
+
+def _short(lock_id: str) -> str:
+    """``repro.x.y.Cls._lock`` → ``Cls._lock`` for messages."""
+    return ".".join(lock_id.rsplit(".", 2)[-2:])
+
+
+@register
+class Race001GuardedAttributeAccess(ProjectRule):
+    """Guarded attribute touched outside its owner's lock region."""
+
+    id = "RACE001"
+    severity = Severity.ERROR
+    summary = (
+        "attribute of a lock-owning class accessed outside 'with "
+        "self.<lock>' (guarded = written under the lock elsewhere)"
+    )
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        for mod in project.modules:
+            for cls in mod.classes:
+                if not cls.lock_attrs:
+                    continue
+                lock = cls.lock_attrs[0]
+                for site in cls.unguarded_sites:
+                    verb = "writes" if site.write else "reads"
+                    yield project.finding(
+                        self.id, self.severity, mod.display_path,
+                        site.line, site.col,
+                        f"{cls.name}.{site.method}() {verb} "
+                        f"self.{site.attr} outside 'with self.{lock}'; "
+                        f"other methods write it under the lock, so this "
+                        f"access races them — take the lock or copy the "
+                        f"state out inside it",
+                    )
+                for site in cls.unlocked_helper_calls:
+                    yield project.finding(
+                        self.id, self.severity, mod.display_path,
+                        site.line, site.col,
+                        f"{cls.name}.{site.method}() calls "
+                        f"self.{site.attr}() without holding "
+                        f"self.{lock}; the '_locked' suffix means the "
+                        f"caller must already own the lock",
+                    )
+
+
+@register
+class Race002LockOrderCycle(ProjectRule):
+    """Two lock-order paths acquire the same locks in opposite orders."""
+
+    id = "RACE002"
+    severity = Severity.ERROR
+    summary = (
+        "inconsistent lock acquisition order across classes (cycle in "
+        "the project lock-order graph)"
+    )
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        graph = project.graph
+        edges = lock_order_edges(graph, project.acquires)
+        for cycle in lock_cycles(edges):
+            first = cycle[0]
+            path = graph.function_path.get(first.holder, "")
+            order = " -> ".join(
+                [_short(e.held) for e in cycle] + [_short(cycle[0].held)]
+            )
+            holders = ", ".join(
+                f"{_short(e.held)} before {_short(e.acquired)} in "
+                f"{e.holder.rsplit('.', 1)[-1]}()"
+                for e in cycle
+            )
+            yield project.finding(
+                self.id, self.severity, path, first.line, 0,
+                f"lock-order cycle {order}: {holders}; pick one global "
+                f"acquisition order (or release before calling out) to "
+                f"rule out deadlock",
+            )

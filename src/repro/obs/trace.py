@@ -40,6 +40,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Iterator, Optional, Sequence, Union
 
+from ..contracts import declared_pure
 from ..core.cache import config_fingerprint
 from ..core.config import ExperimentConfig
 from ..core.experiment import run_single
@@ -165,6 +166,7 @@ def _event_record(
     }
 
 
+@declared_pure
 def _dumps(payload: dict) -> str:
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 

@@ -39,6 +39,7 @@ import threading
 from pathlib import Path
 from typing import Any, Optional, Sequence, Union
 
+from ..contracts import declared_pure
 from ..core.cache import ResultCache
 from ..core.config import ExperimentConfig, config_from_dict
 from ..core.results import ExperimentResult
@@ -66,6 +67,7 @@ def _json_default(obj: Any) -> Any:
     raise TypeError(f"not JSON-serialisable: {type(obj).__name__}")
 
 
+@declared_pure
 def canonical_grid_payload(
     grids: Sequence[Sequence[ExperimentResult]],
 ) -> dict:
@@ -88,6 +90,7 @@ def canonical_grid_payload(
     return {"schema": RESULTS_SCHEMA_VERSION, "grid": grid}
 
 
+@declared_pure
 def canonical_grid_json(
     grids: Sequence[Sequence[ExperimentResult]],
 ) -> str:
@@ -220,9 +223,10 @@ class JobStore:
 
     def cache(self) -> ResultCache:
         """The disk result cache shared by every job (resume substrate)."""
-        if self._cache is None:
-            self._cache = ResultCache(self.state_dir / "cache")
-        return self._cache
+        with self._lock:
+            if self._cache is None:
+                self._cache = ResultCache(self.state_dir / "cache")
+            return self._cache
 
     # -- identity --------------------------------------------------------
 

@@ -160,9 +160,11 @@ class RegimeGenerator(LublinGenerator):
 def empirical_mean_nodes(params: LublinParams, max_nodes: int,
                          n: int = 20_000, seed: int = 0) -> float:
     """Monte-Carlo estimate of the Lublin mean node count (calibration)."""
-    # repro-lint: disable=DET001 -- pinned calibration stream: the regime
-    # scale this estimate produces is baked into every phase-diagram
-    # experiment; rekeying it would shift all calibrated loads
+    # repro-lint: disable=DET001,PURE001 -- pinned calibration stream:
+    # the generator is seeded from the explicit ``seed`` argument (default
+    # 0), so this is a pure function of its inputs; the regime scale it
+    # produces is baked into every phase-diagram experiment and rekeying
+    # it would shift all calibrated loads
     gen = LublinGenerator(params, max_nodes, np.random.default_rng(seed))
     return sum(gen.sample_nodes() for _ in range(n)) / n
 

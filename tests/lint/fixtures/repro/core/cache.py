@@ -1,0 +1,12 @@
+"""PURE002 positive: this file resolves to module ``repro.core.cache``,
+so defining ``config_fingerprint`` *without* ``@declared_pure`` must
+trigger the missing-contract rule (the registry pins that qualid)."""
+
+import hashlib
+import json
+
+
+def config_fingerprint(config, schema_version=0):  # EXPECT: PURE002
+    payload = {"schema": schema_version, "config": config}
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()

@@ -1,0 +1,56 @@
+"""PURE001 positive: declared-pure functions with banned effects.
+
+Each offending function carries exactly one banned effect kind so the
+finding count matches the EXPECT markers one-to-one (PURE001 reports
+one finding per kind, anchored at the ``def`` line).
+"""
+
+import time
+
+import numpy as np
+
+from repro.contracts import declared_pure
+
+
+def _draw():
+    return np.random.default_rng().random()
+
+
+def _middle():
+    return _draw()
+
+
+@declared_pure
+def direct_wall_clock():  # EXPECT: PURE001
+    return time.time()
+
+
+@declared_pure
+def transitive_rng():  # EXPECT: PURE001
+    return _middle()
+
+
+@declared_pure
+def direct_io(path):  # EXPECT: PURE001
+    with open(path) as fh:
+        return fh.read()
+
+
+COUNTER = 0
+
+
+def _bump():
+    global COUNTER
+    COUNTER = COUNTER + 1
+
+
+@declared_pure
+def transitive_global_write():  # EXPECT: PURE001
+    _bump()
+    return COUNTER
+
+
+@declared_pure
+def direct_blocking():  # EXPECT: PURE001
+    time.sleep(0.01)
+    return 1

@@ -1,0 +1,52 @@
+"""PURE001 negative: declared-pure functions whose effect sets are
+genuinely empty — or contain only *tolerated* kinds.
+
+Covers the deliberate carve-outs: host timing reads (``perf_counter``
+feeds diagnostics the canonical payloads strip), generators minted
+from a constant seed (pinned calibration streams), and effects behind
+an origin-line waiver.
+"""
+
+import json
+import time
+
+import numpy as np
+
+from repro.contracts import declared_pure
+
+_CAL_SEED = 7
+
+
+def _canon(payload):
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _pinned_stream():
+    return np.random.default_rng(_CAL_SEED + 1).random()
+
+
+def _waived_origin():
+    # repro-lint: disable=PURE001 -- fixture: deliberate origin waiver
+    return time.time()
+
+
+@declared_pure
+def canonical(payload):
+    return _canon(payload)
+
+
+@declared_pure
+def timed_canonical(payload):
+    t0 = time.perf_counter()
+    out = _canon(payload)
+    return out, time.perf_counter() - t0
+
+
+@declared_pure
+def calibrated():
+    return _pinned_stream()
+
+
+@declared_pure
+def excused():
+    return _waived_origin()

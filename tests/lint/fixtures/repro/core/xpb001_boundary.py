@@ -1,0 +1,63 @@
+"""XPB001 positive: statically unpicklable values crossing a process
+boundary — lambdas, nested functions, locks, open handles, sockets,
+``self`` of a lock-owning class.  Findings anchor at the offending
+argument expression.
+"""
+
+import pickle
+import socket
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _worker(payload):
+    return payload
+
+
+def _setup(flag):
+    return flag
+
+
+def submit_lambda(pool):
+    return pool.submit(lambda: 1)  # EXPECT: XPB001
+
+
+def submit_nested(pool):
+    def work():
+        return 1
+
+    return pool.submit(work)  # EXPECT: XPB001
+
+
+def lock_in_initargs():
+    lock = threading.Lock()
+    return ProcessPoolExecutor(
+        initializer=_setup,
+        initargs=(lock,),  # EXPECT: XPB001
+    )
+
+
+def socket_to_process():
+    conn = socket.socket()
+    import multiprocessing
+
+    return multiprocessing.Process(
+        target=_worker,
+        args=(conn,),  # EXPECT: XPB001
+    )
+
+
+def pickle_handle(path):
+    fh = open(path)
+    return pickle.dumps(fh)  # EXPECT: XPB001
+
+
+class Dispatcher:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def submit_self(self, pool):
+        return pool.submit(_worker, self)  # EXPECT: XPB001
+
+    def submit_lock(self, pool):
+        return pool.submit(_worker, self._lock)  # EXPECT: XPB001

@@ -1,0 +1,37 @@
+"""XPB001 negative: plain data across the boundary.
+
+Module-level functions are picklable by qualified name; configs,
+indices and primitive initargs ship cleanly.  A lambda passed to an
+ordinary call (not a submission) is out of scope.
+"""
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _worker(config, replication):
+    return (config, replication)
+
+
+def _setup(seed):
+    return seed
+
+
+def submit_plain(pool, configs):
+    return [
+        pool.submit(_worker, cfg, rep)
+        for rep in range(3)
+        for cfg in configs
+    ]
+
+
+def pool_with_plain_initargs():
+    return ProcessPoolExecutor(initializer=_setup, initargs=(7,))
+
+
+def pickle_plain(rows):
+    return pickle.dumps(list(rows))
+
+
+def sorted_by_key(rows):
+    return sorted(rows, key=lambda r: r[0])

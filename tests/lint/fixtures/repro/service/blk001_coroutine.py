@@ -1,0 +1,23 @@
+"""BLK001 positive: blocking calls reachable from service coroutines.
+
+A direct ``time.sleep`` anchors at its own line; a transitive one
+anchors at the first call hop inside the coroutine (the witness chain
+names the rest).
+"""
+
+import subprocess
+import time
+
+
+def _drain():
+    return subprocess.run(["sync"], check=False)
+
+
+async def handle_direct(request):
+    time.sleep(0.1)  # EXPECT: BLK001
+    return request
+
+
+async def handle_transitive(request):
+    _drain()  # EXPECT: BLK001
+    return request

@@ -1,0 +1,29 @@
+"""BLK001 negative: coroutines that stay on asyncio primitives.
+
+``asyncio.sleep`` never blocks the loop; a *synchronous* helper that
+sleeps is only a finding when a coroutine actually reaches it; and an
+origin-line waiver excuses a deliberate exception.
+"""
+
+import asyncio
+import time
+
+
+def sync_retry_pause():
+    # never called from a coroutine in this module
+    time.sleep(0.5)
+
+
+def _waived_pause():
+    # repro-lint: disable=BLK001 -- fixture: deliberate origin waiver
+    time.sleep(0.01)
+
+
+async def handle(request):
+    await asyncio.sleep(0.1)
+    return request
+
+
+async def handle_waived(request):
+    _waived_pause()
+    return request

@@ -1,0 +1,37 @@
+"""RACE001 negative: clean lock discipline.
+
+Every access of a guarded attribute happens inside ``with self._lock``
+or in ``__init__`` (exempt: no concurrent aliases exist yet), and the
+``*_locked`` helper is only invoked while holding the lock.  The
+unguarded ``total`` attribute (never written under the lock) may be
+read freely.
+"""
+
+import threading
+
+
+class LeaseTable:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+        self.total = 0
+
+    def add(self, key, value):
+        with self._lock:
+            self._items[key] = value
+
+    def snapshot(self):
+        with self._lock:
+            return dict(self._items)
+
+    def _expire_locked(self, now):
+        self._items = {
+            k: v for k, v in self._items.items() if v > now
+        }
+
+    def expire(self, now):
+        with self._lock:
+            self._expire_locked(now)
+
+    def capacity(self):
+        return self.total

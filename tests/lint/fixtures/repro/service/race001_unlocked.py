@@ -1,0 +1,41 @@
+"""RACE001 positive: guarded attributes touched outside the lock.
+
+``_items`` and ``_closed`` are written under ``with self._lock`` by
+non-init methods, which makes them guarded; every unlocked read or
+write (outside ``__init__`` and ``*_locked`` helpers) must be flagged,
+as must calling a ``*_locked`` helper without holding the lock.
+"""
+
+import threading
+
+
+class LeaseTable:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+        self._closed = False
+
+    def add(self, key, value):
+        with self._lock:
+            self._items[key] = value
+
+    def close(self):
+        with self._lock:
+            self._closed = True
+
+    def peek(self, key):
+        return self._items.get(key)  # EXPECT: RACE001
+
+    def drop_all(self):
+        self._items = {}  # EXPECT: RACE001
+
+    def is_closed(self):
+        return self._closed  # EXPECT: RACE001
+
+    def _expire_locked(self, now):
+        self._items = {
+            k: v for k, v in self._items.items() if v > now
+        }
+
+    def expire(self, now):
+        self._expire_locked(now)  # EXPECT: RACE001

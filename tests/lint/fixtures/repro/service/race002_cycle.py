@@ -1,0 +1,38 @@
+"""RACE002 positive: two classes acquire each other's locks in
+opposite orders — the classic ABBA deadlock.
+
+``Accountant.credit`` holds ``Accountant._lock`` and calls into
+``Auditor.verify`` (which takes ``Auditor._lock``); ``Auditor.audit``
+holds ``Auditor._lock`` and calls back into ``Accountant.credit``.
+The cycle is reported once, anchored at the call site inside the
+holder whose lock sorts first.
+"""
+
+import threading
+
+
+class Accountant:
+    def __init__(self, peer: "Auditor"):
+        self._lock = threading.Lock()
+        self._peer = peer
+        self._balance = 0
+
+    def credit(self, amount):
+        with self._lock:
+            self._balance += amount
+            self._peer.verify(amount)  # EXPECT: RACE002
+
+
+class Auditor:
+    def __init__(self, peer: "Accountant"):
+        self._lock = threading.Lock()
+        self._peer = peer
+        self._log = []
+
+    def verify(self, amount):
+        with self._lock:
+            self._log.append(amount)
+
+    def audit(self):
+        with self._lock:
+            self._peer.credit(0)

@@ -1,0 +1,33 @@
+"""RACE002 negative: a consistent global acquisition order.
+
+Both paths that hold two locks at once take ``Accountant._lock``
+before ``Auditor._lock``, so the lock-order graph is acyclic.
+"""
+
+import threading
+
+
+class Accountant:
+    def __init__(self, peer: "Auditor"):
+        self._lock = threading.Lock()
+        self._peer = peer
+        self._balance = 0
+
+    def credit(self, amount):
+        with self._lock:
+            self._balance += amount
+            self._peer.verify(amount)
+
+    def settle(self):
+        with self._lock:
+            self._peer.verify(self._balance)
+
+
+class Auditor:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._log = []
+
+    def verify(self, amount):
+        with self._lock:
+            self._log.append(amount)

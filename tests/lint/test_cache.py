@@ -1,0 +1,108 @@
+"""Incremental lint cache: content addressing, invalidation, and the
+cold-vs-warm byte-identity requirement."""
+
+import json
+
+from repro.lint.cache import LintCache
+from repro.lint.engine import run_lint
+from repro.lint.findings import Finding, Severity
+
+
+def _write_tree(root):
+    pkg = root / "repro" / "core"
+    pkg.mkdir(parents=True)
+    (pkg / "a.py").write_text(
+        "def helper(path: str = 'x') -> str:\n"
+        "    return open(path).read()\n"
+    )
+    (pkg / "b.py").write_text(
+        "from repro.contracts import declared_pure\n"
+        "from .a import helper\n"
+        "@declared_pure\n"
+        "def root() -> str:\n"
+        "    return helper()\n"
+    )
+    return root
+
+
+class TestLintCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = LintCache(tmp_path / "c")
+        src = "def f():\n    return 1\n"
+        assert cache.load("x.py", src) is None
+        finding = Finding(
+            rule="DET001", severity=Severity.ERROR, path="x.py",
+            line=1, col=0, message="m", snippet="s",
+        )
+        cache.store("x.py", src, [finding], None)
+        loaded = cache.load("x.py", src)
+        assert loaded is not None
+        findings, facts = loaded
+        assert facts is None
+        assert [f.to_dict() for f in findings] == [finding.to_dict()]
+
+    def test_content_change_misses(self, tmp_path):
+        cache = LintCache(tmp_path / "c")
+        cache.store("x.py", "def f():\n    pass\n", [], None)
+        assert cache.load("x.py", "def f():\n    return 2\n") is None
+
+    def test_path_change_misses(self, tmp_path):
+        cache = LintCache(tmp_path / "c")
+        src = "def f():\n    pass\n"
+        cache.store("x.py", src, [], None)
+        assert cache.load("y.py", src) is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = LintCache(tmp_path / "c")
+        src = "def f():\n    pass\n"
+        cache.store("x.py", src, [], None)
+        for entry in (tmp_path / "c").glob("*.json"):
+            entry.write_text("{not json")
+        assert cache.load("x.py", src) is None
+
+    def test_schema_mismatch_is_a_miss(self, tmp_path):
+        cache = LintCache(tmp_path / "c")
+        src = "def f():\n    pass\n"
+        cache.store("x.py", src, [], None)
+        for entry in (tmp_path / "c").glob("*.json"):
+            payload = json.loads(entry.read_text())
+            payload["schema"] = -1
+            entry.write_text(json.dumps(payload))
+        assert cache.load("x.py", src) is None
+
+    def test_unwritable_cache_degrades_silently(self, tmp_path):
+        blocker = tmp_path / "c"
+        blocker.write_text("a file where the cache dir should be")
+        cache = LintCache(blocker)
+        cache.store("x.py", "def f():\n    pass\n", [], None)  # no raise
+        assert cache.load("x.py", "def f():\n    pass\n") is None
+
+
+class TestWarmRunEquivalence:
+    def test_cold_and_warm_reports_are_byte_identical(self, tmp_path):
+        from repro.lint.report import render_json
+
+        tree = _write_tree(tmp_path / "tree")
+        cache_dir = tmp_path / "cache"
+        cold = run_lint([tree], cache_dir=cache_dir)
+        warm = run_lint([tree], cache_dir=cache_dir)
+        assert cold.files_cached == 0
+        assert warm.files_cached == warm.files_checked > 0
+        assert render_json(cold) == render_json(warm)
+
+    def test_project_phase_is_recomputed_from_cached_summaries(
+        self, tmp_path
+    ):
+        # editing only the LEAF file must re-judge the (cached, unchanged)
+        # declared-pure root through the call graph: transitive
+        # invalidation falls out of recomputing the project phase
+        tree = _write_tree(tmp_path / "tree")
+        cache_dir = tmp_path / "cache"
+        first = run_lint([tree], cache_dir=cache_dir)
+        assert [f.rule for f in first.active] == ["PURE001"]
+
+        leaf = tree / "repro" / "core" / "a.py"
+        leaf.write_text("def helper() -> int:\n    return 4\n")
+        second = run_lint([tree], cache_dir=cache_dir)
+        assert second.files_cached == second.files_checked - 1
+        assert second.active == []

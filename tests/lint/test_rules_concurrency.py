@@ -1,0 +1,37 @@
+"""RACE001/RACE002: lock discipline and lock-order cycles."""
+
+from .conftest import assert_rule_matches, rule_findings
+
+
+class TestRace001:
+    def test_positive_fixture(self):
+        assert_rule_matches("repro/service/race001_unlocked.py", "RACE001")
+
+    def test_negative_fixture(self):
+        assert rule_findings("repro/service/race001_ok.py", "RACE001") == []
+
+    def test_read_and_write_verbs(self):
+        findings = rule_findings(
+            "repro/service/race001_unlocked.py", "RACE001"
+        )
+        messages = [f.message for f in findings]
+        assert any("reads self._items" in m for m in messages)
+        assert any("writes self._items" in m for m in messages)
+        assert any("_locked" in m and "without holding" in m
+                   for m in messages)
+
+
+class TestRace002:
+    def test_cycle_fixture(self):
+        assert_rule_matches("repro/service/race002_cycle.py", "RACE002")
+
+    def test_consistent_order_fixture(self):
+        assert rule_findings("repro/service/race002_ok.py", "RACE002") == []
+
+    def test_cycle_message_names_both_orders(self):
+        (finding,) = rule_findings(
+            "repro/service/race002_cycle.py", "RACE002"
+        )
+        assert "lock-order cycle" in finding.message
+        assert "Accountant._lock" in finding.message
+        assert "Auditor._lock" in finding.message

@@ -1,0 +1,36 @@
+"""PURE001/PURE002: purity contracts over the interprocedural graph."""
+
+from .conftest import assert_rule_matches, rule_findings
+
+
+class TestPure001:
+    def test_positive_fixture(self):
+        assert_rule_matches("repro/core/pure001_effects.py", "PURE001")
+
+    def test_negative_fixture(self):
+        assert rule_findings("repro/core/pure001_ok.py", "PURE001") == []
+
+    def test_messages_carry_witness_chains(self):
+        findings = rule_findings("repro/core/pure001_effects.py", "PURE001")
+        by_line = {f.line: f.message for f in findings}
+        transitive = next(
+            m for m in by_line.values() if "transitive_rng" in m
+        )
+        # the witness names every hop from root to the effect origin
+        assert "via transitive_rng() -> _middle() -> _draw()" in transitive
+        assert "unkeyed randomness" in transitive
+
+    def test_origin_waiver_is_used_not_stale(self):
+        # the waived origin suppresses the chain AND counts as used:
+        # no PURE001 on the root, no LNT002 on the pragma line
+        findings = rule_findings("repro/core/pure001_ok.py", "LNT002")
+        assert findings == []
+
+
+class TestPure002:
+    def test_missing_contract_fixture(self):
+        assert_rule_matches("repro/core/cache.py", "PURE002")
+
+    def test_declared_fixture_passes(self):
+        # a declared-pure function never trips the missing-contract rule
+        assert rule_findings("repro/core/pure001_ok.py", "PURE002") == []
